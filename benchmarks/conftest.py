@@ -1,0 +1,34 @@
+"""Shared machinery for the benchmark/experiment suite.
+
+Each ``test_bench_*.py`` module regenerates one row of DESIGN.md's
+experiment index (the paper's tables/figures).  Conventions:
+
+- every test takes the ``benchmark`` fixture, so
+  ``pytest benchmarks/ --benchmark-only`` runs the full suite;
+- experiment outcomes (paper-reported vs measured) are attached as
+  ``benchmark.extra_info`` and also printed as small tables, which
+  EXPERIMENTS.md quotes.
+"""
+
+import pytest
+
+from repro.basis import make_basis
+
+
+@pytest.fixture(scope="session")
+def basis():
+    return make_basis()
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned results table (captured with ``pytest -s``)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,189 @@
+"""Ablations -- why each piece of the paper's design is load-bearing.
+
+Three knobs, each switched off in isolation:
+
+A1. *No DAG sharing in bin files* (§4): pickle environments as trees.
+    The paper: "In the worst case ... exponential blowup."
+A2. *No stamp alpha-conversion in hashing* (§5): hash raw session-local
+    stamp ids.  Pids stop being intrinsic: the same source hashed in a
+    new session gets a new pid, so every new session recompiles the
+    world's dependents.
+A3. *Source digests instead of interface hashes*: cutoff structure with
+    ccache-style content keys.  Comment and implementation edits now
+    cascade exactly like timestamps.
+"""
+
+from repro.cm import CutoffBuilder, Project
+from repro.cm.ablation import SourceDigestBuilder
+from repro.pickle.pickler import Pickler
+from repro.pids.crc128 import CRC128
+from repro.units import Session, compile_unit
+from repro.workload import chain, generate_workload
+
+from .conftest import print_table
+
+
+def _tower_source(depth: int) -> str:
+    """One unit whose structures nest doubly: S_k holds S_{k-1} twice."""
+    lines = ["structure S0 = struct datatype t = Leaf of int end"]
+    for k in range(1, depth):
+        lines.append(
+            f"structure S{k} = struct structure L = S{k-1} "
+            f"structure R = S{k-1} end")
+    return "\n".join(lines)
+
+
+def test_a1_sharing_ablation(benchmark, basis):
+    """Tree-mode pickling of a shared-structure tower: exponential."""
+
+    def run():
+        rows = []
+        for depth in (2, 4, 6, 8, 10):
+            session = Session(basis)
+            unit = compile_unit("tower", _tower_source(depth), [], session)
+            shared = len(unit.payload)
+            tree_pickler = Pickler(
+                local_stamp_ids=unit.owned_stamp_ids,
+                extern=session.extern, share=False)
+            tree = len(tree_pickler.run((unit.static_env, unit.code)))
+            rows.append((depth, shared, tree))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "A1: bin bytes, DAG pickling vs tree pickling",
+        ["nesting depth", "with sharing", "without sharing"],
+        [[d, s, t] for d, s, t in rows],
+    )
+    # Shared grows linearly (one frame per level); tree doubles per level.
+    first, last = rows[0], rows[-1]
+    shared_growth = last[1] / first[1]
+    tree_growth = last[2] / first[2]
+    assert tree_growth > 8 * shared_growth, (shared_growth, tree_growth)
+    benchmark.extra_info["rows"] = rows
+
+
+BASE = """
+signature S = sig type t val get : t -> int end
+structure Impl : S = struct datatype t = T of int fun get (T n) = n end
+"""
+
+
+def test_a2_alpha_conversion_ablation(benchmark, basis):
+    """Raw-stamp hashing: pids differ across sessions for identical
+    source; alpha-converted pids do not."""
+
+    def pid(session, raw: bool) -> str:
+        unit = compile_unit("m", BASE, [], session)
+        pickler = Pickler(local_stamp_ids=unit.owned_stamp_ids,
+                          extern=session.extern, normalize_lines=True,
+                          raw_stamps=raw)
+        data = pickler.run(unit.static_env)
+        return CRC128().update(data).hexdigest()
+
+    def run():
+        s1, s2 = Session(basis), Session(basis)
+        # Skew s2's stamp counter the way any real session history would.
+        compile_unit("skew", "structure Skew = struct datatype t = K end",
+                     [], s2)
+        return {
+            "alpha": (pid(s1, raw=False), pid(s2, raw=False)),
+            "raw": (pid(s1, raw=True), pid(s2, raw=True)),
+        }
+
+    pids = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert pids["alpha"][0] == pids["alpha"][1]
+    assert pids["raw"][0] != pids["raw"][1]
+    print_table(
+        "A2: cross-session pid stability",
+        ["hashing", "session 1", "session 2", "stable?"],
+        [
+            ["alpha-converted (paper)", pids["alpha"][0][:12],
+             pids["alpha"][1][:12], "yes"],
+            ["raw stamp ids (ablation)", pids["raw"][0][:12],
+             pids["raw"][1][:12], "NO -> every new session cascades"],
+        ],
+    )
+    benchmark.extra_info["alpha_stable"] = True
+    benchmark.extra_info["raw_stable"] = False
+
+
+def test_a3_source_digest_overcompiles(benchmark):
+    """Source-digest keys recompile every *direct* dependent on any
+    textual change -- comments included -- where intrinsic pids stop at
+    the edited unit."""
+
+    def counts(builder_class, op: str) -> int:
+        w = generate_workload(chain(10), helpers_per_unit=2)
+        builder = builder_class(w.project)
+        builder.build()
+        getattr(w, op)("u000")
+        return len(builder.build().compiled)
+
+    def run():
+        table = {}
+        for op in ("edit_comment", "edit_implementation",
+                   "edit_interface"):
+            table[op] = (counts(SourceDigestBuilder, op),
+                         counts(CutoffBuilder, op))
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert table["edit_comment"] == (2, 1)
+    assert table["edit_implementation"] == (2, 1)
+    assert table["edit_interface"] == (2, 2)
+    print_table(
+        "A3: units recompiled (10-chain, root edited)",
+        ["edit", "source-digest keys", "intrinsic pids (paper)"],
+        [[op.removeprefix("edit_"), f"{a}/10", f"{b}/10"]
+         for op, (a, b) in table.items()],
+    )
+    benchmark.extra_info["table"] = table
+
+
+def test_a3b_source_digest_unsound_under_leakage(benchmark):
+    """The deeper failure: source keys cannot see that a recompiled
+    *intermediate* unit changed its exported interface (type leakage),
+    so transitive dependents go stale.  Intrinsic pids both (a) schedule
+    those recompilations and (b) catch the stale build at link time when
+    the scheduler is wrong."""
+    from repro.linker import LinkError
+
+    def run():
+        w = generate_workload(chain(6), helpers_per_unit=2,
+                              leak_types=True)
+        digests = SourceDigestBuilder(w.project)
+        digests.build()
+        w.edit_interface("u000")
+        report = digests.build()
+        try:
+            digests.link()
+            link_outcome = "linked stale build (UNSOUND)"
+        except LinkError:
+            link_outcome = "LinkError (pid check caught it)"
+
+        w2 = generate_workload(chain(6), helpers_per_unit=2,
+                               leak_types=True)
+        cutoff = CutoffBuilder(w2.project)
+        cutoff.build()
+        w2.edit_interface("u000")
+        cutoff_report = cutoff.build()
+        cutoff.link()  # sound by construction
+        return report.compiled, link_outcome, cutoff_report.compiled
+
+    digest_compiled, link_outcome, cutoff_compiled = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert digest_compiled == ["u000", "u001"]       # stops too early
+    assert "LinkError" in link_outcome               # but linkage saves us
+    assert len(cutoff_compiled) == 6                 # pids do it right
+    print_table(
+        "A3b: leaky-interface edit on a 6-chain",
+        ["scheduler", "recompiled", "link"],
+        [
+            ["source digests", f"{len(digest_compiled)}/6 (stale!)",
+             link_outcome],
+            ["intrinsic pids", f"{len(cutoff_compiled)}/6", "ok"],
+        ],
+    )
+    benchmark.extra_info["digest"] = digest_compiled
+    benchmark.extra_info["cutoff"] = cutoff_compiled

@@ -1,0 +1,87 @@
+"""Experiment T3 -- pid collision analysis (paper §5).
+
+Paper: "With perhaps 2^13 pids ... about 2^26 pairs of pids, so the
+probability of any collision occurring is about 2^-102" using a 128-bit
+CRC.  We hash 2^13 distinct interfaces, observe zero collisions, check
+bit-level uniformity of the digests, and reproduce the birthday-bound
+arithmetic (the exact bound is ~2^-103; the paper rounds pairs up).
+"""
+
+import math
+
+from repro.pids.crc128 import CRC128, collision_probability, crc128_hex
+
+from .conftest import print_table
+
+N_PIDS = 2 ** 13
+
+
+def _interface_bytes(i: int) -> bytes:
+    # A synthetic canonical-serialization-like stream per interface.
+    return (f"signature S{i} = sig type t{i % 7} "
+            f"val v{i} : t -> int * int end").encode()
+
+
+def test_no_collisions_at_paper_scale(benchmark):
+    def run():
+        digests = set()
+        for i in range(N_PIDS):
+            digests.add(crc128_hex(_interface_bytes(i)))
+        return digests
+
+    digests = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(digests) == N_PIDS
+
+    p = collision_probability(N_PIDS)
+    rows = [
+        ["pids hashed", "2^13", f"2^13 ({N_PIDS})"],
+        ["pairs", "~2^26", f"2^{math.log2(N_PIDS * (N_PIDS - 1) / 2):.1f}"],
+        ["P(any collision)", "~2^-102", f"2^{math.log2(p):.1f}"],
+        ["collisions observed", "0 (implied)", N_PIDS - len(digests)],
+    ]
+    print_table("T3: pid collision analysis",
+                ["quantity", "paper", "measured"], rows)
+    benchmark.extra_info["collisions"] = N_PIDS - len(digests)
+    benchmark.extra_info["log2_probability"] = math.log2(p)
+
+
+def test_bit_uniformity(benchmark):
+    """A good hash: every digest bit is set ~half the time, and flipping
+    one input bit flips ~half the output bits (avalanche)."""
+
+    def run():
+        n = 2000
+        ones = [0] * 128
+        avalanche = []
+        for i in range(n):
+            data = _interface_bytes(i)
+            digest = CRC128().update(data).digest_int()
+            for bit in range(128):
+                if digest >> bit & 1:
+                    ones[bit] += 1
+            flipped = bytearray(data)
+            flipped[0] ^= 1
+            other = CRC128().update(bytes(flipped)).digest_int()
+            avalanche.append(bin(digest ^ other).count("1"))
+        return n, ones, avalanche
+
+    n, ones, avalanche = benchmark.pedantic(run, rounds=1, iterations=1)
+    worst = max(abs(c / n - 0.5) for c in ones)
+    mean_avalanche = sum(avalanche) / len(avalanche)
+    assert worst < 0.2
+    assert 40 < mean_avalanche < 88
+    print_table(
+        "T3b: digest statistics",
+        ["statistic", "ideal", "measured"],
+        [
+            ["worst per-bit bias", "0.0", f"{worst:.3f}"],
+            ["mean avalanche (bits)", "64", f"{mean_avalanche:.1f}"],
+        ],
+    )
+    benchmark.extra_info["worst_bias"] = worst
+    benchmark.extra_info["mean_avalanche"] = mean_avalanche
+
+
+def test_crc_throughput(benchmark):
+    data = b"x" * 4096
+    benchmark(lambda: crc128_hex(data))

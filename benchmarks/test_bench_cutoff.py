@@ -1,0 +1,245 @@
+"""Experiment T2 -- cutoff vs timestamp vs smart recompilation.
+
+The paper's central claim (§1, §5): with intrinsic interface pids, "the
+repeated recompilations [of] trivial modifications ... are avoided"; a
+timestamp system must recompile every transitive dependent.  We measure
+units recompiled after three edit kinds across four DAG shapes, for all
+three builders, plus the wall-clock rebuild advantage.
+"""
+
+import pytest
+
+from repro.cm import CutoffBuilder, SmartBuilder, TimestampBuilder
+from repro.workload import chain, diamond, generate_workload, random_dag, tree
+
+from .conftest import print_table
+
+SHAPES = {
+    "chain16": chain(16),
+    "tree3x2": tree(3, 2),          # 7 units
+    "diamond3x3": diamond(3, 3),    # 11 units
+    "random24": random_dag(24, 3, seed=9),
+}
+
+EDITS = ["comment", "impl", "iface"]
+BUILDERS = {
+    "make": TimestampBuilder,
+    "cutoff": CutoffBuilder,
+    "smart": SmartBuilder,
+}
+
+
+def recompiles_after_edit(shape, builder_class, edit_kind,
+                          target_index=0) -> tuple[int, int]:
+    w = generate_workload(shape, helpers_per_unit=2)
+    builder = builder_class(w.project)
+    builder.build()
+    name = f"u{target_index:03d}"
+    if edit_kind == "comment":
+        w.edit_comment(name)
+    elif edit_kind == "impl":
+        w.edit_implementation(name)
+    else:
+        w.edit_interface(name)
+    report = builder.build()
+    return len(report.compiled), len(shape)
+
+
+def test_recompilation_matrix(benchmark):
+    """Edit the root unit; count recompilations per builder and shape."""
+
+    def run():
+        matrix = {}
+        for shape_name, shape in SHAPES.items():
+            for edit in EDITS:
+                for builder_name, builder_class in BUILDERS.items():
+                    n, total = recompiles_after_edit(
+                        shape, builder_class, edit)
+                    matrix[(shape_name, edit, builder_name)] = (n, total)
+        return matrix
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for shape_name in SHAPES:
+        for edit in EDITS:
+            cells = [matrix[(shape_name, edit, b)] for b in BUILDERS]
+            rows.append([shape_name, edit] +
+                        [f"{n}/{total}" for n, total in cells])
+    print_table(
+        "T2: units recompiled after editing the root unit",
+        ["shape", "edit", "make", "cutoff", "smart"],
+        rows,
+    )
+
+    for shape_name, shape in SHAPES.items():
+        total = len(shape)
+        cascade = 1 + len(_transitive_dependents(shape, 0))
+        for edit in EDITS:
+            n_make = matrix[(shape_name, edit, "make")][0]
+            n_cut = matrix[(shape_name, edit, "cutoff")][0]
+            n_smart = matrix[(shape_name, edit, "smart")][0]
+            # The paper's ordering: classical >= cutoff >= smart.
+            assert n_make >= n_cut >= n_smart, (shape_name, edit)
+            # make always cascades to every transitive dependent.
+            assert n_make == cascade, (shape_name, edit)
+        # Non-interface edits stop at the edited unit under cutoff.
+        assert matrix[(shape_name, "comment", "cutoff")][0] == 1
+        assert matrix[(shape_name, "impl", "cutoff")][0] == 1
+        # Interface edits cascade at most one level here (no type leak),
+        # so cutoff still beats make on any shape with depth > 2.
+        assert matrix[(shape_name, "iface", "cutoff")][0] <= total
+
+    benchmark.extra_info["matrix"] = {
+        f"{s}/{e}/{b}": matrix[(s, e, b)][0]
+        for (s, e, b) in matrix
+    }
+
+
+def _transitive_dependents(shape, root: int) -> set[int]:
+    out: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for k, deps in enumerate(shape):
+            if k in out:
+                continue
+            if any(d == root or d in out for d in deps):
+                out.add(k)
+                changed = True
+    return out
+
+
+def test_type_leak_regime(benchmark):
+    """With interfaces that re-export imported types (the transparent-
+    matching regime of Figure 1), interface edits cascade even under
+    cutoff -- but implementation edits still cut off."""
+
+    def run():
+        results = {}
+        for leak in (False, True):
+            w = generate_workload(chain(10), helpers_per_unit=2,
+                                  leak_types=leak)
+            builder = CutoffBuilder(w.project)
+            builder.build()
+            w.edit_interface("u001")
+            iface = len(builder.build().compiled)
+            w.edit_implementation("u001")
+            impl = len(builder.build().compiled)
+            results[leak] = (iface, impl)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    no_leak, leak = results[False], results[True]
+    assert no_leak == (2, 1)     # one level, then cutoff
+    assert leak[0] == 9          # u001..u009: full downstream cascade
+    assert leak[1] == 1          # impl edits always cut off
+    print_table(
+        "T2b: interface-edit cascade depth on a 10-chain (cutoff)",
+        ["interfaces", "iface edit", "impl edit"],
+        [
+            ["independent", f"{no_leak[0]}/10 recompiled",
+             f"{no_leak[1]}/10"],
+            ["type-leaking", f"{leak[0]}/10 recompiled", f"{leak[1]}/10"],
+        ],
+    )
+    benchmark.extra_info["no_leak"] = no_leak
+    benchmark.extra_info["leak"] = leak
+
+
+def test_smart_strict_win(benchmark):
+    """Where smart beats cutoff: a provider exporting several structures
+    of which each client uses only one.  An interface change to an
+    *unused* sibling flips the provider's whole-unit pid (cutoff
+    recompiles all clients) but not the used member's hash (smart
+    recompiles none)."""
+    from repro.cm import Project
+
+    def scenario(builder_class) -> int:
+        provider = "\n".join(
+            f"structure Mod{k} = struct fun get{k} () = {k} end"
+            for k in range(4))
+        sources = {"prov": provider}
+        for k in range(4):
+            sources[f"cli{k}"] = (
+                f"structure Use{k} = struct "
+                f"val v = Mod{k}.get{k} () end")
+        project = Project.from_sources(sources)
+        builder = builder_class(project)
+        builder.build()
+        # Interface change to Mod0 only.
+        project.edit("prov", provider.replace(
+            "structure Mod0 = struct fun get0 () = 0 end",
+            "structure Mod0 = struct fun get0 () = 0 "
+            "val extra = 1 end"))
+        return len(builder.build().compiled)
+
+    def run():
+        return {name: scenario(cls) for name, cls in BUILDERS.items()}
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts["make"] == 5        # provider + every client
+    assert counts["cutoff"] == 5      # whole-unit pid changed
+    assert counts["smart"] == 2       # provider + the one real user
+    print_table(
+        "T2d: sibling-interface edit, 1 provider x 4 single-use clients",
+        ["builder", "units recompiled (of 5)"],
+        [[name, counts[name]] for name in ("make", "cutoff", "smart")],
+    )
+    benchmark.extra_info["counts"] = counts
+
+
+def test_speedup_vs_depth(benchmark):
+    """The paper's payoff as a curve: rebuild time after an
+    implementation edit at the root, make vs cutoff, as the dependency
+    chain deepens.  make grows linearly with depth; cutoff is flat."""
+    import time
+
+    def run():
+        rows = []
+        for depth in (4, 8, 16, 24):
+            times = {}
+            for label, builder_class in (("make", TimestampBuilder),
+                                         ("cutoff", CutoffBuilder)):
+                w = generate_workload(chain(depth), helpers_per_unit=4)
+                builder = builder_class(w.project)
+                builder.build()
+                w.edit_implementation("u000")
+                t0 = time.perf_counter()
+                builder.build()
+                times[label] = time.perf_counter() - t0
+            rows.append((depth, times["make"], times["cutoff"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "T2c: rebuild seconds after a root impl edit vs chain depth",
+        ["depth", "make", "cutoff", "speedup"],
+        [[d, f"{m:.3f}", f"{c:.3f}", f"{m / c:.1f}x"] for d, m, c in rows],
+    )
+    # Speedup grows with depth (the 32-minutes-vs-seconds story).
+    first_ratio = rows[0][1] / rows[0][2]
+    last_ratio = rows[-1][1] / rows[-1][2]
+    assert last_ratio > 1.5 * first_ratio, (first_ratio, last_ratio)
+    benchmark.extra_info["rows"] = [
+        (d, round(m, 4), round(c, 4)) for d, m, c in rows
+    ]
+
+
+@pytest.mark.parametrize("builder_name", ["make", "cutoff"])
+def test_rebuild_wall_clock(benchmark, builder_name):
+    """Wall-clock rebuild after an implementation edit mid-chain."""
+    w = generate_workload(chain(20), helpers_per_unit=6)
+    builder = BUILDERS[builder_name](w.project)
+    builder.build()
+    state = {"n": 0}
+
+    def rebuild():
+        state["n"] += 1
+        w.edit_implementation("u005")
+        return builder.build()
+
+    report = benchmark.pedantic(rebuild, rounds=3, iterations=1)
+    expected = 1 if builder_name == "cutoff" else 15  # u005..u019
+    assert len(report.compiled) == expected
+    benchmark.extra_info["units_recompiled"] = len(report.compiled)

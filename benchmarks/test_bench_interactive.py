@@ -1,0 +1,53 @@
+"""Interactive-loop latency (§6, §8).
+
+The paper's architecture requires the interactive system to share the
+compiler primitives with the batch manager without becoming sluggish:
+each top-level input is a miniature compile+execute.  These benchmarks
+measure per-input latency for representative phrase kinds.
+"""
+
+import pytest
+
+from repro.interactive import REPL
+
+
+@pytest.fixture(scope="module")
+def repl():
+    r = REPL()
+    r.eval("signature ORD = sig type t val le : t * t -> bool end")
+    r.eval("functor Sort(P : ORD) = struct "
+           "fun insert (x, nil) = [x] "
+           "  | insert (x, h :: t) = if P.le (x, h) then x :: h :: t "
+           "    else h :: insert (x, t) "
+           "fun sort l = foldl insert nil l end")
+    return r
+
+
+def test_repl_simple_expression(benchmark, repl):
+    result = benchmark(lambda: repl.eval("1 + 2 * 3"))
+    assert result.ok
+
+
+def test_repl_function_definition(benchmark, repl):
+    result = benchmark(
+        lambda: repl.eval("fun fib 0 = 0 | fib 1 = 1 "
+                          "| fib n = fib (n - 1) + fib (n - 2)"))
+    assert result.ok
+
+
+def test_repl_functor_application(benchmark, repl):
+    result = benchmark(
+        lambda: repl.eval(
+            "structure S = Sort(struct type t = int "
+            "fun le (a, b) = a <= b end)"))
+    assert result.ok
+
+
+def test_repl_execution_heavy(benchmark, repl):
+    repl.eval("structure S = Sort(struct type t = int "
+              "fun le (a, b) = a <= b end)")
+    result = benchmark(
+        lambda: repl.eval("length (S.sort (List.tabulate (60, "
+                          "fn i => 59 - i)))"))
+    assert result.ok
+    assert "60" in result.render()

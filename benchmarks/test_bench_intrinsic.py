@@ -1,0 +1,132 @@
+"""Experiment T6 -- intrinsic-pid stability and sensitivity (paper §5).
+
+A mutation battery over a realistic unit: every *non-interface* edit must
+leave the pid fixed (alpha-conversion over stamps, line normalization
+over comments); every *interface* edit must change it.  Plus cross-
+session stability -- the property timestamps and naive hashes lack.
+"""
+
+from repro.units import Session, compile_unit
+
+from .conftest import print_table
+
+BASE = """
+signature QUEUE = sig
+  type 'a t
+  val empty : 'a t
+  val push : 'a * 'a t -> 'a t
+  val pop : 'a t -> ('a * 'a t) option
+end
+structure Queue : QUEUE = struct
+  datatype 'a t = Q of 'a list * 'a list
+  val empty = Q (nil, nil)
+  fun push (x, Q (front, back)) = Q (front, x :: back)
+  fun pop (Q (nil, nil)) = NONE
+    | pop (Q (nil, back)) = pop (Q (rev back, nil))
+    | pop (Q (h :: t, back)) = SOME (h, Q (t, back))
+end
+functor Drain(X : QUEUE) = struct
+  fun drain q = case X.pop q of NONE => nil
+                              | SOME (h, rest) => h :: drain rest
+end
+"""
+
+#: (label, transform, interface_changed?)
+MUTATIONS = [
+    ("leading comment", lambda s: "(* rev 2 *)\n" + s, False),
+    ("inline comment",
+     lambda s: s.replace("val empty = Q (nil, nil)",
+                         "val empty = Q (nil, nil) (* both empty *)"),
+     False),
+    ("blank lines", lambda s: s.replace("\n", "\n\n"), False),
+    ("rename bound variable",
+     lambda s: s.replace("fun push (x, Q (front, back))",
+                         "fun push (item, Q (front, back))").replace(
+         "Q (front, x :: back)", "Q (front, item :: back)"), False),
+    ("different algorithm",
+     lambda s: s.replace("Q (front, x :: back)",
+                         "Q (front @ [x], back)"), False),
+    ("reorder independent bindings",
+     lambda s: s.replace(
+         "val empty = Q (nil, nil)\n  fun push (x, Q (front, back)) = "
+         "Q (front, x :: back)",
+         "fun push (x, Q (front, back)) = Q (front, x :: back)\n  "
+         "val empty = Q (nil, nil)"), False),
+    # Adding a member to Queue does NOT change the interface: Queue is
+    # ascribed `: QUEUE`, and signature matching *thins* unspecified
+    # members away.  The pid correctly stays put.
+    ("new member hidden by ascription",
+     lambda s: s.replace("end\nfunctor",
+                         "  val size = 0\nend\nfunctor", 1), False),
+    ("new top-level structure",
+     lambda s: s + "\nstructure Extra = struct val size = 0 end\n", True),
+    ("new signature member",
+     lambda s: s.replace(
+         "val pop : 'a t -> ('a * 'a t) option\nend",
+         "val pop : 'a t -> ('a * 'a t) option\n  val depth : 'a t -> int"
+         "\nend").replace(
+         "end\nfunctor",
+         "  fun depth (Q (f, b)) = length f + length b\nend\nfunctor", 1),
+     True),
+    ("datatype constructor added",
+     lambda s: s.replace("datatype 'a t = Q of 'a list * 'a list",
+                         "datatype 'a t = Q of 'a list * 'a list | Mark"
+                         ).replace(
+         "fun pop (Q (nil, nil)) = NONE",
+         "fun pop Mark = NONE | pop (Q (nil, nil)) = NONE"), True),
+    ("functor body edit (closure changes)",
+     lambda s: s.replace("h :: drain rest", "drain rest @ [h]"), True),
+]
+
+
+def test_mutation_battery(benchmark, basis):
+    def run():
+        session = Session(basis)
+        reference = compile_unit("q", BASE, [], session).export_pid
+        outcomes = []
+        for label, transform, iface in MUTATIONS:
+            mutated = transform(BASE)
+            assert mutated != BASE, label
+            pid = compile_unit("q", mutated, [], session).export_pid
+            outcomes.append((label, iface, pid != reference))
+        return reference, outcomes
+
+    _reference, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, iface_changed, pid_changed in outcomes:
+        expected = "changes pid" if iface_changed else "keeps pid"
+        observed = "changed" if pid_changed else "kept"
+        rows.append([label, expected, observed])
+        assert pid_changed == iface_changed, label
+    print_table("T6: pid mutation battery",
+                ["edit", "expected", "observed"], rows)
+    benchmark.extra_info["battery"] = [
+        {"edit": label, "pid_changed": changed}
+        for label, _e, changed in outcomes
+    ]
+
+
+def test_cross_session_stability(benchmark, basis):
+    """Pids are intrinsic: independent of the session that computed
+    them and of how many stamps were minted beforehand."""
+
+    def run():
+        pids = []
+        for warmup in range(3):
+            session = Session(basis)
+            for i in range(warmup * 5):
+                compile_unit(f"junk{i}",
+                             f"structure J{i} = struct datatype t = "
+                             f"T{i} of int end", [], session)
+            pids.append(compile_unit("q", BASE, [], session).export_pid)
+        return pids
+
+    pids = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(set(pids)) == 1
+    print_table(
+        "T6b: cross-session pid stability",
+        ["session", "stamp offset", "pid (prefix)"],
+        [[i, i * 5 * 2, pids[i][:16]] for i in range(len(pids))],
+    )
+    benchmark.extra_info["stable"] = True

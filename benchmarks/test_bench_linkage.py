@@ -1,0 +1,102 @@
+"""Experiment T7 -- type-safe linkage (paper §7).
+
+A timestamp build system with a subtly wrong makefile can link a stale
+object file and miscompute silently.  The paper's linker matches import
+pids against export pids, so inconsistency is caught *at link time*.
+We stage exactly that bug and also measure the cost of the check.
+"""
+
+import pytest
+
+from repro.linker import LinkError, Linker, check_consistency
+from repro.units import Session, compile_unit
+from repro.cm import CutoffBuilder
+from repro.workload import generate_workload, layered
+
+from .conftest import print_table
+
+PROVIDER_V1 = "structure Fmt = struct fun width () = 80 end"
+#: The interface changes: width now takes a scale factor.
+PROVIDER_V2 = "structure Fmt = struct fun width (n : int) = n * 2 end"
+CLIENT = "structure Report = struct val columns = Fmt.width () end"
+
+
+def test_makefile_bug_caught(benchmark, basis):
+    """Skip the client's recompilation after an interface change: the
+    linker must reject the stale pair, where name-based linking would
+    silently miscompute."""
+
+    def run():
+        session = Session(basis)
+        p1 = compile_unit("fmt", PROVIDER_V1, [], session)
+        client = compile_unit("report", CLIENT, [p1], session)
+        p2 = compile_unit("fmt", PROVIDER_V2, [], session)
+        try:
+            check_consistency([p2, client])
+            return "linked (BUG!)"
+        except LinkError as err:
+            return f"rejected: {err}"
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.startswith("rejected")
+    print_table(
+        "T7: stale-import linking",
+        ["scenario", "name-based linker", "pid-based linker"],
+        [["client stale after interface change",
+          "links, later miscomputes", "LinkError at link time"]],
+    )
+    benchmark.extra_info["outcome"] = outcome[:90]
+
+
+def test_interface_preserving_swap_links(benchmark, basis):
+    """The converse guarantee: a recompiled provider with an unchanged
+    interface links against old clients without their recompilation."""
+
+    def run():
+        session = Session(basis)
+        p1 = compile_unit("fmt", PROVIDER_V1, [], session)
+        client = compile_unit("report", CLIENT, [p1], session)
+        p1b = compile_unit(
+            "fmt", "structure Fmt = struct fun width () = 20 * 4 end", [],
+            session)
+        check_consistency([p1b, client])
+        linker = Linker(session)
+        exports = linker.link([p1b, client])
+        return exports["report"].structures["Report"].values["columns"]
+
+    columns = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert columns == 80
+    benchmark.extra_info["columns"] = columns
+
+
+def test_consistency_check_cost_at_scale(benchmark):
+    """check_consistency over a 200-unit project is microseconds --
+    negligible next to loading, let alone compiling."""
+    w = generate_workload(layered([1, 20, 40, 60, 50, 25, 4], 3, seed=42),
+                          helpers_per_unit=4)
+    builder = CutoffBuilder(w.project)
+    builder.build()
+    units = [builder.units[name] for name in builder.last_graph.order]
+
+    benchmark(lambda: check_consistency(units))
+    benchmark.extra_info["units"] = len(units)
+
+
+def test_unsafe_linking_demonstrates_miscomputation(benchmark, basis):
+    """What verify=False permits: the wrongly-typed value flows."""
+
+    def run():
+        session = Session(basis)
+        p1 = compile_unit("fmt", PROVIDER_V1, [], session)
+        client = compile_unit("report", CLIENT, [p1], session)
+        p2 = compile_unit("fmt", PROVIDER_V2, [], session)
+        linker = Linker(session)
+        exports = linker.link([p2, client], verify=False)
+        return exports["report"].structures["Report"].values["columns"]
+
+    columns = benchmark.pedantic(run, rounds=2, iterations=1)
+    # Fmt.width now expects an int; the stale client passed unit.  The
+    # evaluation happily computes `() * 2` (a Python quirk standing in
+    # for machine-level garbage): columns claims type int but holds ().
+    assert not isinstance(columns, int)
+    benchmark.extra_info["miscomputed_value"] = repr(columns)

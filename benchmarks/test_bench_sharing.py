@@ -1,0 +1,107 @@
+"""Experiment T4 -- sharing preservation in bin files (paper §4).
+
+"The binary file ... must preserve the sharing ... In the worst case,
+writing the environments as trees would lead to exponential blowup."
+We build towers of structures where level k+1 contains two references to
+level k; with memoized (DAG) pickling the bin file grows linearly in the
+depth, while the unshared tree it denotes grows as 2^depth.
+"""
+
+from repro.cm import CutoffBuilder, Project
+from repro.pickle.pickler import Pickler
+
+from .conftest import print_table
+
+
+def tower_project(depth: int) -> Project:
+    """Unit k defines a structure holding the previous structure twice."""
+    sources = {
+        "t000": "structure S000 = struct datatype t = Leaf of int end",
+    }
+    for k in range(1, depth):
+        prev = f"S{k-1:03d}"
+        sources[f"t{k:03d}"] = (
+            f"structure S{k:03d} = struct\n"
+            f"  structure L = {prev}\n"
+            f"  structure R = {prev}\n"
+            f"end"
+        )
+    return Project.from_sources(sources)
+
+
+def _tree_node_count(env, depth_cache=None) -> int:
+    """Size of the environment if sharing were lost (tree semantics):
+    every structure contributes its subtree twice."""
+    total = 1
+    for struct in env.structures.values():
+        total += _tree_node_count(struct.env)
+    total += len(env.values) + len(env.tycons)
+    return total
+
+
+def test_sharing_linear_vs_exponential(benchmark):
+    depth = 14
+
+    def run():
+        project = tower_project(depth)
+        builder = CutoffBuilder(project)
+        builder.build()
+        rows = []
+        for k in (2, 4, 6, 8, 10, 12, depth - 1):
+            unit = builder.units[f"t{k:03d}"]
+            shared_bytes = len(unit.payload)
+            tree_nodes = _tree_node_count(unit.static_env)
+            rows.append((k, shared_bytes, tree_nodes))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = [[k, size, nodes] for k, size, nodes in rows]
+    print_table(
+        "T4: bin size with sharing vs unshared tree size",
+        ["tower depth", "bin bytes (DAG)", "tree nodes (no sharing)"],
+        table,
+    )
+
+    # The tree explodes exponentially...
+    ks = [k for k, _, _ in rows]
+    nodes = {k: n for k, _, n in rows}
+    assert nodes[ks[-1]] > 2 ** (ks[-1] - 2)
+    # ...while the bin file stays bounded (stubs to the imported unit),
+    # i.e. essentially flat in the depth.
+    sizes = [size for _, size, _ in rows]
+    assert max(sizes) < 4 * min(sizes)
+    benchmark.extra_info["rows"] = rows
+
+
+def test_intra_unit_sharing(benchmark):
+    """Sharing within one unit: a single datatype referenced by many
+    bindings is written once, so adding aliases costs O(1) bytes each."""
+
+    def source(n_aliases: int) -> str:
+        lines = ["structure Big = struct",
+                 "  datatype t = A of int * string | B of t * t"]
+        for i in range(n_aliases):
+            lines.append(f"  fun use_{i} (x : t) = x")
+        lines.append("end")
+        return "\n".join(lines)
+
+    def run():
+        sizes = {}
+        for n in (1, 20, 40):
+            project = Project.from_sources({"big": source(n)})
+            builder = CutoffBuilder(project)
+            builder.build()
+            sizes[n] = len(builder.units["big"].payload)
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_alias = (sizes[40] - sizes[20]) / 20
+    assert per_alias < 120, f"alias cost {per_alias:.0f} bytes"
+    print_table(
+        "T4b: marginal cost of an alias to a shared datatype",
+        ["aliases", "bin bytes"],
+        [[n, sizes[n]] for n in sorted(sizes)] +
+        [["bytes/alias", f"{per_alias:.0f}"]],
+    )
+    benchmark.extra_info["sizes"] = sizes

@@ -1,0 +1,47 @@
+"""A scripted interactive session, exactly as §6 describes the ML
+top-level loop coexisting with separate compilation.
+
+Run with:  python examples/repl_session.py
+(or interactively:  python -m repro.interactive.repl)
+"""
+
+from repro import REPL
+
+INPUTS = [
+    "val radius = 5",
+    "val pi_ish = 3",
+    "pi_ish * radius * radius",
+    "fun map2 f (a, b) = (f a, f b)",
+    "map2 (fn n => n + 1) (10, 20)",
+    "datatype 'a bst = Leaf | Node of 'a bst * 'a * 'a bst",
+    """fun insert (x, Leaf) = Node (Leaf, x, Leaf)
+         | insert (x, t as Node (l, y, r)) =
+             if x < y then Node (insert (x, l), y, r)
+             else if x > y then Node (l, y, insert (x, r))
+             else t""",
+    "fun toList Leaf = nil | toList (Node (l, x, r)) = "
+    "toList l @ (x :: toList r)",
+    "val tree = foldl insert Leaf [5, 2, 8, 2, 1]",
+    "toList tree",
+    "structure Counter = struct val n = ref 0 "
+    "fun tick () = (n := !n + 1; !n) end",
+    "Counter.tick ()",
+    "Counter.tick ()",
+    'val bad = 1 + "oops"',          # type error: session survives
+    "Counter.tick ()",               # state intact after the error
+    "exception Underflow",
+    "fun safeDec n = if n = 0 then raise Underflow else n - 1",
+    "safeDec 0 handle Underflow => ~1",
+]
+
+
+def main() -> None:
+    repl = REPL(print_sink=lambda s: print(s, end=""))
+    for text in INPUTS:
+        shown = " ".join(text.split())
+        print(f"- {shown}")
+        print(f"  {repl.eval(text).render()}")
+
+
+if __name__ == "__main__":
+    main()

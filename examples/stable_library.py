@@ -1,0 +1,84 @@
+"""Stable libraries: ship a built library as ONE file, no sources.
+
+A vendor builds a JSON library, freezes it into a stable archive
+(`repro.cm.stable`), and ships the archive alone.  A client project --
+which never sees the vendor's sources -- registers the archive with its
+builder and compiles against it.
+
+Run with:  python examples/stable_library.py
+"""
+
+from repro import CutoffBuilder, Project
+from repro.cm.stable import parse_archive, stabilize
+from repro.dynamic.evaluate import apply_value
+
+VENDOR_SOURCES = {
+    "json_sig": """
+        signature JSON = sig
+          datatype value =
+            Null
+          | Bool of bool
+          | Num of int
+          | Str of string
+          | Arr of value list
+          val render : value -> string
+        end
+    """,
+    "json": """
+        structure Json : JSON = struct
+          datatype value =
+            Null
+          | Bool of bool
+          | Num of int
+          | Str of string
+          | Arr of value list
+          fun render Null = "null"
+            | render (Bool b) = if b then "true" else "false"
+            | render (Num n) = Int.toString n
+            | render (Str s) = "\\"" ^ s ^ "\\""
+            | render (Arr items) =
+                "[" ^ String.concatWith ", " (map render items) ^ "]"
+        end
+    """,
+}
+
+CLIENT_SOURCES = {
+    "report": """
+        structure Report = struct
+          val doc = Json.Arr [
+            Json.Str "totals",
+            Json.Arr [Json.Num 1, Json.Num 2, Json.Num 3],
+            Json.Bool true,
+            Json.Null
+          ]
+          fun show () = Json.render doc
+        end
+    """,
+}
+
+
+def main() -> None:
+    # --- vendor side ---------------------------------------------------
+    vendor = CutoffBuilder(Project.from_sources(VENDOR_SOURCES))
+    print("vendor build:", vendor.build().summary())
+    archive = stabilize(vendor, ["json_sig", "json"])
+    units = parse_archive(archive)
+    print(f"stable archive: {len(archive)} bytes, "
+          f"{len(units)} units "
+          f"({', '.join(u.name for u in units)})")
+
+    # --- client side: sources for the library do NOT exist here --------
+    client = CutoffBuilder(Project.from_sources(CLIENT_SOURCES))
+    client.add_stable_archive(archive)
+    report = client.build()
+    print("client build:", report.summary())
+    exports = client.link()
+    show = exports["report"].structures["Report"].values["show"]
+    print("rendered:", apply_value(show, ()))
+
+    # Rebuilds never reconsider the stable units.
+    print("client rebuild:", client.build().summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro: a reproduction of Appel & MacQueen,
+"Separate Compilation for Standard ML" (PLDI 1994).
+
+The package builds, from scratch, everything the paper's mechanisms need:
+
+- a compiler front end and elaborator for a substantial Standard ML
+  subset (:mod:`repro.lang`, :mod:`repro.semant`, :mod:`repro.elab`);
+- a dynamic semantics (:mod:`repro.dynamic`) and interactive top level
+  (:mod:`repro.interactive`);
+- the paper's contribution: compilation units with import/export pid
+  vectors (:mod:`repro.units`), dehydration/rehydration of static
+  environments (:mod:`repro.pickle`), intrinsic pids via 128-bit CRC
+  (:mod:`repro.pids`), type-safe linkage (:mod:`repro.linker`), and the
+  IRM compilation manager with cutoff recompilation plus timestamp and
+  smart baselines (:mod:`repro.cm`);
+- synthetic workloads for the evaluation (:mod:`repro.workload`).
+
+Quickstart::
+
+    from repro import CutoffBuilder, Project
+
+    project = Project.from_sources({
+        "base": "structure Base = struct fun double x = x * 2 end",
+        "app":  "structure App = struct val answer = Base.double 21 end",
+    })
+    builder = CutoffBuilder(project)
+    print(builder.build().summary())          # 2 compiled
+    exports = builder.link()
+    print(exports["app"].structures["App"].values["answer"])   # 42
+"""
+
+from repro.basis import BASIS_PID, Basis, make_basis
+from repro.cm import (
+    BinRecord,
+    BinStore,
+    BuildReport,
+    CutoffBuilder,
+    DependencyError,
+    Group,
+    GroupBuilder,
+    Project,
+    SmartBuilder,
+    TimestampBuilder,
+)
+from repro.elab import ElabError
+from repro.interactive import REPL, VisibleCompiler
+from repro.lang import LexError, ParseError
+from repro.linker import LinkError, Linker, check_consistency
+from repro.pickle import PickleError, UnpickleError, dehydrate, rehydrate
+from repro.pids import crc128_hex, intrinsic_pid
+from repro.units import CompiledUnit, Session, compile_unit, execute_unit
+from repro.workload import generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Basis",
+    "BASIS_PID",
+    "make_basis",
+    "Project",
+    "BinStore",
+    "BinRecord",
+    "BuildReport",
+    "CutoffBuilder",
+    "TimestampBuilder",
+    "SmartBuilder",
+    "Group",
+    "GroupBuilder",
+    "DependencyError",
+    "ElabError",
+    "LexError",
+    "ParseError",
+    "LinkError",
+    "Linker",
+    "check_consistency",
+    "PickleError",
+    "UnpickleError",
+    "dehydrate",
+    "rehydrate",
+    "crc128_hex",
+    "intrinsic_pid",
+    "CompiledUnit",
+    "Session",
+    "compile_unit",
+    "execute_unit",
+    "REPL",
+    "VisibleCompiler",
+    "generate_workload",
+    "__version__",
+]

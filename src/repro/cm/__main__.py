@@ -1,0 +1,156 @@
+"""Command-line build driver: ``python -m repro.cm <srcdir>``.
+
+A miniature `sml-build`: compiles every ``*.sml`` unit in a directory
+with the cutoff manager, reusing (and refreshing) bin files in
+``<srcdir>/.bin``, then type-safely links and optionally prints a
+binding.
+
+Options:
+    --manager {cutoff,make,smart}   recompilation strategy (default cutoff)
+    --print STRUCTURE.NAME          after linking, print this binding
+    --no-link                       stop after building
+    --stats                         per-phase timing summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.cm import (
+    BinStore,
+    CutoffBuilder,
+    Project,
+    SmartBuilder,
+    TimestampBuilder,
+)
+from repro.dynamic.values import format_value
+
+MANAGERS = {
+    "cutoff": CutoffBuilder,
+    "make": TimestampBuilder,
+    "smart": SmartBuilder,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cm",
+        description="Build a directory of SML compilation units, or a "
+                    ".cm group description file.")
+    parser.add_argument("srcdir",
+                        help="directory containing *.sml units, or a .cm "
+                             "group description file")
+    parser.add_argument("--manager", choices=sorted(MANAGERS),
+                        default="cutoff")
+    parser.add_argument("--print", dest="print_path", metavar="S.NAME",
+                        help="print a structure binding after linking")
+    parser.add_argument("--no-link", action="store_true")
+    parser.add_argument("--stats", action="store_true")
+    args = parser.parse_args(argv)
+
+    if os.path.isfile(args.srcdir) and args.srcdir.endswith(".cm"):
+        return _build_group_file(args)
+    if not os.path.isdir(args.srcdir):
+        print(f"error: {args.srcdir} is not a directory or .cm file",
+              file=sys.stderr)
+        return 2
+
+    bin_dir = os.path.join(args.srcdir, ".bin")
+    store = (BinStore.load_directory(bin_dir)
+             if os.path.isdir(bin_dir) else BinStore())
+
+    project = Project.from_directory(args.srcdir)
+    if not len(project):
+        print(f"error: no .sml files in {args.srcdir}", file=sys.stderr)
+        return 2
+    builder = MANAGERS[args.manager](project, store=store)
+
+    try:
+        report = builder.build()
+    except Exception as err:  # ElabError, DependencyError, ParseError...
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    for outcome in report.outcomes:
+        print(f"  [{outcome.action:>8}] {outcome.name}"
+              + (f"  ({outcome.reason})" if outcome.reason else ""))
+    print(report.summary())
+    store.save_directory(bin_dir)
+
+    if args.stats:
+        times = [(o.name, o.times) for o in report.outcomes]
+        total = sum(t.compile_total() + t.overhead_total()
+                    for _n, t in times)
+        print(f"total build time: {total:.3f}s "
+              f"(compile {sum(t.compile_total() for _n, t in times):.3f}s, "
+              f"hash+pickle {sum(t.overhead_total() for _n, t in times):.3f}s)")
+
+    if args.no_link:
+        return 0
+
+    try:
+        exports = builder.link()
+    except Exception as err:
+        print(f"link error: {err}", file=sys.stderr)
+        return 1
+    print(f"linked {len(exports)} units")
+
+    if args.print_path:
+        try:
+            struct_name, member = args.print_path.split(".", 1)
+        except ValueError:
+            print("error: --print takes STRUCTURE.NAME", file=sys.stderr)
+            return 2
+        for export in exports.values():
+            struct = export.structures.get(struct_name)
+            if struct is not None and member in struct.values:
+                print(f"{args.print_path} = "
+                      f"{format_value(struct.values[member])}")
+                return 0
+        print(f"error: {args.print_path} not found", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _build_group_file(args) -> int:
+    from repro.cm.descfile import DescFileError, load_group_file
+    from repro.cm.group import GroupBuilder
+
+    try:
+        group, project = load_group_file(args.srcdir)
+    except DescFileError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    gb = GroupBuilder(project, builder_class=MANAGERS[args.manager])
+    try:
+        reports = gb.build(group)
+    except Exception as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    for group_name, report in reports.items():
+        print(f"group {group_name}: {report.summary()}")
+    if args.no_link:
+        return 0
+    try:
+        exports = gb.link()
+    except Exception as err:
+        print(f"link error: {err}", file=sys.stderr)
+        return 1
+    print(f"linked {len(exports)} units")
+    if args.print_path:
+        struct_name, member = args.print_path.split(".", 1)
+        for export in exports.values():
+            struct = export.structures.get(struct_name)
+            if struct is not None and member in struct.values:
+                print(f"{args.print_path} = "
+                      f"{format_value(struct.values[member])}")
+                return 0
+        print(f"error: {args.print_path} not found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Ablation builder: recompilation keyed on *source digests* instead of
+intrinsic interface pids.
+
+This is the strawman between timestamps and intrinsic pids: smarter than
+``make`` (touching a file without changing it does nothing) but blind to
+the interface/implementation distinction -- any textual change to an
+import, including a comment, cascades to all transitive dependents.
+Benchmarked against the real cutoff builder in
+``benchmarks/test_bench_ablations.py``.
+"""
+
+from __future__ import annotations
+
+from repro.cm.base import BaseBuilder
+from repro.cm.depend import DepGraph
+from repro.cm.report import UnitOutcome
+from repro.cm.store import BinRecord
+from repro.units.unit import CompiledUnit
+
+
+class SourceDigestBuilder(BaseBuilder):
+    """Cutoff structure, but the 'pid' compared is the import's source
+    digest rather than its interface hash."""
+
+    def make_record(self, name: str, unit: CompiledUnit) -> BinRecord:
+        record = super().make_record(name, unit)
+        record.extra["import_source_digests"] = [
+            (imp_name, self.units[imp_name].source_digest)
+            for imp_name, _pid in unit.imports
+        ]
+        return record
+
+    def process(self, name: str, graph: DepGraph,
+                imports: list[CompiledUnit]) -> UnitOutcome:
+        record = self.store.get(name)
+        if record is None:
+            return self.compile(name, imports, "no bin file")
+        if not self.source_current(name, record):
+            return self.compile(name, imports, "source changed")
+        recorded = record.extra.get("import_source_digests", [])
+        current = [(u.name, u.source_digest) for u in imports]
+        if recorded != current:
+            return self.compile(
+                name, imports, "an imported *source* changed")
+        if self.is_live_and_current(name, record):
+            return UnitOutcome(name, "cached", "up to date")
+        return self.load(name, record, imports)

@@ -1,0 +1,165 @@
+"""Shared machinery for the three builders."""
+
+from __future__ import annotations
+
+import time
+
+from repro.cm.depend import DepGraph, analyze
+from repro.cm.project import Project
+from repro.cm.report import BuildReport, UnitOutcome
+from repro.cm.store import BinRecord, BinStore
+from repro.linker.link import Linker
+from repro.units.pipeline import compile_unit, load_unit, source_digest
+from repro.units.session import Session
+from repro.units.unit import CompiledUnit, DynExport
+
+
+class BaseBuilder:
+    """A builder = project + bin store + session + live units.
+
+    A *builder instance* models one compiler session; passing an existing
+    :class:`BinStore` to a fresh builder models starting a new session
+    over a previous session's bin files (the cross-session reuse the
+    paper's dehydration exists for).
+    """
+
+    def __init__(self, project: Project, store: BinStore | None = None,
+                 session: Session | None = None,
+                 restrict: list[str] | None = None,
+                 visible: dict[str, set[str]] | None = None):
+        self.project = project
+        self.store = store if store is not None else BinStore()
+        self.session = session if session is not None else Session()
+        self.units: dict[str, CompiledUnit] = {}
+        self.last_graph: DepGraph | None = None
+        self.restrict = restrict
+        self.visible = visible
+        #: Dependency-analysis memo, keyed by unit and source text (§9:
+        #: the IRM caches per-file dependency information).
+        self._dep_cache: dict = {}
+        #: Stable-library archives pending load, and the module-provider
+        #: map of every stable unit already loaded.
+        self._stable_pending: list[bytes] = []
+        self._stable_providers: dict[str, str] = {}
+        self.stable_names: set[str] = set()
+        self._stable_order: list[str] = []
+
+    # -- the build loop -----------------------------------------------------
+
+    def build(self) -> BuildReport:
+        """Bring every unit up to date; returns what was done."""
+        t0 = time.perf_counter()
+        report = BuildReport()
+        self._load_pending_stables(report)
+        graph = self.analyze()
+        for name in graph.order:
+            imports = [self.units[dep] for dep in graph.deps[name]]
+            report.add(self.process(name, graph, imports))
+        report.wall_seconds = time.perf_counter() - t0
+        return report
+
+    def analyze(self) -> DepGraph:
+        graph = analyze(self.project, restrict=self.restrict,
+                        visible=self.visible, cache=self._dep_cache,
+                        extra_providers=self._stable_providers)
+        self.last_graph = graph
+        return graph
+
+    # -- stable libraries ---------------------------------------------------
+
+    def add_stable_archive(self, blob: bytes) -> None:
+        """Register a stable-library archive; its units are rehydrated on
+        the next build and serve as providers without sources."""
+        self._stable_pending.append(blob)
+
+    def _load_pending_stables(self, report: BuildReport) -> None:
+        from repro.cm.stable import parse_archive
+        from repro.units.pipeline import load_unit
+
+        for blob in self._stable_pending:
+            for stable in parse_archive(blob):
+                imports = [self.units[i_name]
+                           for i_name, _pid in stable.imports]
+                unit = load_unit(stable.name, stable.export_pid, imports,
+                                 stable.payload, self.session)
+                self.units[stable.name] = unit
+                self.stable_names.add(stable.name)
+                self._stable_order.append(stable.name)
+                for module_name in stable.provides:
+                    self._stable_providers[module_name] = stable.name
+                report.add(UnitOutcome(stable.name, "loaded",
+                                       "stable library", False,
+                                       unit.times))
+        self._stable_pending.clear()
+
+    def process(self, name: str, graph: DepGraph,
+                imports: list[CompiledUnit]) -> UnitOutcome:
+        raise NotImplementedError
+
+    # -- shared actions --------------------------------------------------
+
+    def compile(self, name: str, imports: list[CompiledUnit],
+                reason: str) -> UnitOutcome:
+        source = self.project.source(name)
+        unit = compile_unit(name, source, imports, self.session)
+        previous = self.store.get(name)
+        pid_changed = previous is None or previous.export_pid != unit.export_pid
+        self.units[name] = unit
+        self.store.put(self.make_record(name, unit))
+        return UnitOutcome(name, "compiled", reason, pid_changed, unit.times)
+
+    def make_record(self, name: str, unit: CompiledUnit) -> BinRecord:
+        return BinRecord(
+            name=name,
+            source_digest=unit.source_digest,
+            export_pid=unit.export_pid,
+            imports=list(unit.imports),
+            payload=unit.payload,
+            built_at=self.project.clock,
+        )
+
+    def load(self, name: str, record: BinRecord,
+             imports: list[CompiledUnit]) -> UnitOutcome:
+        from repro.pickle import UnpickleError
+
+        try:
+            unit = load_unit(name, record.export_pid, imports,
+                             record.payload, self.session,
+                             record.source_digest)
+        except UnpickleError:
+            # A stale-format or corrupt bin file is a cache miss, not a
+            # build failure.
+            return self.compile(name, imports, "bin file unreadable")
+        self.units[name] = unit
+        return UnitOutcome(name, "loaded", "bin file current", False,
+                           unit.times)
+
+    def source_current(self, name: str, record: BinRecord | None) -> bool:
+        return (record is not None
+                and record.source_digest
+                == source_digest(self.project.source(name)))
+
+    def imports_current(self, record: BinRecord,
+                        imports: list[CompiledUnit]) -> bool:
+        """The cutoff test: do the live import pids match the ones this
+        bin was compiled against?"""
+        return record.imports == [(u.name, u.export_pid) for u in imports]
+
+    def is_live_and_current(self, name: str, record: BinRecord) -> bool:
+        live = self.units.get(name)
+        return live is not None and live.export_pid == record.export_pid
+
+    # -- linking and running -------------------------------------------------
+
+    def link(self, verify: bool = True) -> dict[str, DynExport]:
+        """Type-safe link + execute of all live units (stable libraries
+        first) in dependency order."""
+        graph = self.last_graph if self.last_graph is not None else self.analyze()
+        linker = Linker(self.session)
+        ordered = [self.units[name] for name in self._stable_order]
+        ordered.extend(self.units[name] for name in graph.order)
+        return linker.link(ordered, verify=verify)
+
+    def build_and_run(self) -> tuple[BuildReport, dict[str, DynExport]]:
+        report = self.build()
+        return report, self.link()

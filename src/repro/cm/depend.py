@@ -1,0 +1,197 @@
+"""Source-level dependency analysis.
+
+"The IRM analyzes dependencies at several levels.  ... it uses the free
+structure names to determine which units each unit depends on."  We parse
+each unit, collect the module-level names it mentions but does not
+define, and resolve them to the units that define them.
+
+Per the paper's footnote 4, the IRM requires separately compiled units to
+contain structures, functors and signatures -- not top-level values and
+types; :func:`analyze` enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.freevars import defined_module_names, module_level_mentions
+from repro.lang.parser import parse_program
+from repro.cm.project import Project
+
+
+class DependencyError(Exception):
+    """Unresolvable or cyclic inter-unit dependencies, or a unit that
+    violates the module-declarations-only rule."""
+
+
+#: Declarations allowed at the top level of a compilation unit.
+_MODULE_DECS = (ast.StructureDec, ast.SignatureDec, ast.FunctorDec,
+                ast.LocalDec, ast.FixityDec)
+
+
+@dataclass
+class DepGraph:
+    """The project's dependency structure.
+
+    Attributes:
+        deps: unit -> sorted list of units it imports.
+        dependents: unit -> sorted list of units importing it.
+        order: a topological order (imports before importers).
+        parsed: unit -> parsed declarations (reused by builders to avoid
+            a second parse; note builders re-parse at compile time anyway
+            to keep per-unit timings honest).
+    """
+
+    deps: dict[str, list[str]] = field(default_factory=dict)
+    dependents: dict[str, list[str]] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    parsed: dict[str, list[ast.Dec]] = field(default_factory=dict)
+    #: unit -> provider unit -> the "ns:name" keys it mentions; the smart
+    #: builder's per-name dependency data.
+    uses: dict[str, dict[str, set[str]]] = field(default_factory=dict)
+
+    def transitive_dependents(self, name: str) -> set[str]:
+        out: set[str] = set()
+        frontier = [name]
+        while frontier:
+            node = frontier.pop()
+            for dep in self.dependents.get(node, ()):  # direct importers
+                if dep not in out:
+                    out.add(dep)
+                    frontier.append(dep)
+        return out
+
+
+def analyze(project: Project, restrict: list[str] | None = None,
+            visible: dict[str, set[str]] | None = None,
+            cache: dict | None = None,
+            extra_providers: dict[str, str] | None = None) -> DepGraph:
+    """Build the dependency graph of ``project``.
+
+    Args:
+        project: the sources.
+        restrict: consider only these units (used by group builds).
+        visible: optional map unit -> set of units it may import; an edge
+            outside the set is a :class:`DependencyError` (group/library
+            visibility enforcement).
+        cache: optional per-builder dictionary; parse results and
+            name-mention analyses are memoized by source digest, so a
+            rebuild only re-analyzes edited files ("the dependency
+            information for each of the library's files [is] computed and
+            cached", §9).
+        extra_providers: module name -> providing unit, for units that
+            exist outside the project's sources (stable libraries); edges
+            to them appear in ``deps`` but not in the build ``order``.
+    """
+    names = restrict if restrict is not None else project.names()
+    graph = DepGraph()
+
+    #: module name -> defining unit
+    providers: dict[str, str] = dict(extra_providers or {})
+    external_units = set(providers.values())
+    mentions: dict[str, object] = {}
+    for name in names:
+        source = project.source(name)
+        cached = cache.get(name) if cache is not None else None
+        if cached is not None and cached[0] == source:
+            _src, decs, defined, mentioned = cached
+            graph.parsed[name] = decs
+            mentions[name] = mentioned
+            for _ns, module_names in defined.items():
+                for module_name in module_names:
+                    other = providers.get(module_name)
+                    if other is not None and other != name:
+                        raise DependencyError(
+                            f"module {module_name} is defined by both "
+                            f"{other} and {name}")
+                    providers[module_name] = name
+            continue
+        decs = parse_program(source)
+        _check_module_only(name, decs)
+        graph.parsed[name] = decs
+        defined = defined_module_names(decs)
+        for _ns, module_names in defined.items():
+            for module_name in module_names:
+                other = providers.get(module_name)
+                if other is not None and other != name:
+                    raise DependencyError(
+                        f"module {module_name} is defined by both {other} "
+                        f"and {name}")
+                providers[module_name] = name
+        mentioned = module_level_mentions(decs)
+        mentions[name] = mentioned
+        if cache is not None:
+            cache[name] = (source, decs, defined, mentioned)
+
+    for name in names:
+        m = mentions[name]
+        deps = set()
+        uses: dict[str, set[str]] = {}
+        for ns, wanted in (("structures", m.structures),
+                           ("signatures", m.signatures),
+                           ("functors", m.functors)):
+            for module_name in wanted:
+                provider = providers.get(module_name)
+                if provider is not None and provider != name:
+                    deps.add(provider)
+                    uses.setdefault(provider, set()).add(
+                        f"{ns}:{module_name}")
+        graph.uses[name] = uses
+        if visible is not None:
+            bad = deps - visible.get(name, set()) - external_units
+            if bad:
+                raise DependencyError(
+                    f"unit {name} imports {sorted(bad)} outside its "
+                    f"group's visibility")
+        graph.deps[name] = sorted(deps)
+        graph.dependents.setdefault(name, [])
+
+    for name in names:
+        for dep in graph.deps[name]:
+            graph.dependents.setdefault(dep, []).append(name)
+    for name in graph.dependents:
+        graph.dependents[name].sort()
+
+    graph.order = _topo_order(names, graph.deps)
+    return graph
+
+
+def _check_module_only(name: str, decs: list[ast.Dec]) -> None:
+    for dec in decs:
+        if not isinstance(dec, _MODULE_DECS):
+            raise DependencyError(
+                f"unit {name}: separately compiled units may contain only "
+                f"structure/signature/functor declarations, found "
+                f"{type(dec).__name__}")
+        if isinstance(dec, ast.LocalDec):
+            _check_module_only(name, dec.public)
+
+
+def _topo_order(names: list[str], deps: dict[str, list[str]]) -> list[str]:
+    """Stable topological sort (alphabetical among ready units).
+
+    Dependencies outside ``names`` (stable-library units, already live)
+    do not gate ordering.
+    """
+    name_set = set(names)
+    remaining = {
+        name: {d for d in deps[name] if d in name_set} for name in names
+    }
+    order: list[str] = []
+    ready = sorted(name for name, d in remaining.items() if not d)
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        del remaining[node]
+        newly = []
+        for name, d in remaining.items():
+            d.discard(node)
+            if not d and name not in ready:
+                newly.append(name)
+        if newly:
+            ready = sorted(ready + newly)
+    if remaining:
+        raise DependencyError(
+            f"dependency cycle among units: {sorted(remaining)}")
+    return order

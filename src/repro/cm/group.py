@@ -1,0 +1,123 @@
+"""Groups and libraries (§9).
+
+"A group of files forms the fundamental unit of the IRM ... Because the
+dependency information for each of the library's files [is] computed and
+cached, it is not time-consuming to do large builds."  A
+:class:`Group` names a set of member units plus the groups it imports;
+a member may only depend on units visible to its group -- its siblings
+and the members of directly imported groups.
+
+:class:`GroupBuilder` builds a group hierarchy bottom-up over a single
+shared session and bin store, so a library is compiled once no matter
+how many client groups import it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cm.base import BaseBuilder
+from repro.cm.manager import CutoffBuilder
+from repro.cm.project import Project
+from repro.cm.report import BuildReport
+from repro.cm.store import BinStore
+from repro.units.session import Session
+
+
+@dataclass
+class Group:
+    """A build group: members (unit names) plus imported groups."""
+
+    name: str
+    members: list[str]
+    imports: list["Group"] = field(default_factory=list)
+
+    def closure(self) -> list["Group"]:
+        """This group and everything it transitively imports, imports
+        first (a post-order without duplicates)."""
+        seen: dict[str, Group] = {}
+
+        def visit(group: Group) -> None:
+            if group.name in seen:
+                return
+            for sub in group.imports:
+                visit(sub)
+            seen[group.name] = group
+
+        visit(self)
+        return list(seen.values())
+
+    def visible_units(self) -> set[str]:
+        """Units a member of this group may import: siblings plus the
+        members of directly imported groups."""
+        out = set(self.members)
+        for sub in self.imports:
+            out.update(sub.members)
+        return out
+
+
+class GroupBuilder:
+    """Builds a group hierarchy with visibility enforcement.
+
+    One session and one bin store are shared by every group, so shared
+    libraries compile once; per-group reports are returned keyed by group
+    name.
+    """
+
+    def __init__(self, project: Project, builder_class=CutoffBuilder,
+                 store: BinStore | None = None,
+                 session: Session | None = None):
+        self.project = project
+        self.builder_class = builder_class
+        self.store = store if store is not None else BinStore()
+        self.session = session if session is not None else Session()
+        #: unit name -> live compiled unit, shared across group builds.
+        self._builder: BaseBuilder | None = None
+        self._stable_archives: list[bytes] = []
+
+    def add_stable_archive(self, blob: bytes) -> None:
+        """Make a stable library available to the group build."""
+        self._stable_archives.append(blob)
+
+    def build(self, root: Group) -> dict[str, BuildReport]:
+        """Build ``root`` and everything it imports, bottom-up."""
+        groups = root.closure()
+        all_units: list[str] = []
+        visibility: dict[str, set[str]] = {}
+        group_of: dict[str, str] = {}
+        for group in groups:
+            for member in group.members:
+                if member in group_of:
+                    raise ValueError(
+                        f"unit {member} belongs to both "
+                        f"{group_of[member]} and {group.name}")
+                group_of[member] = group.name
+                all_units.append(member)
+                visible = set(group.visible_units())
+                visible.discard(member)
+                visibility[member] = visible
+
+        builder = self.builder_class(
+            self.project, store=self.store, session=self.session,
+            restrict=all_units, visible=visibility)
+        for blob in self._stable_archives:
+            builder.add_stable_archive(blob)
+        self._builder = builder
+        report = builder.build()
+
+        by_group: dict[str, BuildReport] = {
+            group.name: BuildReport() for group in groups
+        }
+        for outcome in report.outcomes:
+            bucket = group_of.get(outcome.name, "(stable)")
+            by_group.setdefault(bucket, BuildReport()).add(outcome)
+        return by_group
+
+    @property
+    def units(self):
+        return self._builder.units if self._builder else {}
+
+    def link(self):
+        if self._builder is None:
+            raise RuntimeError("build a group first")
+        return self._builder.link()

@@ -1,0 +1,46 @@
+"""The classical baseline: timestamp-``make`` with transitive cascade.
+
+"The chief utility of this mechanism is ... recompilation" (§1): with no
+interface files and no interface hashes, a timestamp build system must
+assume that recompiling a unit may have changed its interface, and so
+must recompile every transitive dependent.  This builder models exactly
+that -- Feldman's make over the unit dependency DAG -- and is the
+baseline in benchmark T2.
+"""
+
+from __future__ import annotations
+
+from repro.cm.base import BaseBuilder
+from repro.cm.depend import DepGraph
+from repro.cm.report import UnitOutcome
+from repro.units.unit import CompiledUnit
+
+
+class TimestampBuilder(BaseBuilder):
+    """make(1) semantics: rebuild when the source is newer than the bin,
+    or when anything it depends on was rebuilt."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._rebuilt_this_pass: set[str] = set()
+
+    def build(self):
+        self._rebuilt_this_pass = set()
+        return super().build()
+
+    def process(self, name: str, graph: DepGraph,
+                imports: list[CompiledUnit]) -> UnitOutcome:
+        record = self.store.get(name)
+        if record is None:
+            outcome = self.compile(name, imports, "no bin file")
+        elif self.project.version(name) > record.built_at:
+            outcome = self.compile(name, imports, "source newer than bin")
+        elif any(dep in self._rebuilt_this_pass
+                 for dep in graph.deps[name]):
+            outcome = self.compile(name, imports, "a dependency was rebuilt")
+        elif self.is_live_and_current(name, record):
+            return UnitOutcome(name, "cached", "up to date")
+        else:
+            return self.load(name, record, imports)
+        self._rebuilt_this_pass.add(name)
+        return outcome

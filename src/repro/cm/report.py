@@ -1,0 +1,69 @@
+"""Build reports: what a builder did and why."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units.unit import PhaseTimes
+
+
+@dataclass
+class UnitOutcome:
+    """What happened to one unit during a build.
+
+    action is one of:
+        "compiled" -- source was (re)compiled;
+        "loaded"   -- bin file rehydrated into this session;
+        "cached"   -- already live in memory and current.
+    """
+
+    name: str
+    action: str
+    reason: str = ""
+    pid_changed: bool = False
+    times: PhaseTimes = field(default_factory=PhaseTimes)
+
+
+@dataclass
+class BuildReport:
+    outcomes: list[UnitOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def add(self, outcome: UnitOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def _by_action(self, action: str) -> list[str]:
+        return [o.name for o in self.outcomes if o.action == action]
+
+    @property
+    def compiled(self) -> list[str]:
+        return self._by_action("compiled")
+
+    @property
+    def loaded(self) -> list[str]:
+        return self._by_action("loaded")
+
+    @property
+    def cached(self) -> list[str]:
+        return self._by_action("cached")
+
+    @property
+    def n_compiled(self) -> int:
+        return len(self.compiled)
+
+    def cutoffs(self) -> list[str]:
+        """Units recompiled whose interface pid did NOT change -- each one
+        is a place where the cascade stopped."""
+        return [
+            o.name for o in self.outcomes
+            if o.action == "compiled" and not o.pid_changed
+        ]
+
+    def summary(self) -> str:
+        return (f"{len(self.compiled)} compiled, {len(self.loaded)} loaded, "
+                f"{len(self.cached)} cached"
+                + (f" (cutoff at: {', '.join(self.cutoffs())})"
+                   if self.cutoffs() else ""))
+
+    def __repr__(self) -> str:
+        return f"<build report: {self.summary()}>"

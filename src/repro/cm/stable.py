@@ -1,0 +1,102 @@
+"""Stable libraries: a built group frozen into one archive.
+
+Section 9 describes libraries whose "dependency information ... [is]
+computed and cached, [so] it is not time-consuming to do large builds";
+SML/NJ's CM later took this to its conclusion with *stable libraries* --
+a whole library packed, post-build, into a single file that clients load
+without ever seeing the library's sources.  This module implements that:
+
+- :func:`stabilize` packs named units out of a built builder into one
+  archive: per-unit header (name, export pid, import pids, the module
+  names it provides) plus the dehydrated payloads, in dependency order.
+- :meth:`repro.cm.base.BaseBuilder.add_stable_archive` registers an
+  archive with a builder; its units are rehydrated on the next build and
+  act as providers for source units, no sources required.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+MAGIC = b"SMLSTABLE1\n"
+
+
+@dataclass
+class StableUnit:
+    name: str
+    export_pid: str
+    imports: list[tuple[str, str]]
+    provides: list[str]
+    payload: bytes
+
+
+def stabilize(builder, names: list[str]) -> bytes:
+    """Pack the named (already built) units into a stable archive.
+
+    Units are written in the builder's dependency order; every import of
+    a packed unit must itself be packed (stable libraries are closed).
+    """
+    graph = builder.last_graph
+    if graph is None:
+        raise ValueError("build before stabilizing")
+    chosen = set(names)
+    ordered = [n for n in graph.order if n in chosen]
+    missing = chosen - set(ordered)
+    if missing:
+        raise ValueError(f"units not built: {sorted(missing)}")
+    entries = []
+    payloads = []
+    from repro.lang.freevars import defined_module_names
+
+    for name in ordered:
+        unit = builder.units[name]
+        for import_name, _pid in unit.imports:
+            if import_name not in chosen:
+                raise ValueError(
+                    f"stable archive not closed: {name} imports "
+                    f"{import_name}, which is outside the archive")
+        defined = defined_module_names(unit.code)
+        provides = sorted(
+            set().union(*defined.values())) if defined else []
+        entries.append({
+            "name": name,
+            "export_pid": unit.export_pid,
+            "imports": unit.imports,
+            "provides": provides,
+            "payload_len": len(unit.payload),
+        })
+        payloads.append(unit.payload)
+    header = json.dumps({"version": 1, "units": entries}).encode()
+    out = bytearray(MAGIC)
+    out.extend(len(header).to_bytes(8, "big"))
+    out.extend(header)
+    for payload in payloads:
+        out.extend(payload)
+    return bytes(out)
+
+
+def parse_archive(blob: bytes) -> list[StableUnit]:
+    if not blob.startswith(MAGIC):
+        raise ValueError("not a stable archive")
+    offset = len(MAGIC)
+    header_len = int.from_bytes(blob[offset:offset + 8], "big")
+    offset += 8
+    header = json.loads(blob[offset:offset + header_len])
+    offset += header_len
+    if header.get("version") != 1:
+        raise ValueError("unsupported stable-archive version")
+    units = []
+    for entry in header["units"]:
+        payload = blob[offset:offset + entry["payload_len"]]
+        offset += entry["payload_len"]
+        units.append(StableUnit(
+            name=entry["name"],
+            export_pid=entry["export_pid"],
+            imports=[tuple(pair) for pair in entry["imports"]],
+            provides=list(entry["provides"]),
+            payload=payload,
+        ))
+    if offset != len(blob):
+        raise ValueError("trailing bytes in stable archive")
+    return units

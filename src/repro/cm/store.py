@@ -1,0 +1,111 @@
+"""The bin-file store: persistent compilation results.
+
+A :class:`BinRecord` is one bin file: header (name, source digest, export
+pid, import pid list, logical build time, builder-specific extras) plus
+the dehydrated payload.  :class:`BinStore` is the ``.bin`` directory; it
+survives "sessions" (builder instances), which is the whole point --
+cross-session reuse is what dehydration buys.
+
+``save_directory``/``load_directory`` give the on-disk form used by the
+examples (header as JSON, payload as raw bytes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+#: On-disk header format version; bump when the pickle registry or the
+#: record layout changes incompatibly.  Mismatched records are skipped at
+#: load (treated as cache misses).
+FORMAT_VERSION = 2
+
+
+@dataclass
+class BinRecord:
+    name: str
+    source_digest: str
+    export_pid: str
+    imports: list[tuple[str, str]]
+    payload: bytes
+    built_at: int = 0  # logical clock at build time (make-level data)
+    extra: dict = field(default_factory=dict)
+
+
+class BinStore:
+    """A collection of bin records, keyed by unit name."""
+
+    def __init__(self):
+        self._records: dict[str, BinRecord] = {}
+        #: Cumulative bytes written, for benchmark reporting.
+        self.bytes_written = 0
+
+    def get(self, name: str) -> BinRecord | None:
+        return self._records.get(name)
+
+    def put(self, record: BinRecord) -> None:
+        self._records[record.name] = record
+        self.bytes_written += len(record.payload)
+
+    def remove(self, name: str) -> None:
+        self._records.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def total_payload_bytes(self) -> int:
+        return sum(len(r.payload) for r in self._records.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- disk persistence ---------------------------------------------------
+
+    def save_directory(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+        for record in self._records.values():
+            base = os.path.join(path, record.name)
+            header = {
+                "format": FORMAT_VERSION,
+                "name": record.name,
+                "source_digest": record.source_digest,
+                "export_pid": record.export_pid,
+                "imports": record.imports,
+                "built_at": record.built_at,
+                "extra": record.extra,
+            }
+            with open(base + ".bin.json", "w") as f:
+                json.dump(header, f, indent=1)
+            with open(base + ".bin", "wb") as f:
+                f.write(record.payload)
+
+    @classmethod
+    def load_directory(cls, path: str) -> "BinStore":
+        store = cls()
+        for entry in sorted(os.listdir(path)):
+            if not entry.endswith(".bin.json"):
+                continue
+            with open(os.path.join(path, entry)) as f:
+                header = json.load(f)
+            if header.get("format") != FORMAT_VERSION:
+                continue  # stale format: recompile from source
+            with open(os.path.join(path, header["name"] + ".bin"), "rb") as f:
+                payload = f.read()
+            store.put(BinRecord(
+                name=header["name"],
+                source_digest=header["source_digest"],
+                export_pid=header["export_pid"],
+                imports=[tuple(pair) for pair in header["imports"]],
+                payload=payload,
+                built_at=header["built_at"],
+                extra=header.get("extra", {}),
+            ))
+        store.bytes_written = 0
+        return store

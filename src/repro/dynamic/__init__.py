@@ -1,0 +1,35 @@
+"""Dynamic semantics: runtime values and the evaluator.
+
+In the paper's model a compiled unit's ``code`` is machine code taking a
+vector of imported values to a vector of exported values.  Our "machine
+code" is the elaborated AST, and "running" it is tree-walking evaluation;
+the import/export vector discipline is enforced one level up, in
+:mod:`repro.units`.
+"""
+
+from repro.dynamic.values import (
+    Char,
+    DynEnv,
+    Ref,
+    SMLRaise,
+    VCon,
+    VExn,
+    VStruct,
+    Word,
+    format_value,
+)
+from repro.dynamic.evaluate import eval_decs, eval_exp
+
+__all__ = [
+    "Char",
+    "Word",
+    "Ref",
+    "VCon",
+    "VExn",
+    "VStruct",
+    "DynEnv",
+    "SMLRaise",
+    "format_value",
+    "eval_decs",
+    "eval_exp",
+]

@@ -1,0 +1,408 @@
+"""Dynamic meanings of the primitives declared in
+:mod:`repro.semant.prim`.
+
+The primitive exceptions are module-level singletons so that every unit
+in a session raises and handles *the same* ``Div``, ``Fail`` and friends.
+"""
+
+from __future__ import annotations
+
+from repro.dynamic.values import (
+    Array,
+    Char,
+    DynEnv,
+    ExnCon,
+    Prim,
+    Ref,
+    SMLRaise,
+    VCon,
+    Vector,
+    VExn,
+    Word,
+    python_list,
+    sml_list,
+)
+
+# -- primitive exceptions ----------------------------------------------------
+
+EXN_FAIL = ExnCon("Fail", has_arg=True)
+EXN_DIV = ExnCon("Div", has_arg=False)
+EXN_OVERFLOW = ExnCon("Overflow", has_arg=False)
+EXN_SUBSCRIPT = ExnCon("Subscript", has_arg=False)
+EXN_SIZE = ExnCon("Size", has_arg=False)
+EXN_CHR = ExnCon("Chr", has_arg=False)
+EXN_DOMAIN = ExnCon("Domain", has_arg=False)
+EXN_MATCH = ExnCon("Match", has_arg=False)
+EXN_BIND = ExnCon("Bind", has_arg=False)
+EXN_EMPTY = ExnCon("Empty", has_arg=False)
+EXN_OPTION = ExnCon("Option", has_arg=False)
+
+PRIM_EXN_VALUES = {
+    "Fail": EXN_FAIL,
+    "Div": EXN_DIV,
+    "Overflow": EXN_OVERFLOW,
+    "Subscript": EXN_SUBSCRIPT,
+    "Size": EXN_SIZE,
+    "Chr": EXN_CHR,
+    "Domain": EXN_DOMAIN,
+    "Match": EXN_MATCH,
+    "Bind": EXN_BIND,
+    "Empty": EXN_EMPTY,
+    "Option": EXN_OPTION,
+}
+
+
+def raise_sml(con: ExnCon, arg=None):
+    raise SMLRaise(VExn(con, arg))
+
+
+def _arith(op):
+    """Overloaded binary arithmetic: int/real direct, word on bits."""
+
+    def run(pair):
+        a, b = pair
+        if isinstance(a, Word):
+            return Word(op(a.bits, b.bits) & _WORD_MASK)
+        return op(a, b)
+
+    return run
+
+
+def _compare_op(op):
+    """Overloaded comparison: int/real/string direct, char/word unboxed."""
+
+    def run(pair):
+        a, b = pair
+        if isinstance(a, Char):
+            return op(a.ch, b.ch)
+        if isinstance(a, Word):
+            return op(a.bits, b.bits)
+        return op(a, b)
+
+    return run
+
+
+def _div(pair):
+    a, b = pair
+    if isinstance(a, Word):
+        if b.bits == 0:
+            raise_sml(EXN_DIV)
+        return Word(a.bits // b.bits)
+    if b == 0:
+        raise_sml(EXN_DIV)
+    return a // b
+
+
+def _mod(pair):
+    a, b = pair
+    if isinstance(a, Word):
+        if b.bits == 0:
+            raise_sml(EXN_DIV)
+        return Word(a.bits % b.bits)
+    if b == 0:
+        raise_sml(EXN_DIV)
+    return a % b
+
+
+def _quot(pair):
+    a, b = pair
+    if b == 0:
+        raise_sml(EXN_DIV)
+    return int(a / b)  # truncate toward zero
+
+
+def _rem(pair):
+    a, b = pair
+    if b == 0:
+        raise_sml(EXN_DIV)
+    return a - b * int(a / b)
+
+
+def _real_div(pair):
+    a, b = pair
+    if b == 0.0:
+        raise_sml(EXN_DIV)
+    return a / b
+
+
+def _sml_equal(a, b) -> bool:
+    """Polymorphic (structural) equality; refs and arrays compare by
+    identity."""
+    if isinstance(a, Ref) or isinstance(b, Ref):
+        return a is b
+    if isinstance(a, Array) or isinstance(b, Array):
+        return a is b
+    if isinstance(a, Vector) and isinstance(b, Vector):
+        return len(a.items) == len(b.items) and all(
+            _sml_equal(x, y) for x, y in zip(a.items, b.items))
+    if isinstance(a, VCon) and isinstance(b, VCon):
+        if a.name != b.name:
+            return False
+        if a.arg is None or b.arg is None:
+            return a.arg is None and b.arg is None
+        return _sml_equal(a.arg, b.arg)
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            _sml_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _sml_equal(a[k], b[k]) for k in a)
+    return a == b
+
+
+def _substring(triple):
+    s, start, length = triple
+    if start < 0 or length < 0 or start + length > len(s):
+        raise_sml(EXN_SUBSCRIPT)
+    return s[start:start + length]
+
+
+def _chr(code):
+    if code < 0 or code > 255:
+        raise_sml(EXN_CHR)
+    return Char(chr(code))
+
+
+def _string_sub(pair):
+    s, i = pair
+    if i < 0 or i >= len(s):
+        raise_sml(EXN_SUBSCRIPT)
+    return Char(s[i])
+
+
+def _int_from_string(s):
+    text = s.strip().replace("~", "-")
+    try:
+        return VCon("SOME", int(text))
+    except ValueError:
+        return VCon("nil") if False else VCon("NONE")
+
+
+def _compare(a, b) -> VCon:
+    if a < b:
+        return VCon("LESS")
+    if a > b:
+        return VCon("GREATER")
+    return VCon("EQUAL")
+
+
+def _real_to_string(x: float) -> str:
+    return repr(x).replace("-", "~")
+
+
+def _sqrt(x: float) -> float:
+    if x < 0:
+        raise_sml(EXN_DOMAIN)
+    return x ** 0.5
+
+
+def make_print(sink) -> Prim:
+    return Prim("print", lambda s: (sink(s), ())[1])
+
+
+#: name -> python implementation, for every primitive in
+#: ``prim.PRIM_VAL_TYPES`` and ``prim.PRIM_HIDDEN_TYPES``.
+def primitive_impls(print_sink=None) -> dict[str, Prim]:
+    sink = print_sink if print_sink is not None else _default_sink
+
+    impls = {
+        # Overloaded arithmetic: dispatch on the runtime representation
+        # (int/float direct, Word via its bit field).
+        "+": _arith(lambda a, b: a + b),
+        "-": _arith(lambda a, b: a - b),
+        "*": _arith(lambda a, b: a * b),
+        "div": _div,
+        "mod": _mod,
+        "/": _real_div,
+        "~": lambda n: -n,
+        "abs": abs,
+        "<": _compare_op(lambda a, b: a < b),
+        "<=": _compare_op(lambda a, b: a <= b),
+        ">": _compare_op(lambda a, b: a > b),
+        ">=": _compare_op(lambda a, b: a >= b),
+        "=": lambda p: _sml_equal(p[0], p[1]),
+        "<>": lambda p: not _sml_equal(p[0], p[1]),
+        "^": lambda p: p[0] + p[1],
+        "size": len,
+        "str": lambda c: c.ch,
+        "chr": _chr,
+        "ord": lambda c: ord(c.ch),
+        "substring": _substring,
+        "implode": lambda lst: "".join(c.ch for c in python_list(lst)),
+        "explode": lambda s: sml_list(Char(c) for c in s),
+        "concat": lambda lst: "".join(python_list(lst)),
+        "ref": Ref,
+        "!": lambda r: r.value,
+        ":=": lambda p: (setattr(p[0], "value", p[1]), ())[1],
+        "print": lambda s: (sink(s), ())[1],
+        "ignore": lambda _v: (),
+        "exnName": lambda e: e.con.name,
+        "Int.toString": lambda n: str(n) if n >= 0 else "~" + str(-n),
+        "Int.fromString": _int_from_string,
+        "Int.compare": lambda p: _compare(p[0], p[1]),
+        "Int.min": lambda p: min(p),
+        "Int.max": lambda p: max(p),
+        "Int.quot": _quot,
+        "Int.rem": _rem,
+        "Real.+": lambda p: p[0] + p[1],
+        "Real.-": lambda p: p[0] - p[1],
+        "Real.*": lambda p: p[0] * p[1],
+        "Real./": _real_div,
+        "Real.~": lambda x: -x,
+        "Real.<": lambda p: p[0] < p[1],
+        "Real.<=": lambda p: p[0] <= p[1],
+        "Real.>": lambda p: p[0] > p[1],
+        "Real.>=": lambda p: p[0] >= p[1],
+        "Real.==": lambda p: p[0] == p[1],
+        "Real.fromInt": float,
+        "Real.floor": lambda x: int(x // 1),
+        "Real.ceil": lambda x: int(-((-x) // 1)),
+        "Real.round": lambda x: round(x),
+        "Real.trunc": int,
+        "Real.toString": _real_to_string,
+        "Real.sqrt": _sqrt,
+        "String.<": lambda p: p[0] < p[1],
+        "String.<=": lambda p: p[0] <= p[1],
+        "String.>": lambda p: p[0] > p[1],
+        "String.>=": lambda p: p[0] >= p[1],
+        "String.compare": lambda p: _compare(p[0], p[1]),
+        "String.sub": _string_sub,
+        "Char.<": lambda p: p[0].ch < p[1].ch,
+        "Char.<=": lambda p: p[0].ch <= p[1].ch,
+        "Char.compare": lambda p: _compare(p[0].ch, p[1].ch),
+        "Word.+": lambda p: Word((p[0].bits + p[1].bits) & _WORD_MASK),
+        "Word.-": lambda p: Word((p[0].bits - p[1].bits) & _WORD_MASK),
+        "Word.*": lambda p: Word((p[0].bits * p[1].bits) & _WORD_MASK),
+        "Word.andb": lambda p: Word(p[0].bits & p[1].bits),
+        "Word.orb": lambda p: Word(p[0].bits | p[1].bits),
+        "Word.xorb": lambda p: Word(p[0].bits ^ p[1].bits),
+        "Word.toInt": lambda w: w.bits,
+        "Word.fromInt": lambda n: Word(n & _WORD_MASK),
+        "Vector.fromList": lambda lst: Vector(python_list(lst)),
+        "Vector.toList": lambda v: sml_list(v.items),
+        "Vector.tabulate": _vector_tabulate,
+        "Vector.length": lambda v: len(v.items),
+        "Vector.sub": _vector_sub,
+        "Vector.concat": lambda lst: Vector(
+            x for v in python_list(lst) for x in v.items),
+        "Vector.map": lambda f: Prim(
+            "Vector.map'", lambda v: Vector(_apply(f, x)
+                                            for x in v.items)),
+        "Vector.foldl": _vector_foldl,
+        "Array.array": _array_make,
+        "Array.fromList": lambda lst: Array(python_list(lst)),
+        "Array.tabulate": _array_tabulate,
+        "Array.length": lambda a: len(a.items),
+        "Array.sub": _array_sub,
+        "Array.update": _array_update,
+        "Array.vector": lambda a: Vector(a.items),
+    }
+    return {name: Prim(name, fn) for name, fn in impls.items()}
+
+
+def _apply(fn, arg):
+    from repro.dynamic.evaluate import apply_value
+
+    return apply_value(fn, arg)
+
+
+def _vector_tabulate(pair):
+    n, fn = pair
+    if n < 0:
+        raise_sml(EXN_SIZE)
+    return Vector(_apply(fn, i) for i in range(n))
+
+
+def _vector_sub(pair):
+    v, i = pair
+    if i < 0 or i >= len(v.items):
+        raise_sml(EXN_SUBSCRIPT)
+    return v.items[i]
+
+
+def _vector_foldl(fn):
+    def with_base(base):
+        def run(v):
+            acc = base
+            for x in v.items:
+                acc = _apply(fn, (x, acc))
+            return acc
+
+        return Prim("Vector.foldl''", run)
+
+    return Prim("Vector.foldl'", with_base)
+
+
+def _array_make(pair):
+    n, init = pair
+    if n < 0:
+        raise_sml(EXN_SIZE)
+    return Array([init] * n)
+
+
+def _array_tabulate(pair):
+    n, fn = pair
+    if n < 0:
+        raise_sml(EXN_SIZE)
+    return Array([_apply(fn, i) for i in range(n)])
+
+
+def _array_sub(pair):
+    a, i = pair
+    if i < 0 or i >= len(a.items):
+        raise_sml(EXN_SUBSCRIPT)
+    return a.items[i]
+
+
+def _array_update(triple):
+    a, i, value = triple
+    if i < 0 or i >= len(a.items):
+        raise_sml(EXN_SUBSCRIPT)
+    a.items[i] = value
+    return ()
+
+
+_WORD_MASK = (1 << 31) - 1
+
+
+def _default_sink(text: str) -> None:
+    print(text, end="")
+
+
+def primitive_dynenv(print_sink=None) -> DynEnv:
+    """The dynamic environment matching
+    :func:`repro.semant.prim.primitive_static_env`."""
+    from repro.dynamic.values import VStruct
+
+    env = DynEnv()
+    impls = primitive_impls(print_sink)
+    structures: dict[str, VStruct] = {}
+    for dotted, prim in impls.items():
+        if "." in dotted:
+            struct_name, member = dotted.split(".", 1)
+            struct = structures.setdefault(struct_name, VStruct(struct_name))
+            struct.values[member] = prim
+        else:
+            env.values[dotted] = prim
+    env.structures.update(structures)
+    for name, con in PRIM_EXN_VALUES.items():
+        env.values[name] = con
+    env.values.update(pervasive_constructor_values())
+    return env
+
+
+def pervasive_constructor_values() -> dict[str, object]:
+    """Dynamic bindings of the pervasive data constructors."""
+    from repro.dynamic.values import ConFun
+
+    return {
+        "true": True,
+        "false": False,
+        "nil": VCon("nil"),
+        "::": ConFun("::"),
+        "NONE": VCon("NONE"),
+        "SOME": ConFun("SOME"),
+        "LESS": VCon("LESS"),
+        "EQUAL": VCon("EQUAL"),
+        "GREATER": VCon("GREATER"),
+    }

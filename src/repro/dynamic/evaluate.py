@@ -1,0 +1,571 @@
+"""The evaluator: dynamic semantics over the elaborated AST.
+
+Evaluation requires the AST to have been elaborated (constructor
+annotations set); evaluating an un-elaborated AST raises AssertionError
+on the first ambiguous name.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.dynamic.builtins import EXN_BIND, EXN_MATCH, raise_sml
+
+# A tree-walking interpreter spends several Python frames per SML call;
+# CPython >= 3.11 heap-allocates frames, so a high recursion limit is
+# safe and lets SML programs recurse ~15k deep (genuinely runaway
+# recursion still surfaces as RecursionError, reported by the REPL as a
+# stack overflow).
+if sys.getrecursionlimit() < 120_000:
+    sys.setrecursionlimit(120_000)
+from repro.dynamic.values import (
+    Char,
+    ClauseClosure,
+    Closure,
+    ConFun,
+    DynEnv,
+    ExnCon,
+    Prim,
+    SMLRaise,
+    VCon,
+    VExn,
+    VFunctor,
+    VStruct,
+    Word,
+)
+from repro.lang import ast
+
+
+def eval_decs(decs: list[ast.Dec], env: DynEnv) -> None:
+    """Evaluate declarations, binding their names into ``env``'s frame.
+
+    Each declaration is evaluated in a fresh frame chained over its
+    predecessors, so closures capture the bindings *as of their own
+    declaration* -- a later rebinding of ``f`` must not change what an
+    earlier closure sees (static scoping).
+
+    The chain is anchored *past* ``env``'s own (empty) frame, so that the
+    final merge of all bindings into ``env`` -- the caller's export
+    record -- cannot retroactively shadow imported names inside closures.
+    """
+    anchor = DynEnv(parent=env.parent) if env.is_empty_frame() else env
+    current: DynEnv = anchor
+    frames: list[DynEnv] = []
+    for dec in decs:
+        current = current.child()
+        eval_dec(dec, current)
+        frames.append(current)
+    for frame in frames:  # oldest first: later bindings win
+        env.values.update(frame.values)
+        env.structures.update(frame.structures)
+        env.functors.update(frame.functors)
+
+
+def eval_exp(exp: ast.Exp, env: DynEnv):
+    return _EXP_EVAL[type(exp)](exp, env)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def _ev_int(exp: ast.IntExp, env):
+    return exp.value
+
+
+def _ev_word(exp: ast.WordExp, env):
+    return Word(exp.value)
+
+
+def _ev_real(exp: ast.RealExp, env):
+    return exp.value
+
+
+def _ev_string(exp: ast.StringExp, env):
+    return exp.value
+
+
+def _ev_char(exp: ast.CharExp, env):
+    return Char(exp.value)
+
+
+def _ev_var(exp: ast.VarExp, env: DynEnv):
+    info = exp.info
+    if isinstance(info, ast.ConInfo):
+        if info.is_exn:
+            con = env.lookup_value_path(exp.path)
+            assert isinstance(con, ExnCon), exp.path
+            return con if con.has_arg else VExn(con)
+        return _con_value(info)
+    value = env.lookup_value_path(exp.path)
+    if value is None:
+        raise AssertionError(f"dynamic unbound {ast.path_str(exp.path)} "
+                             f"(line {exp.line})")
+    return value
+
+
+def _con_value(info: ast.ConInfo):
+    if info.name == "true":
+        return True
+    if info.name == "false":
+        return False
+    if info.has_arg:
+        return ConFun(info.name)
+    return VCon(info.name)
+
+
+def _ev_selector(exp: ast.SelectorExp, env):
+    label = exp.label
+    return Prim(f"#{label}", lambda v: _field(v, label))
+
+
+def _field(value, label: str):
+    if isinstance(value, tuple):
+        return value[int(label) - 1]
+    return value[label]
+
+
+def _ev_tuple(exp: ast.TupleExp, env):
+    return tuple(eval_exp(e, env) for e in exp.parts)
+
+
+def _ev_record(exp: ast.RecordExp, env):
+    fields = {label: eval_exp(e, env) for label, e in exp.fields}
+    if _is_tuple_record(fields):
+        return tuple(fields[str(i + 1)] for i in range(len(fields)))
+    return fields
+
+
+def _is_tuple_record(fields: dict) -> bool:
+    return len(fields) > 0 and all(
+        label.isdigit() for label in fields
+    ) and sorted(int(label) for label in fields) == list(
+        range(1, len(fields) + 1))
+
+
+def _ev_list(exp: ast.ListExp, env):
+    out = VCon("nil")
+    for e in reversed(exp.parts):
+        out = VCon("::", (eval_exp(e, env), out))
+    return out
+
+
+def _ev_seq(exp: ast.SeqExp, env):
+    value = ()
+    for e in exp.parts:
+        value = eval_exp(e, env)
+    return value
+
+
+def _ev_app(exp: ast.AppExp, env):
+    fn = eval_exp(exp.fn, env)
+    arg = eval_exp(exp.arg, env)
+    return apply_value(fn, arg)
+
+
+def apply_value(fn, arg):
+    """Apply a function value to an argument value."""
+    while True:
+        if isinstance(fn, Prim):
+            return fn.fn(arg)
+        if isinstance(fn, Closure):
+            for pat, body in fn.rules:
+                bindings: dict[str, object] = {}
+                if match_pat(pat, arg, bindings, fn.env):
+                    frame = fn.env.child()
+                    frame.values.update(bindings)
+                    return eval_exp(body, frame)
+            raise_sml(EXN_MATCH)
+        if isinstance(fn, ClauseClosure):
+            collected = fn.collected + (arg,)
+            if len(collected) < fn.arity:
+                return ClauseClosure(fn.name, fn.clauses, fn.arity, fn.env,
+                                     collected)
+            return _apply_clauses(fn, collected)
+        if isinstance(fn, ConFun):
+            return VCon(fn.name, arg)
+        if isinstance(fn, ExnCon):
+            return VExn(fn, arg)
+        raise AssertionError(f"application of non-function {fn!r}")
+
+
+def _apply_clauses(fn: ClauseClosure, args: tuple):
+    for clause in fn.clauses:
+        bindings: dict[str, object] = {}
+        if all(
+            match_pat(pat, arg, bindings, fn.env)
+            for pat, arg in zip(clause.pats, args)
+        ):
+            frame = fn.env.child()
+            frame.values.update(bindings)
+            return eval_exp(clause.body, frame)
+    raise_sml(EXN_MATCH)
+
+
+def _ev_fn(exp: ast.FnExp, env):
+    return Closure(exp.rules, env)
+
+
+def _ev_let(exp: ast.LetExp, env):
+    frame = env.child()
+    eval_decs(exp.decs, frame)
+    return eval_exp(exp.body, frame)
+
+
+def _ev_if(exp: ast.IfExp, env):
+    if eval_exp(exp.cond, env):
+        return eval_exp(exp.then, env)
+    return eval_exp(exp.els, env)
+
+
+def _ev_case(exp: ast.CaseExp, env):
+    value = eval_exp(exp.scrutinee, env)
+    for pat, body in exp.rules:
+        bindings: dict[str, object] = {}
+        if match_pat(pat, value, bindings, env):
+            frame = env.child()
+            frame.values.update(bindings)
+            return eval_exp(body, frame)
+    raise_sml(EXN_MATCH)
+
+
+def _ev_andalso(exp: ast.AndalsoExp, env):
+    return bool(eval_exp(exp.left, env)) and bool(eval_exp(exp.right, env))
+
+
+def _ev_orelse(exp: ast.OrelseExp, env):
+    return bool(eval_exp(exp.left, env)) or bool(eval_exp(exp.right, env))
+
+
+def _ev_while(exp: ast.WhileExp, env):
+    while eval_exp(exp.cond, env):
+        eval_exp(exp.body, env)
+    return ()
+
+
+def _ev_raise(exp: ast.RaiseExp, env):
+    packet = eval_exp(exp.exn, env)
+    assert isinstance(packet, VExn), packet
+    raise SMLRaise(packet)
+
+
+def _ev_handle(exp: ast.HandleExp, env):
+    try:
+        return eval_exp(exp.body, env)
+    except SMLRaise as raised:
+        for pat, body in exp.rules:
+            bindings: dict[str, object] = {}
+            if match_pat(pat, raised.packet, bindings, env):
+                frame = env.child()
+                frame.values.update(bindings)
+                return eval_exp(body, frame)
+        raise
+
+
+def _ev_typed(exp: ast.TypedExp, env):
+    return eval_exp(exp.exp, env)
+
+
+_EXP_EVAL = {
+    ast.IntExp: _ev_int,
+    ast.WordExp: _ev_word,
+    ast.RealExp: _ev_real,
+    ast.StringExp: _ev_string,
+    ast.CharExp: _ev_char,
+    ast.VarExp: _ev_var,
+    ast.SelectorExp: _ev_selector,
+    ast.TupleExp: _ev_tuple,
+    ast.RecordExp: _ev_record,
+    ast.ListExp: _ev_list,
+    ast.SeqExp: _ev_seq,
+    ast.AppExp: _ev_app,
+    ast.FnExp: _ev_fn,
+    ast.LetExp: _ev_let,
+    ast.IfExp: _ev_if,
+    ast.CaseExp: _ev_case,
+    ast.AndalsoExp: _ev_andalso,
+    ast.OrelseExp: _ev_orelse,
+    ast.WhileExp: _ev_while,
+    ast.RaiseExp: _ev_raise,
+    ast.HandleExp: _ev_handle,
+    ast.TypedExp: _ev_typed,
+}
+
+
+# ---------------------------------------------------------------------------
+# Pattern matching
+# ---------------------------------------------------------------------------
+
+
+def match_pat(pat: ast.Pat, value, out: dict, env: DynEnv) -> bool:
+    """Try to match ``value``; on success the bindings are in ``out``.
+
+    ``env`` resolves exception-constructor patterns to their generative
+    identities at match time.
+    """
+    if isinstance(pat, ast.WildPat):
+        return True
+    if isinstance(pat, ast.VarPat):
+        info = pat.info
+        if isinstance(info, ast.ConInfo):
+            return _match_con(info, (pat.name,), None, value, out, env)
+        out[pat.name] = value
+        return True
+    if isinstance(pat, ast.ConstPat):
+        if pat.kind == "char":
+            return isinstance(value, Char) and value.ch == pat.value
+        if pat.kind == "word":
+            return isinstance(value, Word) and value.bits == pat.value
+        return value == pat.value
+    if isinstance(pat, ast.ConPat):
+        info = pat.info
+        assert isinstance(info, ast.ConInfo), pat
+        return _match_con(info, pat.path, pat.arg, value, out, env)
+    if isinstance(pat, ast.TuplePat):
+        if not pat.parts:
+            return True  # unit
+        assert isinstance(value, tuple), value
+        return all(
+            match_pat(p, v, out, env) for p, v in zip(pat.parts, value))
+    if isinstance(pat, ast.RecordPat):
+        for label, p in pat.fields:
+            if not match_pat(p, _field(value, label), out, env):
+                return False
+        return True
+    if isinstance(pat, ast.ListPat):
+        node = value
+        for p in pat.parts:
+            if not (isinstance(node, VCon) and node.name == "::"):
+                return False
+            head, node = node.arg
+            if not match_pat(p, head, out, env):
+                return False
+        return isinstance(node, VCon) and node.name == "nil"
+    if isinstance(pat, ast.AsPat):
+        out[pat.name] = value
+        return match_pat(pat.pat, value, out, env)
+    if isinstance(pat, ast.TypedPat):
+        return match_pat(pat.pat, value, out, env)
+    raise AssertionError(f"unknown pattern {pat!r}")
+
+
+def _match_con(info: ast.ConInfo, path, arg_pat, value, out: dict,
+               env: DynEnv) -> bool:
+    if info.is_exn:
+        con = env.lookup_value_path(path)
+        assert isinstance(con, ExnCon), path
+        if not (isinstance(value, VExn) and value.con.exn_id == con.exn_id):
+            return False
+        if arg_pat is None:
+            return True
+        return match_pat(arg_pat, value.arg, out, env)
+    if info.name == "true" or info.name == "false":
+        return value is (info.name == "true")
+    if info.name == "ref":
+        from repro.dynamic.values import Ref
+
+        assert isinstance(value, Ref), value
+        return match_pat(arg_pat, value.value, out, env)
+    if not (isinstance(value, VCon) and value.name == info.name):
+        return False
+    if arg_pat is None:
+        return True
+    return match_pat(arg_pat, value.arg, out, env)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+def eval_dec(dec: ast.Dec, env: DynEnv) -> None:
+    handler = _DEC_EVAL.get(type(dec))
+    if handler is None:
+        raise AssertionError(f"unknown declaration {dec!r}")
+    handler(dec, env)
+
+
+def _ev_val_dec(dec: ast.ValDec, env: DynEnv) -> None:
+    for pat, exp in dec.bindings:
+        value = eval_exp(exp, env)
+        bindings: dict[str, object] = {}
+        if not match_pat(pat, value, bindings, env):
+            raise_sml(EXN_BIND)
+        env.values.update(bindings)
+
+
+def _ev_val_rec_dec(dec: ast.ValRecDec, env: DynEnv) -> None:
+    frame = env.child()
+    for name, fn in dec.bindings:
+        frame.values[name] = Closure(fn.rules, frame)
+    env.values.update(frame.values)
+
+
+def _ev_fun_dec(dec: ast.FunDec, env: DynEnv) -> None:
+    frame = env.child()
+    for clauses in dec.functions:
+        name = clauses[0].name
+        arity = len(clauses[0].pats)
+        frame.values[name] = ClauseClosure(name, clauses, arity, frame)
+    env.values.update(frame.values)
+
+
+def _ev_type_dec(dec, env) -> None:
+    pass
+
+
+def _ev_datatype_dec(dec: ast.DatatypeDec, env: DynEnv) -> None:
+    for _tyvars, _name, conbinds in dec.bindings:
+        for conbind in conbinds:
+            if conbind.arg_ty is None:
+                env.values[conbind.name] = VCon(conbind.name)
+            else:
+                env.values[conbind.name] = ConFun(conbind.name)
+
+
+def _ev_datatype_repl_dec(dec: ast.DatatypeReplDec, env: DynEnv) -> None:
+    # Replication re-exposes the original constructors; their dynamic
+    # values are name-indexed, so look them up through the path's
+    # structure when qualified.
+    if len(dec.path) == 1:
+        return  # constructors are already in scope
+    struct = env.lookup_structure_path(dec.path[:-1])
+    if struct is None:
+        return
+    for name, value in struct.values.items():
+        if isinstance(value, (VCon, ConFun)) or value is True or value is False:
+            env.values.setdefault(name, value)
+
+
+def _ev_abstype_dec(dec: ast.AbstypeDec, env: DynEnv) -> None:
+    frame = env.child()
+    for _tyvars, _name, conbinds in dec.bindings:
+        for conbind in conbinds:
+            if conbind.arg_ty is None:
+                frame.values[conbind.name] = VCon(conbind.name)
+            else:
+                frame.values[conbind.name] = ConFun(conbind.name)
+    inner = frame.child()
+    eval_decs(dec.body, inner)
+    env.values.update(inner.values)
+    env.structures.update(inner.structures)
+    env.functors.update(inner.functors)
+
+
+def _ev_exception_dec(dec: ast.ExceptionDec, env: DynEnv) -> None:
+    for name, arg_ty, alias in dec.bindings:
+        if alias is not None:
+            con = env.lookup_value_path(alias)
+            assert isinstance(con, ExnCon), alias
+            env.values[name] = con
+        else:
+            env.values[name] = ExnCon(name, has_arg=arg_ty is not None)
+
+
+def _ev_local_dec(dec: ast.LocalDec, env: DynEnv) -> None:
+    private = env.child()
+    eval_decs(dec.private, private)
+    public = private.child()
+    eval_decs(dec.public, public)
+    env.values.update(public.values)
+    env.structures.update(public.structures)
+    env.functors.update(public.functors)
+
+
+def _ev_open_dec(dec: ast.OpenDec, env: DynEnv) -> None:
+    for path in dec.paths:
+        struct = env.lookup_structure_path(path)
+        assert struct is not None, path
+        env.absorb_struct(struct)
+
+
+def _ev_fixity_dec(dec, env) -> None:
+    pass
+
+
+def _ev_structure_dec(dec: ast.StructureDec, env: DynEnv) -> None:
+    for binding in dec.bindings:
+        struct = eval_strexp(binding.body, env, binding.name)
+        env.structures[binding.name] = struct
+
+
+def _ev_signature_dec(dec, env) -> None:
+    pass
+
+
+def _ev_functor_dec(dec: ast.FunctorDec, env: DynEnv) -> None:
+    for binding in dec.bindings:
+        env.functors[binding.name] = VFunctor(
+            binding.name, binding.param_name, binding.body, env)
+
+
+_DEC_EVAL = {
+    ast.ValDec: _ev_val_dec,
+    ast.ValRecDec: _ev_val_rec_dec,
+    ast.FunDec: _ev_fun_dec,
+    ast.TypeDec: _ev_type_dec,
+    ast.DatatypeDec: _ev_datatype_dec,
+    ast.DatatypeReplDec: _ev_datatype_repl_dec,
+    ast.AbstypeDec: _ev_abstype_dec,
+    ast.ExceptionDec: _ev_exception_dec,
+    ast.LocalDec: _ev_local_dec,
+    ast.OpenDec: _ev_open_dec,
+    ast.FixityDec: _ev_fixity_dec,
+    ast.StructureDec: _ev_structure_dec,
+    ast.SignatureDec: _ev_signature_dec,
+    ast.FunctorDec: _ev_functor_dec,
+}
+
+
+# ---------------------------------------------------------------------------
+# Structure expressions
+# ---------------------------------------------------------------------------
+
+
+def eval_strexp(strexp: ast.StrExp, env: DynEnv, name: str = "?") -> VStruct:
+    if isinstance(strexp, ast.StructStrExp):
+        frame = env.child()
+        eval_decs(strexp.decs, frame)
+        return frame.as_struct(name)
+    if isinstance(strexp, ast.VarStrExp):
+        struct = env.lookup_structure_path(strexp.path)
+        assert struct is not None, strexp.path
+        return struct
+    if isinstance(strexp, ast.AppStrExp):
+        path = strexp.functor_path
+        functor = _lookup_functor_value(env, path)
+        assert functor is not None, path
+        if strexp.info == "functor":
+            # Higher-order application: the argument names a functor.
+            arg = _lookup_functor_value(env, strexp.arg.path)
+            assert arg is not None, strexp.arg.path
+            return apply_functor_value(functor, arg, name)
+        arg = eval_strexp(strexp.arg, env, name=f"{name}$arg")
+        return apply_functor_value(functor, arg, name)
+    if isinstance(strexp, ast.LetStrExp):
+        frame = env.child()
+        eval_decs(strexp.decs, frame)
+        return eval_strexp(strexp.body, frame, name)
+    if isinstance(strexp, ast.ConstraintStrExp):
+        # Ascription has no dynamic effect in this model (static checking
+        # already restricted what clients may reference).
+        return eval_strexp(strexp.body, env, name)
+    raise AssertionError(f"unknown structure expression {strexp!r}")
+
+
+def _lookup_functor_value(env: DynEnv, path) -> VFunctor | None:
+    if len(path) == 1:
+        return env.lookup_functor(path[0])
+    owner = env.lookup_structure_path(path[:-1])
+    return owner.functors.get(path[-1]) if owner else None
+
+
+def apply_functor_value(functor: VFunctor, arg,
+                        name: str = "?") -> VStruct:
+    frame = functor.env.child()
+    if isinstance(arg, VFunctor):
+        frame.functors[functor.param_name] = arg
+    else:
+        frame.structures[functor.param_name] = arg
+    return eval_strexp(functor.body, frame, name)

@@ -1,0 +1,362 @@
+"""Runtime value representation.
+
+Mapping from SML types to Python values:
+
+==============  =============================================
+int             ``int``
+real            ``float``
+string          ``str``
+char            :class:`Char`
+word            :class:`Word`
+bool            ``bool``
+tuples          ``tuple``
+records         ``dict[label, value]``
+datatypes       :class:`VCon` (``true``/``false`` are ``bool``)
+functions       :class:`Closure` / :class:`ClauseClosure` /
+                :class:`Prim` / :class:`ConFun` / :class:`ExnCon`
+refs            :class:`Ref`
+exceptions      :class:`VExn` values, :class:`ExnCon` constructors
+structures      :class:`VStruct`
+functors        :class:`VFunctor`
+==============  =============================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Char:
+    """A character value (distinct from length-1 strings)."""
+
+    ch: str
+
+
+@dataclass(frozen=True)
+class Word:
+    """An unsigned word value."""
+
+    bits: int
+
+
+class Ref:
+    """A mutable reference cell."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"ref {format_value(self.value)}"
+
+
+class Vector:
+    """An immutable vector value (wrapper keeps it distinct from SML
+    tuples, which are Python tuples)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        self.items = tuple(items)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Vector) and self.items == other.items
+
+    def __hash__(self):
+        return hash(self.items)
+
+    def __repr__(self) -> str:
+        return format_value(self)
+
+
+class Array:
+    """A mutable array value; equality is by identity, like ``ref``."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        self.items = list(items)
+
+    def __repr__(self) -> str:
+        return format_value(self)
+
+
+class VCon:
+    """An applied (or nullary) datatype constructor value."""
+
+    __slots__ = ("name", "arg")
+
+    def __init__(self, name: str, arg=None):
+        self.name = name
+        self.arg = arg
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, VCon) and self.name == other.name
+                and self.arg == other.arg)
+
+    def __hash__(self):
+        return hash((self.name,))
+
+    def __repr__(self) -> str:
+        return format_value(self)
+
+
+class ConFun:
+    """A unary data constructor used as a function value."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<con {self.name}>"
+
+
+_EXN_IDS = itertools.count(1)
+
+
+class ExnCon:
+    """An exception constructor value.
+
+    Exception declarations are *generative*: evaluating ``exception E``
+    twice yields two ExnCons with distinct ids, and handlers match by id.
+    """
+
+    __slots__ = ("exn_id", "name", "has_arg")
+
+    def __init__(self, name: str, has_arg: bool):
+        self.exn_id = next(_EXN_IDS)
+        self.name = name
+        self.has_arg = has_arg
+
+    def __repr__(self) -> str:
+        return f"<exn {self.name}#{self.exn_id}>"
+
+
+class VExn:
+    """An exception value (packet)."""
+
+    __slots__ = ("con", "arg")
+
+    def __init__(self, con: ExnCon, arg=None):
+        self.con = con
+        self.arg = arg
+
+    def __repr__(self) -> str:
+        if self.con.has_arg:
+            return f"{self.con.name}({format_value(self.arg)})"
+        return self.con.name
+
+
+class SMLRaise(Exception):
+    """Python carrier for a raised SML exception."""
+
+    def __init__(self, packet: VExn):
+        self.packet = packet
+        super().__init__(repr(packet))
+
+
+class Closure:
+    """A ``fn``-expression closure."""
+
+    __slots__ = ("rules", "env")
+
+    def __init__(self, rules, env: "DynEnv"):
+        self.rules = rules
+        self.env = env
+
+    def __repr__(self) -> str:
+        return "fn"
+
+
+class ClauseClosure:
+    """A ``fun``-declaration closure: curried, clausal.
+
+    Collects ``arity`` arguments, then tries each clause in order.
+    """
+
+    __slots__ = ("name", "clauses", "arity", "env", "collected")
+
+    def __init__(self, name: str, clauses, arity: int, env: "DynEnv",
+                 collected: tuple = ()):
+        self.name = name
+        self.clauses = clauses
+        self.arity = arity
+        self.env = env
+        self.collected = collected
+
+    def __repr__(self) -> str:
+        return f"fn<{self.name}>"
+
+
+class Prim:
+    """A primitive (builtin) function."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn):
+        self.name = name
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"<prim {self.name}>"
+
+
+class VStruct:
+    """A structure value: its exported dynamic bindings."""
+
+    __slots__ = ("name", "values", "structures", "functors")
+
+    def __init__(self, name: str, values: dict | None = None,
+                 structures: dict | None = None,
+                 functors: dict | None = None):
+        self.name = name
+        self.values = values if values is not None else {}
+        self.structures = structures if structures is not None else {}
+        self.functors = functors if functors is not None else {}
+
+    def __repr__(self) -> str:
+        return f"<structure {self.name}>"
+
+
+class VFunctor:
+    """A functor value: closure over its definition environment."""
+
+    __slots__ = ("name", "param_name", "body", "env")
+
+    def __init__(self, name: str, param_name: str, body, env: "DynEnv"):
+        self.name = name
+        self.param_name = param_name
+        self.body = body
+        self.env = env
+
+    def __repr__(self) -> str:
+        return f"<functor {self.name}>"
+
+
+class DynEnv:
+    """A dynamic environment frame (values / structures / functors),
+    chained to a parent like the static :class:`repro.semant.env.Env`."""
+
+    __slots__ = ("values", "structures", "functors", "parent")
+
+    def __init__(self, parent: "DynEnv | None" = None):
+        self.values: dict[str, object] = {}
+        self.structures: dict[str, VStruct] = {}
+        self.functors: dict[str, VFunctor] = {}
+        self.parent = parent
+
+    def child(self) -> "DynEnv":
+        return DynEnv(self)
+
+    def _lookup(self, namespace: str, name: str):
+        env: DynEnv | None = self
+        while env is not None:
+            table = getattr(env, namespace)
+            if name in table:
+                return table[name]
+            env = env.parent
+        return None
+
+    def lookup_value(self, name: str):
+        return self._lookup("values", name)
+
+    def lookup_structure(self, name: str) -> VStruct | None:
+        return self._lookup("structures", name)
+
+    def lookup_functor(self, name: str) -> VFunctor | None:
+        return self._lookup("functors", name)
+
+    def lookup_structure_path(self, path) -> VStruct | None:
+        struct = self.lookup_structure(path[0])
+        for name in path[1:]:
+            if struct is None:
+                return None
+            struct = struct.structures.get(name)
+        return struct
+
+    def lookup_value_path(self, path):
+        if len(path) == 1:
+            return self.lookup_value(path[0])
+        struct = self.lookup_structure_path(path[:-1])
+        if struct is None:
+            return None
+        return struct.values.get(path[-1])
+
+    def is_empty_frame(self) -> bool:
+        return not (self.values or self.structures or self.functors)
+
+    def absorb_struct(self, struct: VStruct) -> None:
+        """``open``: splice a structure's bindings into this frame."""
+        self.values.update(struct.values)
+        self.structures.update(struct.structures)
+        self.functors.update(struct.functors)
+
+    def as_struct(self, name: str) -> VStruct:
+        """Package this frame's own bindings as a structure value."""
+        return VStruct(name, dict(self.values), dict(self.structures),
+                       dict(self.functors))
+
+
+def sml_list(values) -> VCon:
+    """Build an SML list value from a Python iterable."""
+    out = VCon("nil")
+    for v in reversed(list(values)):
+        out = VCon("::", (v, out))
+    return out
+
+
+def python_list(value: VCon) -> list:
+    """Flatten an SML list value into a Python list."""
+    out = []
+    while isinstance(value, VCon) and value.name == "::":
+        head, value = value.arg
+        out.append(head)
+    return out
+
+
+def format_value(value) -> str:
+    """Render a value the way an SML top level would."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value) if value >= 0 else "~" + str(-value)
+    if isinstance(value, float):
+        text = repr(value).replace("-", "~")
+        return text
+    if isinstance(value, str):
+        return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    if isinstance(value, Char):
+        return f'#"{value.ch}"'
+    if isinstance(value, Word):
+        return f"0wx{value.bits:x}"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(format_value(v) for v in value) + ")"
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"{label}={format_value(v)}" for label, v in sorted(value.items()))
+        return "{" + inner + "}"
+    if isinstance(value, VCon):
+        if value.name in ("::", "nil"):
+            items = python_list(value)
+            return "[" + ", ".join(format_value(v) for v in items) + "]"
+        if value.arg is None:
+            return value.name
+        return f"{value.name} {format_value(value.arg)}"
+    if isinstance(value, Ref):
+        return f"ref {format_value(value.value)}"
+    if isinstance(value, Vector):
+        inner = ", ".join(format_value(v) for v in value.items)
+        return f"#[{inner}]"
+    if isinstance(value, Array):
+        inner = ", ".join(format_value(v) for v in value.items)
+        return f"[|{inner}|]"
+    if isinstance(value, VExn):
+        return repr(value)
+    if isinstance(value, (Closure, ClauseClosure, Prim, ConFun)):
+        return "fn"
+    return repr(value)

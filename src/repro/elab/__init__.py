@@ -1,0 +1,16 @@
+"""The elaborator: static semantics of the SML subset.
+
+Elaboration turns parsed declarations into semantic objects
+(:mod:`repro.semant`) under a static environment, performing
+Hindley-Milner type inference for the core language and signature
+matching for the module language.  It also annotates the AST in place
+with the resolution facts the evaluator needs (see
+:mod:`repro.lang.ast`).
+
+The public entry point is :func:`repro.elab.topdec.elaborate_decs`.
+"""
+
+from repro.elab.errors import ElabError
+from repro.elab.topdec import elaborate_decs
+
+__all__ = ["ElabError", "elaborate_decs"]

@@ -1,0 +1,8 @@
+"""Elaboration (type and module) errors."""
+
+from repro.lang.errors import SourceError
+
+
+class ElabError(SourceError):
+    """A static-semantics violation: type clash, unbound name, signature
+    mismatch, and so on."""

@@ -1,0 +1,278 @@
+"""Exhaustiveness and redundancy analysis for matches.
+
+Every real SML compiler warns on ``match nonexhaustive`` and ``match
+redundant``; SML/NJ (the paper's substrate) certainly did.  This module
+implements the classic usefulness algorithm (a la Maranget) over the
+elaborated patterns:
+
+- a rule is *redundant* if no value can reach it (its pattern is not
+  "useful" with respect to the rules above it);
+- a match is *nonexhaustive* if a wildcard is still useful after all
+  rules.
+
+The analysis runs after type checking, so every pattern's type is known;
+constructor completeness comes from the scrutinee's datatype.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.semant.types import (
+    ConType,
+    DatatypeTycon,
+    FlexRecord,
+    FunType,
+    PolyType,
+    RecordType,
+    Type,
+    prune,
+    subst_bound,
+)
+
+
+class _SPat:
+    """A simplified pattern: wildcard, or constructor with arguments."""
+
+    __slots__ = ("key", "args", "arg_types", "family")
+
+    def __init__(self, key, args, arg_types, family):
+        self.key = key            # None for wildcard
+        self.args = args          # list[_SPat]
+        self.arg_types = arg_types
+        #: The complete set of sibling constructor keys, or None when the
+        #: constructor family is (effectively) infinite/open.
+        self.family = family
+
+    @classmethod
+    def wild(cls) -> "_SPat":
+        return cls(None, [], [], None)
+
+    def is_wild(self) -> bool:
+        return self.key is None
+
+
+def check_match(rules, scrutinee_ty: Type, line: int, kind: str,
+                warn) -> None:
+    """Analyze one match; report through ``warn(message, line)``.
+
+    Args:
+        rules: list of (pattern, _) rule pairs (only patterns are used).
+        scrutinee_ty: the type all rule patterns share.
+        line: source line for the warnings.
+        kind: "case"/"fn"/"fun"/"val"/"handle" -- handles are allowed to
+            be nonexhaustive (unhandled exceptions re-raise by design),
+            and val bindings warn with their own wording.
+        warn: sink for (message, line).
+    """
+    rows: list[list[_SPat]] = []
+    for index, (pat, _rhs) in enumerate(rules):
+        row = [_simplify(pat, scrutinee_ty)]
+        if rows and not _useful(rows, row):
+            warn(f"{kind}: rule {index + 1} is redundant", line)
+        rows.append(row)
+    if kind == "handle":
+        return
+    if _useful(rows, [_SPat.wild()]):
+        if kind == "val":
+            warn("val binding is not exhaustive", line)
+        else:
+            warn(f"{kind}: match is not exhaustive", line)
+
+
+def check_clauses(clauses, arg_types: list[Type], line: int, warn) -> None:
+    """Analyze a clausal ``fun`` definition (a multi-column match)."""
+    rows: list[list[_SPat]] = []
+    for index, clause in enumerate(clauses):
+        row = [_simplify(pat, ty)
+               for pat, ty in zip(clause.pats, arg_types)]
+        if rows and not _useful(rows, row):
+            warn(f"fun {clause.name}: clause {index + 1} is redundant",
+                 clause.line or line)
+        rows.append(row)
+    if _useful(rows, [_SPat.wild() for _ in arg_types]):
+        warn(f"fun {clauses[0].name}: match is not exhaustive", line)
+
+
+# ---------------------------------------------------------------------------
+# Pattern simplification
+# ---------------------------------------------------------------------------
+
+
+def _simplify(pat: ast.Pat, ty: Type) -> _SPat:
+    ty = prune(ty)
+    if isinstance(pat, ast.WildPat):
+        return _SPat.wild()
+    if isinstance(pat, ast.VarPat):
+        if isinstance(pat.info, ast.ConInfo):
+            return _con_spat(pat.info, None, ty)
+        return _SPat.wild()
+    if isinstance(pat, ast.AsPat):
+        return _simplify(pat.pat, ty)
+    if isinstance(pat, ast.TypedPat):
+        return _simplify(pat.pat, ty)
+    if isinstance(pat, ast.ConstPat):
+        # Literal families are effectively infinite: never complete.
+        return _SPat((pat.kind, pat.value), [], [], None)
+    if isinstance(pat, ast.ConPat):
+        assert isinstance(pat.info, ast.ConInfo)
+        return _con_spat(pat.info, pat.arg, ty)
+    if isinstance(pat, ast.TuplePat):
+        if not pat.parts:
+            return _SPat("()", [], [], frozenset({"()"}))
+        types = _tuple_field_types(ty, len(pat.parts))
+        args = [_simplify(p, t) for p, t in zip(pat.parts, types)]
+        return _SPat("(tuple)", args, types, frozenset({"(tuple)"}))
+    if isinstance(pat, ast.RecordPat):
+        labels, types = _record_field_types(ty)
+        by_label = dict(pat.fields)
+        args = []
+        for label, field_ty in zip(labels, types):
+            if label in by_label:
+                args.append(_simplify(by_label[label], field_ty))
+            else:
+                args.append(_SPat.wild())
+        return _SPat("(record)", args, types, frozenset({"(record)"}))
+    if isinstance(pat, ast.ListPat):
+        return _simplify(_desugar_list(pat), ty)
+    raise AssertionError(f"unknown pattern {pat!r}")
+
+
+def _desugar_list(pat: ast.ListPat) -> ast.Pat:
+    out: ast.Pat = ast.VarPat("nil", pat.line, info=ast.ConInfo("nil",
+                                                                False))
+    for item in reversed(pat.parts):
+        out = ast.ConPat(("::",), ast.TuplePat([item, out], pat.line),
+                        pat.line, info=ast.ConInfo("::", True))
+    return out
+
+
+def _con_spat(info: ast.ConInfo, arg: ast.Pat | None, ty: Type) -> _SPat:
+    if info.name == "ref":
+        ty = prune(ty)
+        inner = ty.args[0] if isinstance(ty, ConType) and ty.args \
+            else _exn_arg_type()
+        return _SPat("ref", [_simplify(arg, inner)], [inner],
+                     frozenset({"ref"}))
+    if info.is_exn:
+        # Exceptions are an open family: never complete.
+        arg_spat = [] if arg is None else [_simplify(arg, _exn_arg_type())]
+        return _SPat(("exn", info.name), arg_spat,
+                     [_exn_arg_type()] if arg is not None else [], None)
+    family, arg_ty = _constructor_family(info.name, ty)
+    if arg is None:
+        return _SPat(info.name, [], [], family)
+    return _SPat(info.name, [_simplify(arg, arg_ty)],
+                 [arg_ty], family)
+
+
+def _exn_arg_type() -> Type:
+    from repro.semant.types import TyVar
+
+    return TyVar(level=1 << 30)
+
+
+def _constructor_family(name: str, ty: Type):
+    """The sibling-constructor key set for ``name`` at type ``ty``, and
+    the instantiated argument type of ``name`` itself."""
+    ty = prune(ty)
+    if isinstance(ty, ConType) and isinstance(ty.tycon, DatatypeTycon):
+        tycon = ty.tycon
+        family = frozenset(c.name for c in tycon.constructors)
+        arg_ty = _instantiate_arg(tycon, name, ty)
+        return family, arg_ty
+    # Scrutinee type unknown (still a variable): treat as open.
+    return None, _exn_arg_type()
+
+
+def _instantiate_arg(tycon: DatatypeTycon, name: str, at: ConType) -> Type:
+    for con in tycon.constructors:
+        if con.name != name:
+            continue
+        scheme = con.scheme
+        if isinstance(scheme, PolyType):
+            body = subst_bound(scheme.body, tuple(at.args))
+        else:
+            body = scheme
+        body = prune(body)
+        if isinstance(body, FunType):
+            return body.dom
+        return _exn_arg_type()
+    return _exn_arg_type()
+
+
+def _tuple_field_types(ty: Type, n: int) -> list[Type]:
+    ty = prune(ty)
+    if isinstance(ty, RecordType) and len(ty.fields) == n:
+        return [t for _, t in ty.fields]
+    return [_exn_arg_type() for _ in range(n)]
+
+
+def _record_field_types(ty: Type):
+    ty = prune(ty)
+    if isinstance(ty, RecordType):
+        return list(ty.labels()), [t for _, t in ty.fields]
+    if isinstance(ty, FlexRecord):
+        labels = sorted(ty.fields)
+        return labels, [ty.fields[label] for label in labels]
+    return [], []
+
+
+# ---------------------------------------------------------------------------
+# Usefulness (Maranget's U)
+# ---------------------------------------------------------------------------
+
+
+def _useful(matrix: list[list[_SPat]], row: list[_SPat]) -> bool:
+    """Is there a value matching ``row`` that no row of ``matrix``
+    matches?"""
+    if not row:
+        return not matrix
+    head, rest = row[0], row[1:]
+    if head.is_wild():
+        keys = {r[0].key for r in matrix if not r[0].is_wild()}
+        family = _family_of(matrix)
+        if family is not None and keys >= family:
+            # The matrix's first column covers a complete family:
+            # specialize against each constructor.
+            for key in family:
+                arity = _key_arity(matrix, key)
+                spec_matrix = _specialize(matrix, key, arity)
+                spec_row = [_SPat.wild() for _ in range(arity)] + rest
+                if _useful(spec_matrix, spec_row):
+                    return True
+            return False
+        # Incomplete first column: the default matrix decides.
+        default = [r[1:] for r in matrix if r[0].is_wild()]
+        return _useful(default, rest)
+    arity = len(head.args)
+    spec_matrix = _specialize(matrix, head.key, arity)
+    return _useful(spec_matrix, head.args + rest)
+
+
+def _family_of(matrix: list[list[_SPat]]):
+    for r in matrix:
+        if not r[0].is_wild():
+            return r[0].family
+    return None
+
+
+def _key_arity(matrix: list[list[_SPat]], key) -> int:
+    for r in matrix:
+        if not r[0].is_wild() and r[0].key == key:
+            return len(r[0].args)
+    # A family member never named in the matrix: only wildcard rows can
+    # match it, and wildcards expand to wildcards under any arity, so 0
+    # is consistent.
+    return 0
+
+
+def _specialize(matrix: list[list[_SPat]], key, arity: int):
+    out = []
+    for r in matrix:
+        head = r[0]
+        if head.is_wild():
+            out.append([_SPat.wild() for _ in range(arity)] + r[1:])
+        elif head.key == key:
+            pad = head.args + [_SPat.wild()] * (arity - len(head.args))
+            out.append(pad + r[1:])
+    return out

@@ -1,0 +1,155 @@
+"""Realizations: maps from flexible (signature-bound) tycon stamps to
+actual type constructors or type functions.
+
+A realization is the output of signature matching and the input to
+building a matched structure's environment.  ``realize_env`` produces a
+fresh environment in which every flexible tycon has been replaced by its
+realization -- this implements both transparent matching results,
+``where type``, and (with a freshly generated realization) opaque
+matching results.
+"""
+
+from __future__ import annotations
+
+from repro.semant.env import Env, Structure, ValueBinding
+from repro.semant.types import (
+    AbstractTycon,
+    ConType,
+    Constructor,
+    DatatypeTycon,
+    FunType,
+    PolyType,
+    RecordType,
+    TypeFun,
+    Type,
+    apply_typefun,
+    compute_datatype_equality,
+    prune,
+)
+
+#: stamp id -> Tycon | TypeFun
+Realization = dict
+
+
+def realize_type(ty: Type, rlz: Realization) -> Type:
+    """Rewrite ``ty`` replacing realized tycons."""
+    if not rlz:
+        return ty
+    ty = prune(ty)
+    if isinstance(ty, ConType):
+        args = tuple(realize_type(a, rlz) for a in ty.args)
+        tycon = ty.tycon
+        stamp = getattr(tycon, "stamp", None)
+        if stamp is not None and stamp.id in rlz:
+            target = rlz[stamp.id]
+            if isinstance(target, TypeFun):
+                return apply_typefun(target, args)
+            return ConType(target, args)
+        return ConType(tycon, args)
+    if isinstance(ty, RecordType):
+        return RecordType(
+            tuple((label, realize_type(t, rlz)) for label, t in ty.fields)
+        )
+    if isinstance(ty, FunType):
+        return FunType(realize_type(ty.dom, rlz), realize_type(ty.rng, rlz))
+    if isinstance(ty, PolyType):
+        return PolyType(ty.arity, realize_type(ty.body, rlz), ty.eqflags)
+    return ty
+
+
+def realize_env(env: Env, rlz: Realization, fresh_stamp) -> Env:
+    """Copy ``env``'s frame with the realization applied.
+
+    ``fresh_stamp`` mints stamps for the copied substructures.  Data
+    constructor bindings whose datatype is realized to an actual
+    :class:`DatatypeTycon` are replaced by the actual's constructors (so
+    constructor identity follows the realized type, as transparent
+    matching requires).
+    """
+    out = Env()
+    for name, tycon in env.tycons.items():
+        stamp = getattr(tycon, "stamp", None)
+        if stamp is not None and stamp.id in rlz:
+            out.bind_tycon(name, rlz[stamp.id])
+        elif isinstance(tycon, TypeFun):
+            out.bind_tycon(
+                name, TypeFun(tycon.arity, realize_type(tycon.body, rlz),
+                              tycon.name))
+        else:
+            out.bind_tycon(name, tycon)
+    for name, vb in env.values.items():
+        out.bind_value(name, _realize_value_binding(vb, rlz))
+    for name, struct in env.structures.items():
+        out.bind_structure(
+            name,
+            Structure(fresh_stamp(), struct.name,
+                      realize_env(struct.env, rlz, fresh_stamp)),
+        )
+    # Signature and functor namespaces cannot be specified inside
+    # signatures in this subset; nothing to copy.
+    return out
+
+
+def _realize_value_binding(vb: ValueBinding, rlz: Realization) -> ValueBinding:
+    con = vb.con
+    if con is not None and con.tycon is not None and con.tycon.stamp.id in rlz:
+        target = rlz[con.tycon.stamp.id]
+        if isinstance(target, DatatypeTycon):
+            actual = _find_constructor(target, con.name)
+            if actual is not None:
+                return ValueBinding(actual.scheme, actual)
+        # Datatype realized to something without constructors: keep a
+        # structurally-realized copy (arises only transiently during
+        # matching error paths).
+    scheme = realize_type(vb.scheme, rlz)
+    if con is None:
+        return ValueBinding(scheme)
+    new_con = Constructor(con.name, _realized_tycon(con.tycon, rlz),
+                          scheme, con.has_arg, con.is_exn)
+    return ValueBinding(scheme, new_con)
+
+
+def _realized_tycon(tycon, rlz: Realization):
+    if tycon is None:
+        return None
+    target = rlz.get(tycon.stamp.id)
+    if isinstance(target, DatatypeTycon):
+        return target
+    return tycon
+
+
+def _find_constructor(tycon: DatatypeTycon, name: str) -> Constructor | None:
+    for con in tycon.constructors:
+        if con.name == name:
+            return con
+    return None
+
+
+def fresh_abstract_realization(flex_tycons: list, fresh_stamp) -> Realization:
+    """Build the realization used by *opaque* matching and by
+    instantiating a named signature: every flexible tycon maps to a brand
+    new tycon of the same shape.
+
+    Datatype bundles are cloned in two passes so mutual recursion among
+    constructor types lands on the clones.
+    """
+    rlz: Realization = {}
+    datatype_pairs: list[tuple[DatatypeTycon, DatatypeTycon]] = []
+    for tycon in flex_tycons:
+        if isinstance(tycon, DatatypeTycon):
+            clone = DatatypeTycon(fresh_stamp(), tycon.name, tycon.arity)
+            rlz[tycon.stamp.id] = clone
+            datatype_pairs.append((tycon, clone))
+        elif isinstance(tycon, AbstractTycon):
+            rlz[tycon.stamp.id] = AbstractTycon(
+                fresh_stamp(), tycon.name, tycon.arity, tycon.eq)
+        else:
+            raise AssertionError(f"flexible tycon of odd class: {tycon!r}")
+    for original, clone in datatype_pairs:
+        for con in original.constructors:
+            clone.constructors.append(
+                Constructor(con.name, clone,
+                            realize_type(con.scheme, rlz), con.has_arg,
+                            con.is_exn))
+    compute_datatype_equality([clone for _, clone in datatype_pairs])
+    return rlz

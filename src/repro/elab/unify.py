@@ -1,0 +1,209 @@
+"""Unification for the Hindley-Milner core.
+
+Uses mutable :class:`repro.semant.types.TyVar` links with Rémy-style
+levels for efficient generalization, plus :class:`FlexRecord` constraints
+for ``#label`` selectors and flexible record patterns.
+"""
+
+from __future__ import annotations
+
+from repro.elab.errors import ElabError
+from repro.semant.types import (
+    BoundVar,
+    ConType,
+    FlexRecord,
+    FunType,
+    RecordType,
+    TyVar,
+    Type,
+    force_equality,
+    prune,
+)
+
+
+def unify(t1: Type, t2: Type, line: int = 0) -> None:
+    """Make ``t1`` and ``t2`` equal, or raise :class:`ElabError`."""
+    t1 = prune(t1)
+    t2 = prune(t2)
+    if t1 is t2:
+        return
+
+    if isinstance(t1, TyVar):
+        _bind_var(t1, t2, line)
+        return
+    if isinstance(t2, TyVar):
+        _bind_var(t2, t1, line)
+        return
+
+    if isinstance(t1, FlexRecord):
+        _bind_flex(t1, t2, line)
+        return
+    if isinstance(t2, FlexRecord):
+        _bind_flex(t2, t1, line)
+        return
+
+    if isinstance(t1, FunType) and isinstance(t2, FunType):
+        unify(t1.dom, t2.dom, line)
+        unify(t1.rng, t2.rng, line)
+        return
+
+    if isinstance(t1, RecordType) and isinstance(t2, RecordType):
+        if t1.labels() != t2.labels():
+            raise ElabError(
+                f"record types differ: {t1!r} vs {t2!r}", line, 0
+            )
+        for (_, f1), (_, f2) in zip(t1.fields, t2.fields):
+            unify(f1, f2, line)
+        return
+
+    if isinstance(t1, ConType) and isinstance(t2, ConType):
+        if t1.tycon is not t2.tycon:
+            raise ElabError(
+                f"type constructors differ: {t1!r} vs {t2!r}", line, 0
+            )
+        for a1, a2 in zip(t1.args, t2.args):
+            unify(a1, a2, line)
+        return
+
+    raise ElabError(f"cannot unify {t1!r} with {t2!r}", line, 0)
+
+
+def _bind_var(var: TyVar, ty: Type, line: int) -> None:
+    from repro.semant.types import OverloadVar
+
+    if _occurs(var, ty):
+        raise ElabError("circular type (occurs check)", line, 0)
+    if isinstance(var, OverloadVar):
+        _bind_overload(var, ty, line)
+        return
+    if isinstance(ty, OverloadVar):
+        # Keep the more constrained variable as the representative.
+        _adjust_levels(var, ty.level)
+        var.link = ty
+        return
+    if var.eq and not force_equality(ty):
+        raise ElabError(
+            f"type {ty!r} does not admit equality", line, 0
+        )
+    _adjust_levels(ty, var.level)
+    var.link = ty
+
+
+def _bind_overload(var, ty: Type, line: int) -> None:
+    from repro.semant.types import OverloadVar
+
+    if isinstance(ty, OverloadVar):
+        merged = tuple(t for t in var.candidates if t in ty.candidates)
+        if not merged:
+            raise ElabError("incompatible operator overloadings", line, 0)
+        default = var.default if var.default in merged else merged[0]
+        combined = OverloadVar(min(var.level, ty.level), merged, default)
+        var.link = combined
+        ty.link = combined
+        return
+    if isinstance(ty, TyVar):
+        # Plain variable resolves to the overloaded one.
+        _adjust_levels(var, ty.level)
+        ty.link = var
+        return
+    if isinstance(ty, ConType) and ty.tycon in var.candidates:
+        if var.eq and not force_equality(ty):
+            raise ElabError(
+                f"type {ty!r} does not admit equality", line, 0)
+        var.link = ty
+        return
+    names = "/".join(t.name for t in var.candidates)
+    raise ElabError(
+        f"overloaded operator wants {names}, found {ty!r}", line, 0)
+
+
+def _bind_flex(flex: FlexRecord, ty: Type, line: int) -> None:
+    if isinstance(ty, RecordType):
+        have = dict(ty.fields)
+        for label, fty in flex.fields.items():
+            if label not in have:
+                raise ElabError(
+                    f"record type {ty!r} lacks field #{label}", line, 0
+                )
+            unify(fty, have[label], line)
+        _adjust_levels(ty, flex.level)
+        flex.link = ty
+        return
+    if isinstance(ty, FlexRecord):
+        merged = dict(flex.fields)
+        for label, fty in ty.fields.items():
+            if label in merged:
+                unify(merged[label], fty, line)
+            else:
+                merged[label] = fty
+        combined = FlexRecord(merged, min(flex.level, ty.level))
+        flex.link = combined
+        ty.link = combined
+        return
+    raise ElabError(
+        f"expected a record type with fields "
+        f"{sorted(flex.fields)}, found {ty!r}", line, 0
+    )
+
+
+def _occurs(var: TyVar, ty: Type) -> bool:
+    ty = prune(ty)
+    if ty is var:
+        return True
+    if isinstance(ty, ConType):
+        return any(_occurs(var, a) for a in ty.args)
+    if isinstance(ty, RecordType):
+        return any(_occurs(var, t) for _, t in ty.fields)
+    if isinstance(ty, FlexRecord):
+        return any(_occurs(var, t) for t in ty.fields.values())
+    if isinstance(ty, FunType):
+        return _occurs(var, ty.dom) or _occurs(var, ty.rng)
+    return False
+
+
+def _adjust_levels(ty: Type, level: int) -> None:
+    """Lower the levels of variables in ``ty`` to at most ``level``, so
+    generalization never quantifies a variable that escaped into an outer
+    scope."""
+    ty = prune(ty)
+    if isinstance(ty, TyVar):
+        ty.level = min(ty.level, level)
+    elif isinstance(ty, FlexRecord):
+        ty.level = min(ty.level, level)
+        for t in ty.fields.values():
+            _adjust_levels(t, level)
+    elif isinstance(ty, ConType):
+        for a in ty.args:
+            _adjust_levels(a, level)
+    elif isinstance(ty, RecordType):
+        for _, t in ty.fields:
+            _adjust_levels(t, level)
+    elif isinstance(ty, FunType):
+        _adjust_levels(ty.dom, level)
+        _adjust_levels(ty.rng, level)
+
+
+def equal_types(t1: Type, t2: Type) -> bool:
+    """Structural equality of two (pruned) types without unification.
+
+    Used by signature matching to verify realization consistency; bound
+    variables compare by index, tycons by identity.
+    """
+    t1 = prune(t1)
+    t2 = prune(t2)
+    if t1 is t2:
+        return True
+    if isinstance(t1, BoundVar) and isinstance(t2, BoundVar):
+        return t1.index == t2.index
+    if isinstance(t1, ConType) and isinstance(t2, ConType):
+        return t1.tycon is t2.tycon and all(
+            equal_types(a, b) for a, b in zip(t1.args, t2.args)
+        )
+    if isinstance(t1, RecordType) and isinstance(t2, RecordType):
+        return t1.labels() == t2.labels() and all(
+            equal_types(a, b)
+            for (_, a), (_, b) in zip(t1.fields, t2.fields)
+        )
+    if isinstance(t1, FunType) and isinstance(t2, FunType):
+        return equal_types(t1.dom, t2.dom) and equal_types(t1.rng, t2.rng)
+    return False

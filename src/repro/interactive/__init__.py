@@ -1,0 +1,19 @@
+"""The interactive system (§6, §8).
+
+The paper is explicit that "the ML community has long enjoyed the
+benefits of an interactive compile-and-execute 'session'" and that the
+separate-compilation machinery must coexist with it: the interactive
+read-eval-print loop and the batch compilation manager are *both clients
+of the same compiler primitives* -- the "Visible Compiler" architecture.
+
+- :class:`repro.interactive.repl.REPL` -- the read-eval-print loop,
+  maintaining paired static/dynamic environments across inputs.
+- :class:`repro.interactive.visible.VisibleCompiler` -- the compiler as a
+  library: compile, execute, hash, dehydrate, rehydrate as first-class
+  operations over a session.
+"""
+
+from repro.interactive.repl import REPL, ReplResult
+from repro.interactive.visible import VisibleCompiler
+
+__all__ = ["REPL", "ReplResult", "VisibleCompiler"]

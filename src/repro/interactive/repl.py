@@ -1,0 +1,163 @@
+"""The read-eval-print loop.
+
+Each input is compiled as a miniature compilation unit against the
+current environment pair and executed at once; the resulting bindings are
+layered for subsequent inputs ("evaluation of each top level declaration
+... augments the environment with new bindings").  Unlike bin-file units,
+interactive inputs may contain any declaration, including top-level
+``val``s; a bare expression is wrapped as ``val it = <exp>`` in the
+SML tradition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.basis import make_basis
+from repro.dynamic.evaluate import eval_decs
+from repro.dynamic.values import SMLRaise, format_value
+from repro.elab.errors import ElabError
+from repro.elab.topdec import elaborate_decs
+from repro.lang import ast
+from repro.lang.errors import SourceError
+from repro.lang.parser import parse_expression, parse_program
+from repro.semant.format import format_type
+
+
+@dataclass
+class ReplResult:
+    """The outcome of one interactive input."""
+
+    ok: bool
+    bindings: list[str] = field(default_factory=list)  # rendered lines
+    error: str = ""
+
+    def render(self) -> str:
+        if not self.ok:
+            return self.error
+        return "\n".join(self.bindings)
+
+
+class REPL:
+    """An interactive session over a private basis instance."""
+
+    def __init__(self, print_sink=None):
+        self._printed: list[str] = []
+        sink = print_sink if print_sink is not None else self._printed.append
+        self.basis = make_basis(print_sink=sink, fresh=True)
+        self.static_env, self.dyn_env = self.basis.child_envs()
+
+    def printed_output(self) -> str:
+        """Everything the evaluated programs printed (default sink)."""
+        return "".join(self._printed)
+
+    def use(self, builder) -> ReplResult:
+        """Bring a compilation manager's project into this session.
+
+        Builds (incrementally) and links the project, then layers every
+        unit's static exports and dynamic exports over the session
+        environments -- the paper's coexistence of the interactive loop
+        and the batch manager.  Returns a result listing what became
+        visible.
+        """
+        report = builder.build()
+        exports = builder.link()
+        bound: list[str] = []
+        order = list(builder._stable_order) + list(builder.last_graph.order)
+        dyn_frame = self.dyn_env.child()
+        for name in order:
+            unit = builder.units[name]
+            self.static_env = unit.static_env.atop(self.static_env)
+            exports[name].splice_into(dyn_frame)
+            for ns in ("structures", "signatures", "functors"):
+                for member in getattr(unit.static_env, ns):
+                    bound.append(f"{ns[:-1]} {member} (from {name})")
+        self.dyn_env = dyn_frame
+        return ReplResult(True, bindings=[report.summary()] + bound)
+
+    def eval(self, text: str) -> ReplResult:
+        """Process one input line/phrase."""
+        try:
+            decs = self._parse(text)
+        except SourceError as err:
+            return ReplResult(False, error=f"syntax error: {err}")
+
+        # Elaborate against a scratch frame so a failed input leaves the
+        # session environment untouched.
+        try:
+            export_env, elaborator = elaborate_decs(decs, self.static_env)
+        except ElabError as err:
+            return ReplResult(False, error=f"type error: {err}")
+
+        frame = self.dyn_env.child()
+        try:
+            eval_decs(decs, frame)
+        except SMLRaise as raised:
+            return ReplResult(
+                False, error=f"uncaught exception {raised.packet!r}")
+        except RecursionError:
+            return ReplResult(False, error="stack overflow (deep "
+                              "non-tail recursion)")
+
+        # Commit: layer the new bindings.
+        self.static_env = export_env.atop(self.static_env)
+        merged = self.dyn_env.child()
+        merged.values.update(frame.values)
+        merged.structures.update(frame.structures)
+        merged.functors.update(frame.functors)
+        self.dyn_env = merged
+
+        lines = [f"warning: {message}"
+                 for message, _line in elaborator.warnings]
+        lines.extend(self._render(export_env, frame))
+        return ReplResult(True, bindings=lines)
+
+    def _parse(self, text: str) -> list[ast.Dec]:
+        stripped = text.strip().rstrip(";")
+        try:
+            return parse_program(text)
+        except SourceError:
+            # Maybe a bare expression: wrap as `val it = <exp>`.
+            exp = parse_expression(stripped)
+            pat = ast.VarPat("it")
+            return [ast.ValDec([], [(pat, exp)])]
+
+    def _render(self, export_env, frame) -> list[str]:
+        lines = []
+        for name, vb in export_env.values.items():
+            if vb.is_constructor():
+                continue
+            value = frame.values.get(name)
+            lines.append(
+                f"val {name} = {format_value(value)} : "
+                f"{format_type(vb.scheme)}")
+        for name in export_env.tycons:
+            if name not in frame.values:  # plain type, not a constructor
+                lines.append(f"type {name}")
+        for name in export_env.structures:
+            lines.append(f"structure {name}")
+        for name in export_env.signatures:
+            lines.append(f"signature {name}")
+        for name in export_env.functors:
+            lines.append(f"functor {name}")
+        return lines
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    """A tiny console driver: ``python -m repro.interactive.repl``."""
+    import sys
+
+    repl = REPL(print_sink=lambda s: print(s, end=""))
+    print("Standard ML subset -- separate-compilation reproduction")
+    buffer = ""
+    for line in sys.stdin:
+        buffer += line
+        if ";" not in line and line.strip():
+            continue
+        if buffer.strip():
+            print(repl.eval(buffer).render())
+        buffer = ""
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,28 @@
+"""Front end for the Standard ML subset: lexer, AST, and parser.
+
+This package is the *source language* substrate of the reproduction.  The
+separate-compilation machinery of Appel & MacQueen (PLDI 1994) operates on
+compilation units whose contents are Standard ML module declarations;
+everything in this package exists so that those units are real programs
+rather than mocks.
+
+Public entry points:
+
+- :func:`repro.lang.lexer.tokenize` -- source text to a token list.
+- :func:`repro.lang.parser.parse_program` -- source text to a list of
+  top-level declarations (:class:`repro.lang.ast.Dec` subclasses).
+- :mod:`repro.lang.ast` -- the abstract syntax tree node classes.
+"""
+
+from repro.lang.errors import LexError, ParseError, SourceError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expression, parse_program
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "SourceError",
+    "tokenize",
+    "parse_program",
+    "parse_expression",
+]

@@ -1,0 +1,32 @@
+"""Source-level error types shared by the lexer and parser."""
+
+from __future__ import annotations
+
+
+class SourceError(Exception):
+    """An error attributed to a position in a source text.
+
+    Attributes:
+        message: human-readable description of the problem.
+        line: 1-based source line, or 0 when unknown.
+        col: 1-based source column, or 0 when unknown.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        if self.line:
+            return f"{self.line}:{self.col}: {self.message}"
+        return self.message
+
+
+class LexError(SourceError):
+    """Raised for malformed tokens (bad escapes, unterminated strings...)."""
+
+
+class ParseError(SourceError):
+    """Raised when the token stream does not form a valid program."""

@@ -1,0 +1,145 @@
+"""Conservative free-name analysis over the AST.
+
+Two clients:
+
+- Functor elaboration trims the functor's closure environment to the
+  names its body mentions, so that dehydrated functors reference imported
+  entities through (pid, index) stubs instead of dragging the whole
+  compilation context into the bin file (see DESIGN.md).
+- The compilation manager's dependency analyzer
+  (:mod:`repro.cm.depend`) finds which other units a source file
+  mentions.
+
+The analysis is deliberately *conservative*: it collects every name
+mentioned in a reference position, without subtracting locally-bound
+names.  Over-approximation only costs a little precision (an extra
+dependency edge, a slightly fatter closure); under-approximation would be
+unsound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+
+
+@dataclass
+class Mentions:
+    """Names mentioned per namespace."""
+
+    values: set[str] = field(default_factory=set)
+    tycons: set[str] = field(default_factory=set)
+    structures: set[str] = field(default_factory=set)
+    signatures: set[str] = field(default_factory=set)
+    functors: set[str] = field(default_factory=set)
+
+    def update(self, other: "Mentions") -> None:
+        self.values |= other.values
+        self.tycons |= other.tycons
+        self.structures |= other.structures
+        self.signatures |= other.signatures
+        self.functors |= other.functors
+
+
+def _mention_path(out: Mentions, path: ast.Path, namespace: str) -> None:
+    if len(path) > 1:
+        out.structures.add(path[0])
+    else:
+        getattr(out, namespace).add(path[0])
+
+
+def mentioned_names(node) -> Mentions:
+    """All names mentioned by an AST node (or list of nodes)."""
+    out = Mentions()
+    _walk(node, out)
+    return out
+
+
+def _walk(node, out: Mentions) -> None:
+    if isinstance(node, (list, tuple)):
+        for item in node:
+            _walk(item, out)
+        return
+    if not dataclasses.is_dataclass(node):
+        return
+
+    if isinstance(node, ast.VarExp):
+        _mention_path(out, node.path, "values")
+    elif isinstance(node, ast.VarPat):
+        # Might be a binder or a nullary-constructor use; include it.
+        out.values.add(node.name)
+    elif isinstance(node, ast.ConPat):
+        _mention_path(out, node.path, "values")
+    elif isinstance(node, ast.ConTy):
+        _mention_path(out, node.path, "tycons")
+    elif isinstance(node, ast.VarStrExp):
+        out.structures.add(node.path[0])
+    elif isinstance(node, ast.AppStrExp):
+        _mention_path(out, node.functor_path, "functors")
+    elif isinstance(node, ast.VarSigExp):
+        out.signatures.add(node.name)
+    elif isinstance(node, ast.OpenDec):
+        for path in node.paths:
+            out.structures.add(path[0])
+    elif isinstance(node, ast.DatatypeReplDec):
+        _mention_path(out, node.path, "tycons")
+    elif isinstance(node, ast.ExceptionDec):
+        for _name, _ty, alias in node.bindings:
+            if alias is not None:
+                _mention_path(out, alias, "values")
+    elif isinstance(node, ast.WhereTypeSigExp):
+        _mention_path(out, node.path, "tycons")
+    elif isinstance(node, ast.SharingSpec):
+        for path in node.paths:
+            _mention_path(out, path, "tycons")
+
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, (list, tuple)):
+            _walk(value, out)
+        elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+            _walk(value, out)
+
+
+def module_level_mentions(decs: list[ast.Dec]) -> Mentions:
+    """Mentions restricted to the module namespaces (structures,
+    signatures, functors) -- what inter-unit dependency analysis needs.
+
+    Names *defined* by the declarations themselves are subtracted, since
+    a unit does not depend on itself.
+    """
+    out = mentioned_names(decs)
+    defined = defined_module_names(decs)
+    return Mentions(
+        values=set(),
+        tycons=set(),
+        structures=out.structures - defined["structures"],
+        signatures=out.signatures - defined["signatures"],
+        functors=out.functors - defined["functors"],
+    )
+
+
+def defined_module_names(decs: list[ast.Dec]) -> dict[str, set[str]]:
+    """The module-level names a declaration list defines (including
+    through ``local..in..end``)."""
+    defined = {"structures": set(), "signatures": set(), "functors": set()}
+
+    def scan(dec_list) -> None:
+        for dec in dec_list:
+            if isinstance(dec, ast.StructureDec):
+                for binding in dec.bindings:
+                    defined["structures"].add(binding.name)
+            elif isinstance(dec, ast.SignatureDec):
+                for name, _sig in dec.bindings:
+                    defined["signatures"].add(name)
+            elif isinstance(dec, ast.FunctorDec):
+                for binding in dec.bindings:
+                    defined["functors"].add(binding.name)
+            elif isinstance(dec, ast.LocalDec):
+                scan(dec.private)
+                scan(dec.public)
+
+    scan(decs)
+    return defined

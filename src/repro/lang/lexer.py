@@ -1,0 +1,301 @@
+"""Lexer for the Standard ML subset.
+
+Follows the Definition of Standard ML's lexical rules closely enough for
+real programs: nested ``(* ... *)`` comments, ``~`` negation in numeric
+literals, ``0x``/``0w`` forms, string escapes, character literals ``#"c"``,
+type variables ``'a``/``''a``, alphanumeric and symbolic identifiers, and
+the reserved words/symbols of the subset.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, RESERVED_SYMBOLIC, TokKind, Token
+
+#: Characters that may form symbolic identifiers, per the Definition.
+SYMBOL_CHARS = set("!%&$#+-/:<=>?@\\~`^|*")
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+class _Scanner:
+    """Mutable cursor over the source text with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.text[i] if i < len(self.text) else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert source text to a token list ending with an EOF token.
+
+    Raises:
+        LexError: on malformed literals or unterminated comments/strings.
+    """
+    sc = _Scanner(text)
+    toks: list[Token] = []
+    while True:
+        _skip_space_and_comments(sc)
+        if sc.at_end():
+            toks.append(Token(TokKind.EOF, "", sc.line, sc.col))
+            return toks
+        toks.append(_scan_token(sc))
+
+
+def _skip_space_and_comments(sc: _Scanner) -> None:
+    while not sc.at_end():
+        ch = sc.peek()
+        if ch in " \t\r\n\f":
+            sc.advance()
+        elif ch == "(" and sc.peek(1) == "*":
+            _skip_comment(sc)
+        else:
+            return
+
+
+def _skip_comment(sc: _Scanner) -> None:
+    start_line, start_col = sc.line, sc.col
+    sc.advance()  # (
+    sc.advance()  # *
+    depth = 1
+    while depth > 0:
+        if sc.at_end():
+            raise LexError("unterminated comment", start_line, start_col)
+        if sc.peek() == "(" and sc.peek(1) == "*":
+            sc.advance()
+            sc.advance()
+            depth += 1
+        elif sc.peek() == "*" and sc.peek(1) == ")":
+            sc.advance()
+            sc.advance()
+            depth -= 1
+        else:
+            sc.advance()
+
+
+def _is_ascii_digit(ch: str) -> bool:
+    # str.isdigit() accepts Unicode digits (superscripts, Thai numerals,
+    # ...) that the literal scanners do not consume; SML digits are ASCII.
+    return "0" <= ch <= "9"
+
+
+def _scan_token(sc: _Scanner) -> Token:
+    line, col = sc.line, sc.col
+    ch = sc.peek()
+
+    if _is_ascii_digit(ch):
+        return _scan_number(sc, negative=False)
+    if ch == "~" and _is_ascii_digit(sc.peek(1)):
+        sc.advance()
+        return _scan_number(sc, negative=True, line=line, col=col)
+    if ch == '"':
+        return _scan_string(sc)
+    if ch == "#" and sc.peek(1) == '"':
+        sc.advance()
+        tok = _scan_string(sc)
+        if len(tok.value) != 1:
+            raise LexError("character literal must hold one character", line, col)
+        return Token(TokKind.CHAR, tok.text, line, col, tok.value)
+    if ch == "'":
+        return _scan_tyvar(sc)
+    if ch.isalpha():
+        return _scan_alpha_ident(sc)
+
+    single = {
+        "(": TokKind.LPAREN,
+        ")": TokKind.RPAREN,
+        "[": TokKind.LBRACKET,
+        "]": TokKind.RBRACKET,
+        "{": TokKind.LBRACE,
+        "}": TokKind.RBRACE,
+        ",": TokKind.COMMA,
+        ";": TokKind.SEMICOLON,
+    }
+    if ch in single:
+        sc.advance()
+        return Token(single[ch], ch, line, col)
+    if ch == ".":
+        if sc.peek(1) == "." and sc.peek(2) == ".":
+            sc.advance()
+            sc.advance()
+            sc.advance()
+            return Token(TokKind.DOTDOTDOT, "...", line, col)
+        sc.advance()
+        return Token(TokKind.DOT, ".", line, col)
+    if ch == "_":
+        sc.advance()
+        return Token(TokKind.UNDERSCORE, "_", line, col)
+    if ch in SYMBOL_CHARS:
+        return _scan_symbolic(sc)
+    raise sc.error(f"illegal character {ch!r}")
+
+
+def _scan_number(sc: _Scanner, negative: bool, line: int = 0, col: int = 0) -> Token:
+    if not line:
+        line, col = sc.line, sc.col
+    digits = []
+    if sc.peek() == "0" and sc.peek(1) == "w":
+        sc.advance()
+        sc.advance()
+        base = 16 if sc.peek() == "x" else 10
+        if base == 16:
+            sc.advance()
+        text = _scan_digits(sc, base)
+        if not text:
+            raise sc.error("malformed word literal")
+        return Token(TokKind.WORD, "0w" + text, line, col, int(text, base))
+    if sc.peek() == "0" and sc.peek(1) == "x":
+        sc.advance()
+        sc.advance()
+        text = _scan_digits(sc, 16)
+        if not text:
+            raise sc.error("malformed hex literal")
+        value = int(text, 16)
+        return Token(TokKind.INT, "0x" + text, line, col, -value if negative else value)
+
+    digits.append(_scan_digits(sc, 10))
+    is_real = False
+    if sc.peek() == "." and _is_ascii_digit(sc.peek(1)):
+        is_real = True
+        sc.advance()
+        digits.append("." + _scan_digits(sc, 10))
+    if sc.peek() in ("e", "E") and (
+        _is_ascii_digit(sc.peek(1))
+        or (sc.peek(1) == "~" and _is_ascii_digit(sc.peek(2)))
+    ):
+        is_real = True
+        sc.advance()
+        exp_sign = ""
+        if sc.peek() == "~":
+            sc.advance()
+            exp_sign = "-"
+        digits.append("e" + exp_sign + _scan_digits(sc, 10))
+    text = "".join(digits)
+    if is_real:
+        value = float(text)
+        return Token(TokKind.REAL, text, line, col, -value if negative else value)
+    value = int(text)
+    return Token(TokKind.INT, text, line, col, -value if negative else value)
+
+
+def _scan_digits(sc: _Scanner, base: int) -> str:
+    ok = "0123456789abcdefABCDEF" if base == 16 else "0123456789"
+    out = []
+    while sc.peek() and sc.peek() in ok:
+        out.append(sc.advance())
+    return "".join(out)
+
+
+def _scan_string(sc: _Scanner) -> Token:
+    line, col = sc.line, sc.col
+    sc.advance()  # opening quote
+    chars: list[str] = []
+    while True:
+        if sc.at_end():
+            raise LexError("unterminated string", line, col)
+        ch = sc.advance()
+        if ch == '"':
+            break
+        if ch == "\n":
+            raise LexError("newline in string literal", line, col)
+        if ch == "\\":
+            chars.append(_scan_escape(sc, line, col))
+        else:
+            chars.append(ch)
+    value = "".join(chars)
+    return Token(TokKind.STRING, '"' + value + '"', line, col, value)
+
+
+def _scan_escape(sc: _Scanner, line: int, col: int) -> str:
+    if sc.at_end():
+        raise LexError("unterminated escape", line, col)
+    ch = sc.advance()
+    if ch in _ESCAPES:
+        return _ESCAPES[ch]
+    if _is_ascii_digit(ch):
+        if sc.at_end():
+            raise LexError("malformed decimal escape", line, col)
+        d2 = sc.advance()
+        if sc.at_end():
+            raise LexError("malformed decimal escape", line, col)
+        d3 = sc.advance()
+        if not (_is_ascii_digit(d2) and _is_ascii_digit(d3)):
+            raise LexError("malformed decimal escape", line, col)
+        return chr(int(ch + d2 + d3))
+    if ch == "^":
+        ctrl = sc.advance()
+        return chr(ord(ctrl) - 64)
+    if ch in " \t\n\f\r":
+        # Gap escape: \ whitespace... \ splices lines together.
+        while not sc.at_end() and sc.peek() in " \t\n\f\r":
+            sc.advance()
+        if sc.at_end() or sc.advance() != "\\":
+            raise LexError("malformed string gap", line, col)
+        return ""
+    raise LexError(f"unknown escape \\{ch}", line, col)
+
+
+def _scan_tyvar(sc: _Scanner) -> Token:
+    line, col = sc.line, sc.col
+    text = [sc.advance()]  # '
+    if sc.peek() == "'":
+        text.append(sc.advance())  # equality tyvar ''a
+    if not (sc.peek().isalnum() or sc.peek() == "_"):
+        raise sc.error("malformed type variable")
+    while sc.peek() and (sc.peek().isalnum() or sc.peek() in "_'"):
+        text.append(sc.advance())
+    return Token(TokKind.TYVAR, "".join(text), line, col)
+
+
+def _scan_alpha_ident(sc: _Scanner) -> Token:
+    line, col = sc.line, sc.col
+    chars = [sc.advance()]
+    while sc.peek() and (sc.peek().isalnum() or sc.peek() in "_'"):
+        chars.append(sc.advance())
+    text = "".join(chars)
+    if text in KEYWORDS:
+        return Token(TokKind.KEYWORD, text, line, col)
+    return Token(TokKind.ID, text, line, col)
+
+
+def _scan_symbolic(sc: _Scanner) -> Token:
+    line, col = sc.line, sc.col
+    chars = []
+    while sc.peek() in SYMBOL_CHARS:
+        chars.append(sc.advance())
+    text = "".join(chars)
+    if text in RESERVED_SYMBOLIC:
+        return Token(TokKind.KEYWORD, text, line, col)
+    return Token(TokKind.SYMID, text, line, col)

@@ -1,0 +1,69 @@
+"""Operator fixity environments.
+
+SML's grammar is parameterized by a fixity environment that ``infix``,
+``infixr`` and ``nonfix`` declarations update.  The parser threads a
+:class:`FixityEnv` through declaration scopes (``let``, ``local``,
+``struct`` bodies introduce a child scope so fixity declarations do not
+escape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Fixity:
+    precedence: int
+    assoc: str  # "left" | "right"
+
+
+#: The initial basis fixities from the Definition of Standard ML.
+DEFAULT_FIXITIES: dict[str, Fixity] = {
+    "*": Fixity(7, "left"),
+    "/": Fixity(7, "left"),
+    "div": Fixity(7, "left"),
+    "mod": Fixity(7, "left"),
+    "+": Fixity(6, "left"),
+    "-": Fixity(6, "left"),
+    "^": Fixity(6, "left"),
+    "::": Fixity(5, "right"),
+    "@": Fixity(5, "right"),
+    "=": Fixity(4, "left"),
+    "<>": Fixity(4, "left"),
+    ">": Fixity(4, "left"),
+    ">=": Fixity(4, "left"),
+    "<": Fixity(4, "left"),
+    "<=": Fixity(4, "left"),
+    ":=": Fixity(3, "left"),
+    "o": Fixity(3, "left"),
+    "before": Fixity(0, "left"),
+}
+
+
+class FixityEnv:
+    """A chained scope of fixity declarations."""
+
+    def __init__(self, parent: "FixityEnv | None" = None):
+        self._parent = parent
+        self._table: dict[str, Fixity | None] = {}  # None marks ``nonfix``
+
+    @classmethod
+    def initial(cls) -> "FixityEnv":
+        env = cls()
+        env._table.update(DEFAULT_FIXITIES)
+        return env
+
+    def child(self) -> "FixityEnv":
+        return FixityEnv(self)
+
+    def lookup(self, name: str) -> Fixity | None:
+        env: FixityEnv | None = self
+        while env is not None:
+            if name in env._table:
+                return env._table[name]
+            env = env._parent
+        return None
+
+    def declare(self, name: str, fixity: Fixity | None) -> None:
+        self._table[name] = fixity

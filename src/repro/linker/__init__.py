@@ -1,0 +1,13 @@
+"""Type-safe linkage (§7).
+
+A classical linker matches imports to exports by *name*; if a makefile
+bug let a stale object file survive, the program links and then
+miscomputes.  The paper's linker matches by *pid*: because a pid is the
+hash of an exported interface, "a consistent set of pids ensures a
+type-safe linking process" -- link-time type checking without
+re-elaboration.
+"""
+
+from repro.linker.link import LinkError, Linker, check_consistency
+
+__all__ = ["LinkError", "Linker", "check_consistency"]

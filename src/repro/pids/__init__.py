@@ -1,0 +1,15 @@
+"""Persistent identifiers (pids).
+
+A pid names an exported interface.  The paper (§5) considers three
+choices -- timestamps, source hashes, and *intrinsic* pids (a hash of the
+exported static environment itself) -- and argues for intrinsic pids
+because they are independent of when or where the module was compiled and
+insensitive to changes that do not affect the interface.  This package
+implements the 128-bit CRC the paper uses and the canonical,
+alpha-converted serialization of static environments it is applied to.
+"""
+
+from repro.pids.crc128 import CRC128, crc128_hex
+from repro.pids.intrinsic import intrinsic_pid
+
+__all__ = ["CRC128", "crc128_hex", "intrinsic_pid"]

@@ -1,0 +1,53 @@
+"""Intrinsic pids: hashing exported static environments (§5).
+
+The paper's algorithm:
+
+1. Traverse the exported static environment in a canonical (prefix)
+   order.
+2. Alpha-convert: internal stamps are replaced by provisional pids
+   1..n in traversal order, so the hash is independent of which session
+   minted the stamps.
+3. External entities are rendered as (owning unit's pid, export index).
+4. CRC-128 the resulting byte stream; the digest is the unit's pid.
+
+Our canonical serialization is the dehydrater itself run in
+line-normalizing mode (so editing comments -- which only shifts line
+numbers -- cannot change a pid), with the memo numbering of the shared
+pickler playing the role of the provisional pids.  As the paper notes
+wryly ("Look how many passes we are taking over the export
+environments!"), hashing and dehydration are separate passes; sharing the
+traversal code keeps them consistent by construction.
+"""
+
+from __future__ import annotations
+
+from repro.pickle.pickler import Pickler
+from repro.pids.crc128 import CRC128
+from repro.semant.env import Env
+
+
+def intrinsic_pid(
+    export_env: Env,
+    local_stamp_ids,
+    extern=None,
+    context_env_ids=frozenset(),
+    seed: str = "",
+) -> str:
+    """The intrinsic pid (32 hex digits) of an exported environment.
+
+    ``seed`` is mixed in first; the unit pipeline passes the unit's name
+    so that two textually identical units get distinct pids.  (Their
+    exported datatypes are distinct *generative* types, and the
+    (pid, index) stub namespace must keep them apart.)
+    """
+    pickler = Pickler(
+        local_stamp_ids=local_stamp_ids,
+        extern=extern,
+        context_env_ids=context_env_ids,
+        normalize_lines=True,
+    )
+    data = pickler.run(export_env)
+    crc = CRC128()
+    if seed:
+        crc.update(seed.encode("utf-8"))
+    return crc.update(data).hexdigest()

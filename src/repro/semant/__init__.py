@@ -1,0 +1,25 @@
+"""Semantic objects: stamps, types, environments, and module objects.
+
+These are the "static environment" values of the paper -- the things that
+compilation produces, that bin files pickle (dehydrate), and that intrinsic
+pids hash.  SML/NJ's equivalents span 36 datatypes with 115 variants
+(section 4 of the paper); ours is a leaner but structurally faithful graph:
+it is cyclic (datatypes refer to their constructors and back), it shares
+substructure aggressively, and every generative object carries a stamp.
+"""
+
+from repro.semant.stamps import Stamp, StampGenerator, fresh_stamp
+from repro.semant.env import Env, Functor, Sig, Structure, ValueBinding
+from repro.semant import types
+
+__all__ = [
+    "Stamp",
+    "StampGenerator",
+    "fresh_stamp",
+    "Env",
+    "Structure",
+    "Sig",
+    "Functor",
+    "ValueBinding",
+    "types",
+]

@@ -1,0 +1,72 @@
+"""Pretty-printing of semantic types, SML-style."""
+
+from __future__ import annotations
+
+from repro.semant.types import (
+    BoundVar,
+    ConType,
+    FlexRecord,
+    FunType,
+    PolyType,
+    RecordType,
+    TyVar,
+    Type,
+    prune,
+)
+
+_VAR_NAMES = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _var_name(index: int, eq: bool) -> str:
+    prefix = "''" if eq else "'"
+    if index < 26:
+        return prefix + _VAR_NAMES[index]
+    return f"{prefix}{_VAR_NAMES[index % 26]}{index // 26}"
+
+
+def format_type(ty: Type) -> str:
+    """Render a type (or scheme) the way an SML top level would."""
+    eqflags: tuple[bool, ...] = ()
+    if isinstance(ty, PolyType):
+        eqflags = ty.eqflags
+        ty = ty.body
+    free: dict[int, str] = {}
+
+    def walk(t: Type, prec: int) -> str:
+        t = prune(t)
+        if isinstance(t, BoundVar):
+            eq = t.index < len(eqflags) and eqflags[t.index]
+            return _var_name(t.index, eq)
+        if isinstance(t, TyVar):
+            if t.id not in free:
+                free[t.id] = _var_name(1000 + len(free), t.eq).replace(
+                    "'", "'Z", 1)
+            return free[t.id]
+        if isinstance(t, FlexRecord):
+            inner = ", ".join(
+                f"{label}: {walk(f, 0)}"
+                for label, f in sorted(t.fields.items()))
+            return "{" + inner + ", ...}"
+        if isinstance(t, FunType):
+            # Precedences: arrow 1, tuple 2, application 3.
+            text = f"{walk(t.dom, 2)} -> {walk(t.rng, 1)}"
+            return f"({text})" if prec >= 2 else text
+        if isinstance(t, RecordType):
+            if not t.fields:
+                return "unit"
+            if t.is_tuple():
+                text = " * ".join(walk(f, 3) for _, f in t.fields)
+                return f"({text})" if prec >= 3 else text
+            inner = ", ".join(
+                f"{label}: {walk(f, 0)}" for label, f in t.fields)
+            return "{" + inner + "}"
+        if isinstance(t, ConType):
+            if not t.args:
+                return t.tycon.name
+            if len(t.args) == 1:
+                return f"{walk(t.args[0], 3)} {t.tycon.name}"
+            inner = ", ".join(walk(a, 0) for a in t.args)
+            return f"({inner}) {t.tycon.name}"
+        return repr(t)
+
+    return walk(ty, 0)

@@ -1,0 +1,408 @@
+"""The primitive layer of the initial basis.
+
+Defines the pervasive type constructors (``int``, ``bool``, ``'a list``,
+...) and the static types of the primitive values (arithmetic, comparison,
+references, string operations, ...).  The *dynamic* meanings live in
+:mod:`repro.dynamic.builtins`; the rest of the initial basis is written in
+SML itself (:mod:`repro.basis`) and bootstrapped through the compiler.
+
+All primitive tycons and constructors are module-level singletons so that
+every compilation session in one Python process agrees on their identity,
+exactly as every SML/NJ unit agrees on the pervasive environment.
+"""
+
+from __future__ import annotations
+
+from repro.semant.env import Env, Structure, ValueBinding
+from repro.semant.stamps import fresh_stamp
+from repro.semant.types import (
+    BoundVar,
+    ConType,
+    Constructor,
+    DatatypeTycon,
+    FunType,
+    OverloadScheme,
+    PolyType,
+    PrimTycon,
+    RecordType,
+    Type,
+    tuple_type,
+    unit_type,
+)
+
+# -- primitive tycons -------------------------------------------------------
+
+INT = PrimTycon("int", 0, True)
+WORD = PrimTycon("word", 0, True)
+REAL = PrimTycon("real", 0, False)  # real is not an equality type in SML
+STRING = PrimTycon("string", 0, True)
+CHAR = PrimTycon("char", 0, True)
+EXN = PrimTycon("exn", 0, False)
+REF = PrimTycon("ref", 1, "always")
+ARRAY = PrimTycon("array", 1, "always")
+VECTOR = PrimTycon("vector", 1, True)
+
+# -- pervasive datatypes (bool, list, option, order) -----------------------
+
+BOOL = DatatypeTycon(fresh_stamp(), "bool", 0)
+LIST = DatatypeTycon(fresh_stamp(), "list", 1)
+OPTION = DatatypeTycon(fresh_stamp(), "option", 1)
+ORDER = DatatypeTycon(fresh_stamp(), "order", 0)
+
+
+def int_type() -> Type:
+    return ConType(INT)
+
+
+def word_type() -> Type:
+    return ConType(WORD)
+
+
+def real_type() -> Type:
+    return ConType(REAL)
+
+
+def string_type() -> Type:
+    return ConType(STRING)
+
+
+def char_type() -> Type:
+    return ConType(CHAR)
+
+
+def exn_type() -> Type:
+    return ConType(EXN)
+
+
+def bool_type() -> Type:
+    return ConType(BOOL)
+
+
+def order_type() -> Type:
+    return ConType(ORDER)
+
+
+def list_type(elem: Type) -> Type:
+    return ConType(LIST, (elem,))
+
+
+def option_type(elem: Type) -> Type:
+    return ConType(OPTION, (elem,))
+
+
+def ref_type(elem: Type) -> Type:
+    return ConType(REF, (elem,))
+
+
+def vector_type(elem: Type) -> Type:
+    return ConType(VECTOR, (elem,))
+
+
+def array_type(elem: Type) -> Type:
+    return ConType(ARRAY, (elem,))
+
+
+def _con(name: str, tycon: DatatypeTycon, scheme: Type,
+         has_arg: bool) -> Constructor:
+    con = Constructor(name, tycon, scheme, has_arg)
+    tycon.constructors.append(con)
+    return con
+
+
+TRUE = _con("true", BOOL, bool_type(), has_arg=False)
+FALSE = _con("false", BOOL, bool_type(), has_arg=False)
+
+NIL = _con("nil", LIST, PolyType(1, ConType(LIST, (BoundVar(0),))),
+           has_arg=False)
+CONS = _con(
+    "::", LIST,
+    PolyType(
+        1,
+        FunType(
+            tuple_type([BoundVar(0), ConType(LIST, (BoundVar(0),))]),
+            ConType(LIST, (BoundVar(0),)),
+        ),
+    ),
+    has_arg=True,
+)
+
+NONE_CON = _con("NONE", OPTION, PolyType(1, ConType(OPTION, (BoundVar(0),))),
+                has_arg=False)
+SOME = _con(
+    "SOME", OPTION,
+    PolyType(1, FunType(BoundVar(0), ConType(OPTION, (BoundVar(0),)))),
+    has_arg=True,
+)
+
+LESS = _con("LESS", ORDER, order_type(), has_arg=False)
+EQUAL = _con("EQUAL", ORDER, order_type(), has_arg=False)
+GREATER = _con("GREATER", ORDER, order_type(), has_arg=False)
+
+
+# -- primitive exceptions ---------------------------------------------------
+
+
+def _exn(name: str, arg: Type | None) -> Constructor:
+    scheme = FunType(arg, exn_type()) if arg is not None else exn_type()
+    return Constructor(name, None, scheme, has_arg=arg is not None,
+                       is_exn=True)
+
+
+PRIM_EXCEPTIONS = {
+    "Fail": _exn("Fail", string_type()),
+    "Div": _exn("Div", None),
+    "Overflow": _exn("Overflow", None),
+    "Subscript": _exn("Subscript", None),
+    "Size": _exn("Size", None),
+    "Chr": _exn("Chr", None),
+    "Domain": _exn("Domain", None),
+    "Match": _exn("Match", None),
+    "Bind": _exn("Bind", None),
+    "Empty": _exn("Empty", None),
+    "Option": _exn("Option", None),
+}
+
+
+# -- primitive value types ---------------------------------------------------
+
+
+def _binop(ty: Type, result: Type | None = None) -> Type:
+    return FunType(tuple_type([ty, ty]), result if result is not None else ty)
+
+
+def _eq_scheme() -> PolyType:
+    return PolyType(
+        1, FunType(tuple_type([BoundVar(0), BoundVar(0)]), bool_type()),
+        eqflags=(True,),
+    )
+
+
+def _overloaded_binop(candidates, default) -> OverloadScheme:
+    var = BoundVar(0)
+    return OverloadScheme(
+        FunType(tuple_type([var, var]), var), tuple(candidates), default)
+
+
+def _overloaded_compare(candidates, default) -> OverloadScheme:
+    var = BoundVar(0)
+    return OverloadScheme(
+        FunType(tuple_type([var, var]), bool_type()), tuple(candidates),
+        default)
+
+
+def _overloaded_unop(candidates, default) -> OverloadScheme:
+    var = BoundVar(0)
+    return OverloadScheme(FunType(var, var), tuple(candidates), default)
+
+
+_NUM = (INT, REAL, WORD)
+_NUMTXT = (INT, REAL, WORD, STRING, CHAR)
+
+#: name -> type scheme of every primitive value.  The dynamic meanings are
+#: registered under the same names in :mod:`repro.dynamic.builtins`.
+#: Arithmetic and comparisons are overloaded per the Definition
+#: (defaulting to int).
+PRIM_VAL_TYPES: dict[str, Type] = {
+    "+": _overloaded_binop(_NUM, INT),
+    "-": _overloaded_binop(_NUM, INT),
+    "*": _overloaded_binop(_NUM, INT),
+    "div": _overloaded_binop((INT, WORD), INT),
+    "mod": _overloaded_binop((INT, WORD), INT),
+    "/": _binop(real_type()),
+    "~": _overloaded_unop((INT, REAL), INT),
+    "abs": _overloaded_unop((INT, REAL), INT),
+    "<": _overloaded_compare(_NUMTXT, INT),
+    "<=": _overloaded_compare(_NUMTXT, INT),
+    ">": _overloaded_compare(_NUMTXT, INT),
+    ">=": _overloaded_compare(_NUMTXT, INT),
+    # Polymorphic equality.
+    "=": _eq_scheme(),
+    "<>": _eq_scheme(),
+    # Strings and characters.
+    "^": _binop(string_type()),
+    "size": FunType(string_type(), int_type()),
+    "str": FunType(char_type(), string_type()),
+    "chr": FunType(int_type(), char_type()),
+    "ord": FunType(char_type(), int_type()),
+    "substring": FunType(
+        tuple_type([string_type(), int_type(), int_type()]), string_type()
+    ),
+    "implode": FunType(list_type(char_type()), string_type()),
+    "explode": FunType(string_type(), list_type(char_type())),
+    "concat": FunType(list_type(string_type()), string_type()),
+    # References.
+    "ref": PolyType(1, FunType(BoundVar(0), ref_type(BoundVar(0)))),
+    "!": PolyType(1, FunType(ref_type(BoundVar(0)), BoundVar(0))),
+    ":=": PolyType(
+        1, FunType(tuple_type([ref_type(BoundVar(0)), BoundVar(0)]),
+                   unit_type())
+    ),
+    # I/O and misc.
+    "print": FunType(string_type(), unit_type()),
+    "ignore": PolyType(1, FunType(BoundVar(0), unit_type())),
+    "exnName": FunType(exn_type(), string_type()),
+}
+
+#: Primitive values reachable only through basis structures (Int.+, ...).
+#: name here is the flat internal name; repro.basis re-exports them from
+#: the proper structures.
+PRIM_HIDDEN_TYPES: dict[str, Type] = {
+    "Int.toString": FunType(int_type(), string_type()),
+    "Int.fromString": FunType(string_type(), option_type(int_type())),
+    "Int.compare": _binop(int_type(), order_type()),
+    "Int.min": _binop(int_type()),
+    "Int.max": _binop(int_type()),
+    "Int.quot": _binop(int_type()),
+    "Int.rem": _binop(int_type()),
+    "Real.+": _binop(real_type()),
+    "Real.-": _binop(real_type()),
+    "Real.*": _binop(real_type()),
+    "Real./": _binop(real_type()),
+    "Real.~": FunType(real_type(), real_type()),
+    "Real.<": _binop(real_type(), bool_type()),
+    "Real.<=": _binop(real_type(), bool_type()),
+    "Real.>": _binop(real_type(), bool_type()),
+    "Real.>=": _binop(real_type(), bool_type()),
+    "Real.==": _binop(real_type(), bool_type()),
+    "Real.fromInt": FunType(int_type(), real_type()),
+    "Real.floor": FunType(real_type(), int_type()),
+    "Real.ceil": FunType(real_type(), int_type()),
+    "Real.round": FunType(real_type(), int_type()),
+    "Real.trunc": FunType(real_type(), int_type()),
+    "Real.toString": FunType(real_type(), string_type()),
+    "Real.sqrt": FunType(real_type(), real_type()),
+    "String.<": _binop(string_type(), bool_type()),
+    "String.<=": _binop(string_type(), bool_type()),
+    "String.>": _binop(string_type(), bool_type()),
+    "String.>=": _binop(string_type(), bool_type()),
+    "String.compare": _binop(string_type(), order_type()),
+    "String.sub": FunType(tuple_type([string_type(), int_type()]),
+                          char_type()),
+    "Char.<": _binop(char_type(), bool_type()),
+    "Char.<=": _binop(char_type(), bool_type()),
+    "Char.compare": _binop(char_type(), order_type()),
+    "Word.+": _binop(word_type()),
+    "Word.-": _binop(word_type()),
+    "Word.*": _binop(word_type()),
+    "Word.andb": _binop(word_type()),
+    "Word.orb": _binop(word_type()),
+    "Word.xorb": _binop(word_type()),
+    "Word.toInt": FunType(word_type(), int_type()),
+    "Word.fromInt": FunType(int_type(), word_type()),
+    # Immutable vectors.
+    "Vector.fromList": PolyType(
+        1, FunType(list_type(BoundVar(0)), vector_type(BoundVar(0)))),
+    "Vector.toList": PolyType(
+        1, FunType(vector_type(BoundVar(0)), list_type(BoundVar(0)))),
+    "Vector.tabulate": PolyType(
+        1, FunType(tuple_type([int_type(),
+                               FunType(int_type(), BoundVar(0))]),
+                   vector_type(BoundVar(0)))),
+    "Vector.length": PolyType(
+        1, FunType(vector_type(BoundVar(0)), int_type())),
+    "Vector.sub": PolyType(
+        1, FunType(tuple_type([vector_type(BoundVar(0)), int_type()]),
+                   BoundVar(0))),
+    "Vector.concat": PolyType(
+        1, FunType(list_type(vector_type(BoundVar(0))),
+                   vector_type(BoundVar(0)))),
+    "Vector.map": PolyType(
+        2, FunType(FunType(BoundVar(0), BoundVar(1)),
+                   FunType(vector_type(BoundVar(0)),
+                           vector_type(BoundVar(1))))),
+    "Vector.foldl": PolyType(
+        2, FunType(FunType(tuple_type([BoundVar(0), BoundVar(1)]),
+                           BoundVar(1)),
+                   FunType(BoundVar(1),
+                           FunType(vector_type(BoundVar(0)),
+                                   BoundVar(1))))),
+    # Mutable arrays (equality by identity, like ref).
+    "Array.array": PolyType(
+        1, FunType(tuple_type([int_type(), BoundVar(0)]),
+                   array_type(BoundVar(0)))),
+    "Array.fromList": PolyType(
+        1, FunType(list_type(BoundVar(0)), array_type(BoundVar(0)))),
+    "Array.tabulate": PolyType(
+        1, FunType(tuple_type([int_type(),
+                               FunType(int_type(), BoundVar(0))]),
+                   array_type(BoundVar(0)))),
+    "Array.length": PolyType(
+        1, FunType(array_type(BoundVar(0)), int_type())),
+    "Array.sub": PolyType(
+        1, FunType(tuple_type([array_type(BoundVar(0)), int_type()]),
+                   BoundVar(0))),
+    "Array.update": PolyType(
+        1, FunType(tuple_type([array_type(BoundVar(0)), int_type(),
+                               BoundVar(0)]), unit_type())),
+    "Array.vector": PolyType(
+        1, FunType(array_type(BoundVar(0)), vector_type(BoundVar(0)))),
+}
+
+
+def primitive_static_env() -> Env:
+    """The static environment of the primitive layer.
+
+    Binds the pervasive tycons, the pervasive data constructors, the
+    primitive exceptions, and the primitive values.  Hidden (dotted)
+    primitives are bound under their flat dotted name; :mod:`repro.basis`
+    wraps them into proper structures.
+    """
+    env = Env()
+    for tycon in (INT, WORD, REAL, STRING, CHAR, EXN, REF, ARRAY, VECTOR,
+                  BOOL, LIST, OPTION, ORDER):
+        env.bind_tycon(tycon.name, tycon)
+    env.bind_tycon("unit", _unit_typefun())
+
+    for con in (TRUE, FALSE, NIL, CONS, NONE_CON, SOME, LESS, EQUAL,
+                GREATER):
+        env.bind_value(con.name, ValueBinding(con.scheme, con))
+    for name, con in PRIM_EXCEPTIONS.items():
+        env.bind_value(name, ValueBinding(con.scheme, con))
+    for name, scheme in PRIM_VAL_TYPES.items():
+        env.bind_value(name, ValueBinding(scheme))
+    for name, struct in primitive_structures().items():
+        env.bind_structure(name, struct)
+    return env
+
+
+#: Cache so every session shares the same structure objects (identity
+#: matters for the stamp index and the pickler).
+_PRIM_STRUCTURES: dict[str, Structure] = {}
+
+
+def primitive_structures() -> dict[str, Structure]:
+    """The primitive basis structures (Int, Real, String, Char, Word),
+    built from the dotted names in :data:`PRIM_HIDDEN_TYPES`."""
+    if _PRIM_STRUCTURES:
+        return _PRIM_STRUCTURES
+    grouped: dict[str, Env] = {}
+    for dotted, scheme in PRIM_HIDDEN_TYPES.items():
+        struct_name, member = dotted.split(".", 1)
+        grouped.setdefault(struct_name, Env()).bind_value(
+            member, ValueBinding(scheme))
+    for struct_name, env in grouped.items():
+        _PRIM_STRUCTURES[struct_name] = Structure(
+            fresh_stamp(), struct_name, env)
+    return _PRIM_STRUCTURES
+
+
+def _unit_typefun():
+    from repro.semant.types import TypeFun
+
+    return TypeFun(0, RecordType(()), name="unit")
+
+
+#: Names that, in patterns, the elaborator treats as pervasive
+#: constructors even without an environment hit (never shadowed in
+#: practice -- mirrors the Definition's treatment of ``true``/``false``).
+PERVASIVE_CONSTRUCTORS = {
+    "true": TRUE,
+    "false": FALSE,
+    "nil": NIL,
+    "::": CONS,
+    "NONE": NONE_CON,
+    "SOME": SOME,
+    "LESS": LESS,
+    "EQUAL": EQUAL,
+    "GREATER": GREATER,
+}

@@ -1,0 +1,465 @@
+"""Semantic types, type constructors and data constructors.
+
+Conventions:
+
+- Unification variables (:class:`TyVar`) are mutable; everything else is
+  conceptually immutable once elaboration of its defining declaration
+  finishes.
+- Type schemes are :class:`PolyType` with de-Bruijn-indexed
+  :class:`BoundVar` occurrences in the body; monomorphic bindings are bare
+  types.
+- Tuples are records with numeric labels "1".."n", following the
+  Definition of Standard ML.
+- Type abbreviations (:class:`TypeFun`) are expanded at elaboration time,
+  so a :class:`ConType` always applies a *generative* or primitive tycon.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.semant.stamps import Stamp
+
+
+class Type:
+    """Base class of semantic types."""
+
+    __slots__ = ()
+
+
+class TyVar(Type):
+    """A unification variable.
+
+    Attributes:
+        link: the type this variable has been unified with, or None.
+        level: let-nesting level at creation, for generalization.
+        eq: True when the variable must be instantiated to an equality type.
+        id: serial number for printing.
+    """
+
+    __slots__ = ("link", "level", "eq", "id")
+
+    _ids = itertools.count(1)
+
+    def __init__(self, level: int, eq: bool = False):
+        self.link: Type | None = None
+        self.level = level
+        self.eq = eq
+        self.id = next(TyVar._ids)
+
+    def __repr__(self) -> str:
+        prefix = "''" if self.eq else "'"
+        return f"{prefix}a{self.id}" if self.link is None else repr(self.link)
+
+
+class OverloadVar(TyVar):
+    """A unification variable restricted to an overloading class.
+
+    The Definition overloads the arithmetic and comparison operators over
+    a fixed set of base types, defaulting to ``int`` when the context
+    does not determine one.  An OverloadVar unifies only with members of
+    ``candidates``; :meth:`repro.elab.core.Elaborator.generalize` resolves
+    any survivor to ``default``.
+    """
+
+    __slots__ = ("candidates", "default")
+
+    def __init__(self, level: int, candidates: tuple, default):
+        super().__init__(level)
+        self.candidates = candidates
+        self.default = default
+
+    def __repr__(self) -> str:
+        if self.link is not None:
+            return repr(self.link)
+        names = "/".join(t.name for t in self.candidates)
+        return f"'{{{names}}}{self.id}"
+
+
+class OverloadScheme(Type):
+    """The type scheme of an overloaded operator: ``body`` quantifies one
+    :class:`BoundVar` ranging over ``candidates``."""
+
+    __slots__ = ("body", "candidates", "default")
+
+    def __init__(self, body: Type, candidates: tuple, default):
+        self.body = body
+        self.candidates = candidates
+        self.default = default
+
+    def __repr__(self) -> str:
+        names = "/".join(t.name for t in self.candidates)
+        return f"overloaded[{names}]. {self.body!r}"
+
+
+class FlexRecord(Type):
+    """A partially-known record type, from ``{x, ...}`` patterns and
+    ``#label`` selectors.
+
+    Behaves like a unification variable constrained to be a record having
+    at least the given fields.  It must be resolved (linked to a full
+    :class:`RecordType`) by the end of the enclosing declaration.
+    """
+
+    __slots__ = ("fields", "link", "level", "id")
+
+    def __init__(self, fields: dict, level: int):
+        self.fields: dict[str, Type] = fields
+        self.link: Type | None = None
+        self.level = level
+        self.id = next(TyVar._ids)
+
+    def __repr__(self) -> str:
+        if self.link is not None:
+            return repr(self.link)
+        inner = ", ".join(f"{label}: {ty!r}" for label, ty in
+                          sorted(self.fields.items()))
+        return "{" + inner + ", ...}"
+
+
+class BoundVar(Type):
+    """A quantified variable inside a :class:`PolyType` body."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"'b{self.index}"
+
+
+class ConType(Type):
+    """Application of a type constructor: ``(args) tycon``."""
+
+    __slots__ = ("tycon", "args")
+
+    def __init__(self, tycon: "Tycon", args: tuple[Type, ...] = ()):
+        assert len(args) == tycon.arity, (tycon.name, len(args), tycon.arity)
+        self.tycon = tycon
+        self.args = tuple(args)
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.tycon.name
+        inner = ", ".join(map(repr, self.args))
+        return f"({inner}) {self.tycon.name}"
+
+
+class RecordType(Type):
+    """A record type with sorted labels; tuples use labels "1".."n"."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: tuple[tuple[str, Type], ...]):
+        self.fields = tuple(sorted(fields, key=lambda f: _label_key(f[0])))
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(label for label, _ in self.fields)
+
+    def is_tuple(self) -> bool:
+        return self.labels() == tuple(str(i + 1) for i in range(len(self.fields)))
+
+    def __repr__(self) -> str:
+        if not self.fields:
+            return "unit"
+        if self.is_tuple():
+            return "(" + " * ".join(repr(t) for _, t in self.fields) + ")"
+        inner = ", ".join(f"{label}: {ty!r}" for label, ty in self.fields)
+        return "{" + inner + "}"
+
+
+class FunType(Type):
+    __slots__ = ("dom", "rng")
+
+    def __init__(self, dom: Type, rng: Type):
+        self.dom = dom
+        self.rng = rng
+
+    def __repr__(self) -> str:
+        return f"({self.dom!r} -> {self.rng!r})"
+
+
+class PolyType(Type):
+    """A type scheme: ``forall 'a1..'an . body``.
+
+    ``eqflags[i]`` is True when the i-th quantified variable must range
+    over equality types (a ``''a`` variable).
+    """
+
+    __slots__ = ("arity", "body", "eqflags")
+
+    def __init__(self, arity: int, body: Type, eqflags: tuple[bool, ...] = ()):
+        self.arity = arity
+        self.body = body
+        self.eqflags = eqflags or tuple([False] * arity)
+
+    def __repr__(self) -> str:
+        return f"forall^{self.arity}. {self.body!r}"
+
+
+def _label_key(label: str):
+    """Numeric labels sort numerically so tuples stay in order."""
+    return (0, int(label), "") if label.isdigit() else (1, 0, label)
+
+
+def tuple_type(parts: list[Type] | tuple[Type, ...]) -> RecordType:
+    return RecordType(tuple((str(i + 1), t) for i, t in enumerate(parts)))
+
+
+#: The unit type is the empty record.
+def unit_type() -> RecordType:
+    return RecordType(())
+
+
+def prune(ty: Type) -> Type:
+    """Follow unification links to the representative type (with path
+    compression)."""
+    if isinstance(ty, (TyVar, FlexRecord)) and ty.link is not None:
+        ty.link = prune(ty.link)
+        return ty.link
+    return ty
+
+
+# ---------------------------------------------------------------------------
+# Type constructors
+# ---------------------------------------------------------------------------
+
+
+class Tycon:
+    """Base class of type constructors appearing in :class:`ConType`."""
+
+    __slots__ = ()
+
+    name: str
+    arity: int
+
+    def admits_equality(self) -> bool:
+        raise NotImplementedError
+
+
+class PrimTycon(Tycon):
+    """A primitive tycon of the initial basis (int, real, ref, ...).
+
+    Identity is by object; the basis constructs each exactly once.
+    ``eq`` may be True/False, or the string "always" for ``ref``, whose
+    applications admit equality regardless of the argument.
+    """
+
+    __slots__ = ("name", "arity", "eq")
+
+    def __init__(self, name: str, arity: int, eq):
+        self.name = name
+        self.arity = arity
+        self.eq = eq
+
+    def admits_equality(self) -> bool:
+        return bool(self.eq)
+
+    def __repr__(self) -> str:
+        return f"<prim {self.name}/{self.arity}>"
+
+
+class DatatypeTycon(Tycon):
+    """A generative datatype constructor.
+
+    The constructor list is filled in after creation (datatypes are
+    recursive), making the semantic-object graph cyclic -- which the
+    pickler must, and does, support.
+    """
+
+    __slots__ = ("stamp", "name", "arity", "constructors", "eq")
+
+    def __init__(self, stamp: Stamp, name: str, arity: int):
+        self.stamp = stamp
+        self.name = name
+        self.arity = arity
+        self.constructors: list[Constructor] = []
+        self.eq = True  # refined by compute_datatype_equality
+
+    def admits_equality(self) -> bool:
+        return self.eq
+
+    def __repr__(self) -> str:
+        return f"<datatype {self.name}/{self.arity} {self.stamp!r}>"
+
+
+class AbstractTycon(Tycon):
+    """An opaque tycon: from an opaque ascription or an unrealized spec."""
+
+    __slots__ = ("stamp", "name", "arity", "eq")
+
+    def __init__(self, stamp: Stamp, name: str, arity: int, eq: bool = False):
+        self.stamp = stamp
+        self.name = name
+        self.arity = arity
+        self.eq = eq
+
+    def admits_equality(self) -> bool:
+        return self.eq
+
+    def __repr__(self) -> str:
+        return f"<abstype {self.name}/{self.arity} {self.stamp!r}>"
+
+
+class TypeFun:
+    """A type abbreviation: ``type ('a1..'an) t = body``.
+
+    Never appears inside a :class:`ConType`; environment lookups expand it
+    by substitution (:func:`apply_typefun`).
+    """
+
+    __slots__ = ("arity", "body", "name")
+
+    def __init__(self, arity: int, body: Type, name: str = "?"):
+        self.arity = arity
+        self.body = body
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<typefun {self.name}/{self.arity} = {self.body!r}>"
+
+
+class Constructor:
+    """A data (or exception) constructor.
+
+    Attributes:
+        name: source name.
+        tycon: the owning datatype tycon (None for exception constructors).
+        scheme: the constructor's type scheme as a *value*.
+        has_arg: whether the constructor takes an argument.
+        is_exn: True for exception constructors.
+    """
+
+    __slots__ = ("name", "tycon", "scheme", "has_arg", "is_exn")
+
+    def __init__(self, name: str, tycon: DatatypeTycon | None, scheme: Type,
+                 has_arg: bool, is_exn: bool = False):
+        self.name = name
+        self.tycon = tycon
+        self.scheme = scheme
+        self.has_arg = has_arg
+        self.is_exn = is_exn
+
+    def __repr__(self) -> str:
+        kind = "exn" if self.is_exn else "con"
+        return f"<{kind} {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# Substitution and instantiation
+# ---------------------------------------------------------------------------
+
+
+def subst_bound(ty: Type, args: tuple[Type, ...]) -> Type:
+    """Replace :class:`BoundVar` occurrences by the given types."""
+    ty = prune(ty)
+    if isinstance(ty, BoundVar):
+        return args[ty.index]
+    if isinstance(ty, ConType):
+        return ConType(ty.tycon, tuple(subst_bound(a, args) for a in ty.args))
+    if isinstance(ty, RecordType):
+        return RecordType(
+            tuple((label, subst_bound(t, args)) for label, t in ty.fields)
+        )
+    if isinstance(ty, FunType):
+        return FunType(subst_bound(ty.dom, args), subst_bound(ty.rng, args))
+    return ty
+
+
+def apply_typefun(fun: TypeFun, args: tuple[Type, ...]) -> Type:
+    assert len(args) == fun.arity, (fun.name, len(args), fun.arity)
+    return subst_bound(fun.body, args)
+
+
+def instantiate(scheme: Type, level: int) -> Type:
+    """Instantiate a scheme with fresh unification variables at ``level``."""
+    if isinstance(scheme, OverloadScheme):
+        var = OverloadVar(level, scheme.candidates, scheme.default)
+        return subst_bound(scheme.body, (var,))
+    if isinstance(scheme, PolyType):
+        fresh = tuple(
+            TyVar(level, eq=scheme.eqflags[i]) for i in range(scheme.arity)
+        )
+        return subst_bound(scheme.body, fresh)
+    return scheme
+
+
+# ---------------------------------------------------------------------------
+# Equality-type admission
+# ---------------------------------------------------------------------------
+
+
+def force_equality(ty: Type) -> bool:
+    """Check that ``ty`` admits equality, coercing free type variables to
+    equality variables as a side effect.  Returns False when impossible
+    (functions, ``real``, non-eq abstract types)."""
+    ty = prune(ty)
+    if isinstance(ty, TyVar):
+        ty.eq = True
+        return True
+    if isinstance(ty, BoundVar):
+        return True  # governed by the scheme's eqflags
+    if isinstance(ty, FunType):
+        return False
+    if isinstance(ty, FlexRecord):
+        return all(force_equality(t) for t in ty.fields.values())
+    if isinstance(ty, RecordType):
+        return all(force_equality(t) for _, t in ty.fields)
+    if isinstance(ty, ConType):
+        if isinstance(ty.tycon, PrimTycon) and ty.tycon.eq == "always":
+            return True  # 'a ref / 'a array admit equality regardless
+        if not ty.tycon.admits_equality():
+            return False
+        return all(force_equality(a) for a in ty.args)
+    return False
+
+
+def compute_datatype_equality(tycons: list[DatatypeTycon]) -> None:
+    """Fixpoint computation of the ``eq`` attribute for a recursive bundle
+    of datatypes: a datatype admits equality iff all constructor argument
+    types do, assuming type parameters and bundle members do."""
+    for tc in tycons:
+        tc.eq = True
+    changed = True
+    while changed:
+        changed = False
+        for tc in tycons:
+            if not tc.eq:
+                continue
+            for con in tc.constructors:
+                if not con.has_arg:
+                    continue
+                arg = _con_arg_type(con)
+                if arg is not None and not _admits_eq_structural(arg):
+                    tc.eq = False
+                    changed = True
+                    break
+
+
+def _con_arg_type(con: Constructor) -> Type | None:
+    scheme = con.scheme
+    body = scheme.body if isinstance(scheme, PolyType) else scheme
+    body = prune(body)
+    if isinstance(body, FunType):
+        return body.dom
+    return None
+
+
+def _admits_eq_structural(ty: Type) -> bool:
+    """Equality admission for the datatype fixpoint: bound vars count as
+    eq (the datatype is eq *when its parameters are*)."""
+    ty = prune(ty)
+    if isinstance(ty, (TyVar, BoundVar)):
+        return True
+    if isinstance(ty, FunType):
+        return False
+    if isinstance(ty, RecordType):
+        return all(_admits_eq_structural(t) for _, t in ty.fields)
+    if isinstance(ty, ConType):
+        if isinstance(ty.tycon, PrimTycon) and ty.tycon.eq == "always":
+            return True
+        if not ty.tycon.admits_equality():
+            return False
+        return all(_admits_eq_structural(a) for a in ty.args)
+    return False

@@ -1,0 +1,148 @@
+"""The compile / execute / load pipeline over compilation units.
+
+``compile_unit`` is the paper's ``compile : source × statenv →
+codeUnit``; ``execute_unit`` is ``execute : codeUnit × dynenv → dynenv``;
+``load_unit`` rehydrates a bin payload produced in an earlier session.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dynamic.evaluate import eval_decs
+from repro.lang.parser import parse_program
+from repro.elab.topdec import elaborate_decs
+from repro.pickle.pickler import Unpickler, Pickler, context_chain_ids
+from repro.pids.crc128 import crc128_hex
+from repro.pids.intrinsic import intrinsic_pid
+from repro.units.session import Session
+from repro.units.unit import CompiledUnit, DynExport, PhaseTimes
+from repro.semant.env import Env
+
+
+def layer_context(session: Session, imports: list[CompiledUnit]) -> Env:
+    """Build the compilation context: import environments layered over
+    the pervasive basis, in import order (later imports shadow)."""
+    env = session.basis.static_env
+    for unit in imports:
+        env = unit.static_env.atop(env)
+    return env
+
+
+def compile_unit(
+    name: str,
+    source: str,
+    imports: list[CompiledUnit],
+    session: Session,
+) -> CompiledUnit:
+    """Parse, elaborate, hash and dehydrate one unit.
+
+    ``imports`` are the already-compiled (or loaded) units this source
+    depends on, in dependency order.  Registers the unit's exports in the
+    session and returns the compiled unit.
+    """
+    times = PhaseTimes()
+
+    t0 = time.perf_counter()
+    decs = parse_program(source)
+    t1 = time.perf_counter()
+    context = layer_context(session, imports).child()
+    export_env, elaborator = elaborate_decs(decs, context)
+    t2 = time.perf_counter()
+
+    ctx_ids = context_chain_ids(context)
+    pid = intrinsic_pid(export_env, elaborator.new_stamps, session.extern,
+                        ctx_ids, seed=name)
+    t3 = time.perf_counter()
+
+    pickler = Pickler(
+        local_stamp_ids=elaborator.new_stamps,
+        extern=session.extern,
+        context_env_ids=ctx_ids,
+    )
+    payload = pickler.run((export_env, decs))
+    t4 = time.perf_counter()
+
+    times.parse = t1 - t0
+    times.elaborate = t2 - t1
+    times.hash = t3 - t2
+    times.dehydrate = t4 - t3
+
+    unit = CompiledUnit(
+        name=name,
+        export_pid=pid,
+        imports=[(imp.name, imp.export_pid) for imp in imports],
+        static_env=export_env,
+        code=decs,
+        payload=payload,
+        export_index=pickler.export_index,
+        source_digest=source_digest(source),
+        times=times,
+        owned_stamp_ids=frozenset(elaborator.new_stamps),
+    )
+    session.register_exports(pid, pickler.export_index)
+    return unit
+
+
+def load_unit(
+    name: str,
+    export_pid: str,
+    imports: list[CompiledUnit],
+    payload: bytes,
+    session: Session,
+    source_digest_value: str = "",
+) -> CompiledUnit:
+    """Rehydrate a bin payload from an earlier session.
+
+    The unit's imports must already be live (compiled or loaded) so the
+    rehydrater can resolve stubs through the session registry.
+    """
+    times = PhaseTimes()
+    t0 = time.perf_counter()
+    context = layer_context(session, imports).child()
+    unpickler = Unpickler(payload, resolve=session.resolve,
+                          context_env=context)
+    export_env, decs = unpickler.run()
+    times.rehydrate = time.perf_counter() - t0
+
+    unit = CompiledUnit(
+        name=name,
+        export_pid=export_pid,
+        imports=[(imp.name, imp.export_pid) for imp in imports],
+        static_env=export_env,
+        code=decs,
+        payload=payload,
+        export_index=unpickler.export_index,
+        source_digest=source_digest_value,
+        times=times,
+        owned_stamp_ids=frozenset(
+            obj.stamp.id for obj in unpickler.export_index),
+    )
+    session.register_exports(export_pid, unpickler.export_index)
+    return unit
+
+
+def execute_unit(
+    unit: CompiledUnit,
+    dyn_imports: list[DynExport],
+    session: Session,
+) -> DynExport:
+    """Run a unit's code against its imports' dynamic exports.
+
+    Mirrors ``code : imports -> exports``: the import vector is spliced
+    into a fresh frame over the basis dynamic environment, the code runs,
+    and the unit's own top-level bindings are its export vector.
+    """
+    t0 = time.perf_counter()
+    env = session.basis.dyn_env.child()
+    for dyn in dyn_imports:
+        dyn.splice_into(env)
+    frame = env.child()
+    eval_decs(unit.code, frame)
+    unit.times.execute = time.perf_counter() - t0
+    return DynExport(unit.name, frame)
+
+
+def source_digest(source: str) -> str:
+    """Digest of the raw source text (make-level currency check)."""
+    return crc128_hex(source.encode("utf-8"))

@@ -1,0 +1,60 @@
+"""The session: process-level identity registry for dehydration.
+
+A session owns the pervasive basis and the two maps the pickler plugs
+into:
+
+- ``stamp id -> (pid, export index)`` -- consulted by the dehydrater when
+  it meets an object the current unit does not own ("which unit exported
+  this, and at what index?");
+- ``(pid, export index) -> live object`` -- consulted by the rehydrater
+  to turn stubs back into pointers.
+
+The basis registers itself under the reserved ``BASIS_PID`` when the
+session is created, by dry-running the dehydrater over the pervasive
+environment (deterministic, so every session agrees on basis indices).
+"""
+
+from __future__ import annotations
+
+from repro.basis import BASIS_PID, Basis, make_basis
+from repro.pickle.pickler import Pickler
+
+
+class Session:
+    """Identity registry + basis for one compilation process."""
+
+    def __init__(self, basis: Basis | None = None):
+        self.basis = basis if basis is not None else make_basis()
+        self._stamp_to_ref: dict[int, tuple[str, int]] = {}
+        self._ref_to_object: dict[tuple[str, int], object] = {}
+        self._register_basis()
+
+    def _register_basis(self) -> None:
+        pickler = Pickler(local_stamp_ids=self.basis.owned_stamp_ids)
+        pickler.run(self.basis.static_env)
+        self.register_exports(BASIS_PID, pickler.export_index)
+
+    # -- registration ---------------------------------------------------
+
+    def register_exports(self, pid: str, export_index: list[object]) -> None:
+        """Record a unit's exported stamped objects under its pid."""
+        for index, obj in enumerate(export_index):
+            self._stamp_to_ref.setdefault(obj.stamp.id, (pid, index))
+            self._ref_to_object[(pid, index)] = obj
+
+    # -- pickler callbacks -------------------------------------------------
+
+    def extern(self, stamp_id: int) -> tuple[str, int]:
+        """Dehydration callback: which (pid, index) owns this stamp?"""
+        return self._stamp_to_ref[stamp_id]
+
+    def resolve(self, pid: str, index: int):
+        """Rehydration callback: the live object for a stub."""
+        return self._ref_to_object[(pid, index)]
+
+    def knows_pid(self, pid: str) -> bool:
+        return any(key[0] == pid for key in self._ref_to_object)
+
+    def __repr__(self) -> str:
+        return (f"<session {len(self._ref_to_object)} registered objects, "
+                f"{len(self._stamp_to_ref)} stamps>")

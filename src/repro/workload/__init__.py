@@ -1,0 +1,28 @@
+"""Synthetic-project generation for the evaluation.
+
+The paper's measurements ran over SML/NJ itself: "the compiler ... 65,000
+lines ... comprising about 200 compilation units".  We cannot ship that
+compiler, so the benchmarks run over *generated* SML projects whose shape
+(unit count, dependency DAG, unit size) is controlled, which lets every
+experiment sweep the variables the paper holds fixed.
+
+- :mod:`repro.workload.shapes` -- dependency-DAG shapes (chain, tree,
+  diamond layers, random DAG).
+- :mod:`repro.workload.generate` -- rendering units as real SML sources
+  and packaging them as a :class:`Workload` with edit operations
+  (comment-only / implementation-only / interface) whose classification
+  the cutoff experiments rely on.
+"""
+
+from repro.workload.generate import Workload, generate_workload
+from repro.workload.shapes import chain, diamond, layered, random_dag, tree
+
+__all__ = [
+    "Workload",
+    "generate_workload",
+    "chain",
+    "tree",
+    "diamond",
+    "layered",
+    "random_dag",
+]

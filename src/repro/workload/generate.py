@@ -1,0 +1,168 @@
+"""Rendering synthetic SML compilation units.
+
+Every generated unit is a real program: a signature, a structure
+ascribed to it (transparently, as the paper's Figure 1 style demands),
+a generative datatype, functions that *call into* the unit's imports
+(so the dependencies are semantic, not just lexical), and filler helper
+functions to reach a target size.
+
+Three edit operations change the unit in the three ways the cutoff
+experiments distinguish:
+
+- ``edit_comment``      -- text changes only; interface and code identical;
+- ``edit_implementation`` -- function bodies change; interface identical;
+- ``edit_interface``    -- a new value is added to signature + structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cm.project import Project
+
+
+@dataclass
+class _UnitParams:
+    index: int
+    deps: list[int]
+    n_helpers: int
+    comment_salt: int = 0
+    impl_salt: int = 0
+    iface_extras: int = 0
+    #: When True, the unit's own interface mentions its first import's
+    #: type, so an import interface change propagates ("type leakage" --
+    #: the transparent-matching phenomenon of the paper's Figure 1).
+    leak_types: bool = False
+
+
+def unit_name(index: int) -> str:
+    return f"u{index:03d}"
+
+
+def _module_name(index: int) -> str:
+    return f"M{index:03d}"
+
+
+def _sig_name(index: int) -> str:
+    return f"SIG{index:03d}"
+
+
+def render_unit(params: _UnitParams) -> str:
+    """Render one unit's SML source from its parameters."""
+    k = params.index
+    module = _module_name(k)
+    sig = _sig_name(k)
+
+    lines: list[str] = []
+    if params.comment_salt:
+        lines.append(f"(* revision comment #{params.comment_salt} *)")
+    lines.append(f"(* unit {unit_name(k)}: generated workload module *)")
+
+    # Signature.
+    lines.append(f"signature {sig} = sig")
+    lines.append("  type t")
+    lines.append("  val make : int -> t")
+    lines.append("  val value : t -> int")
+    lines.append("  val combine : t * t -> t")
+    for i in range(params.n_helpers):
+        lines.append(f"  val helper_{i} : int -> int")
+    for i in range(params.iface_extras):
+        lines.append(f"  val extra_{i} : int")
+    if params.leak_types and params.deps:
+        dep = _module_name(params.deps[0])
+        lines.append(f"  val probe : {dep}.t -> int")
+    lines.append("end")
+
+    # Structure.
+    lines.append(f"structure {module} : {sig} = struct")
+    lines.append(f"  datatype t = T{k} of int")
+    if params.deps:
+        terms = " + ".join(
+            f"{_module_name(j)}.value ({_module_name(j)}.make n)"
+            for j in params.deps
+        )
+        lines.append(f"  fun depsum n = {terms}")
+    else:
+        lines.append("  fun depsum n = n")
+    salt = params.impl_salt
+    lines.append(f"  fun make n = T{k} (n + depsum n + {salt})")
+    lines.append(f"  fun value (T{k} n) = n")
+    lines.append("  fun combine (a, b) = make (value a + value b)")
+    for i in range(params.n_helpers):
+        # Implementation edits perturb helper bodies (not their types).
+        lines.append(
+            f"  fun helper_{i} x = x * {i + 1} + {salt} "
+            f"+ (if x < 0 then 0 - x else x)")
+    for i in range(params.iface_extras):
+        lines.append(f"  val extra_{i} = {i}")
+    if params.leak_types and params.deps:
+        dep = _module_name(params.deps[0])
+        lines.append(f"  fun probe x = {dep}.value x")
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class Workload:
+    """A generated project plus its regeneration parameters."""
+
+    project: Project
+    params: dict[str, _UnitParams] = field(default_factory=dict)
+    deps: list[list[int]] = field(default_factory=list)
+
+    # -- edit operations ---------------------------------------------------
+
+    def _rerender(self, name: str) -> None:
+        self.project.edit(name, render_unit(self.params[name]))
+
+    def edit_comment(self, name: str) -> None:
+        """A comment-only edit: same tokens, same interface."""
+        self.params[name].comment_salt += 1
+        self._rerender(name)
+
+    def edit_implementation(self, name: str) -> None:
+        """Change function bodies without touching any exported type."""
+        self.params[name].impl_salt += 1
+        self._rerender(name)
+
+    def edit_interface(self, name: str) -> None:
+        """Add a new value spec + binding: the exported interface (and
+        hence the intrinsic pid) changes."""
+        self.params[name].iface_extras += 1
+        self._rerender(name)
+
+    # -- queries --------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return [unit_name(i) for i in range(len(self.deps))]
+
+    def root_name(self) -> str:
+        return unit_name(0)
+
+    def total_lines(self) -> int:
+        return self.project.total_lines()
+
+
+def generate_workload(deps: list[list[int]], helpers_per_unit: int = 6,
+                      leak_types: bool = False) -> Workload:
+    """Generate a project from a dependency shape.
+
+    Args:
+        deps: ``deps[k]`` lists the unit indices unit k imports
+            (see :mod:`repro.workload.shapes`).
+        helpers_per_unit: filler functions per unit (controls unit size;
+            each adds one signature line and one structure line).
+        leak_types: make each unit's interface mention its first import's
+            type, so interface changes cascade transitively even under
+            cutoff (the paper's inter-implementation-dependence regime).
+    """
+    project = Project()
+    workload = Workload(project=project, deps=[list(d) for d in deps])
+    for k, unit_deps in enumerate(deps):
+        params = _UnitParams(index=k, deps=list(unit_deps),
+                             n_helpers=helpers_per_unit,
+                             leak_types=leak_types)
+        name = unit_name(k)
+        workload.params[name] = params
+        project.add(name, render_unit(params))
+    return workload

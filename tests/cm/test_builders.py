@@ -1,0 +1,304 @@
+"""The three builders: timestamp (make), cutoff (IRM), smart."""
+
+import pytest
+
+from repro.cm import (
+    BinStore,
+    CutoffBuilder,
+    Project,
+    SmartBuilder,
+    TimestampBuilder,
+)
+
+SOURCES = {
+    "base": """
+        signature COUNTER = sig
+          type t
+          val zero : t
+          val inc : t -> t
+          val get : t -> int
+        end
+        structure Counter : COUNTER = struct
+          datatype t = C of int
+          val zero = C 0
+          fun inc (C n) = C (n + 1)
+          fun get (C n) = n
+        end
+    """,
+    "mid": """
+        structure Mid = struct
+          fun upTo 0 = Counter.zero
+            | upTo n = Counter.inc (upTo (n - 1))
+          fun count n = Counter.get (upTo n)
+        end
+    """,
+    "app": """
+        structure App = struct
+          val answer = Mid.count 42
+        end
+    """,
+}
+
+IMPL_EDIT = SOURCES["base"].replace(
+    "fun inc (C n) = C (n + 1)",
+    "fun inc (C n) = C (1 + n)  (* reassociated *)")
+
+IFACE_EDIT = SOURCES["base"].replace(
+    "val get : t -> int",
+    "val get : t -> int\n          val bound : int").replace(
+    "fun get (C n) = n",
+    "fun get (C n) = n\n          val bound = 1000000")
+
+
+@pytest.fixture
+def proj():
+    return Project.from_sources(SOURCES)
+
+
+class TestCutoffBuilder:
+    def test_cold_build(self, proj):
+        report = CutoffBuilder(proj).build()
+        assert report.compiled == ["base", "mid", "app"]
+
+    def test_null_build_all_cached(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        report = b.build()
+        assert report.compiled == []
+        assert set(report.cached) == {"base", "mid", "app"}
+
+    def test_run_produces_answer(self, proj):
+        b = CutoffBuilder(proj)
+        _report, exports = b.build_and_run()
+        assert exports["app"].structures["App"].values["answer"] == 42
+
+    def test_touch_without_change_recompiles_nothing_downstream(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        proj.touch("base")
+        report = b.build()
+        # Digest-based make level: even `base` itself is current.
+        assert report.compiled == []
+
+    def test_impl_edit_cuts_off(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        proj.edit("base", IMPL_EDIT)
+        report = b.build()
+        assert report.compiled == ["base"]
+        assert report.cutoffs() == ["base"]
+
+    def test_iface_edit_recompiles_dependents(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        proj.edit("base", IFACE_EDIT)
+        report = b.build()
+        assert report.compiled == ["base", "mid", "app"]
+
+    def test_leaf_edit_touches_only_leaf(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        proj.edit("app", SOURCES["app"].replace("42", "43"))
+        report = b.build()
+        assert report.compiled == ["app"]
+        _report, exports = (b.build(), b.link())
+        assert exports["app"].structures["App"].values["answer"] == 43
+
+    def test_new_session_loads_all(self, proj):
+        b1 = CutoffBuilder(proj)
+        b1.build()
+        b2 = CutoffBuilder(proj, store=b1.store)
+        report = b2.build()
+        assert report.compiled == []
+        assert set(report.loaded) == {"base", "mid", "app"}
+        exports = b2.link()
+        assert exports["app"].structures["App"].values["answer"] == 42
+
+    def test_new_session_after_impl_edit(self, proj):
+        b1 = CutoffBuilder(proj)
+        b1.build()
+        proj.edit("base", IMPL_EDIT)
+        b2 = CutoffBuilder(proj, store=b1.store)
+        report = b2.build()
+        assert report.compiled == ["base"]
+        assert set(report.loaded) == {"mid", "app"}
+
+    def test_execution_result_correct_after_cutoff(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        proj.edit("base", IMPL_EDIT)
+        b.build()
+        exports = b.link()
+        assert exports["app"].structures["App"].values["answer"] == 42
+
+    def test_added_unit(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        proj.add("extra", "structure Extra = struct val e = App.answer end")
+        report = b.build()
+        assert report.compiled == ["extra"]
+
+
+class TestTimestampBuilder:
+    def test_cold_build(self, proj):
+        report = TimestampBuilder(proj).build()
+        assert report.compiled == ["base", "mid", "app"]
+
+    def test_touch_cascades(self, proj):
+        b = TimestampBuilder(proj)
+        b.build()
+        proj.touch("base")
+        report = b.build()
+        assert report.compiled == ["base", "mid", "app"]
+
+    def test_impl_edit_cascades(self, proj):
+        b = TimestampBuilder(proj)
+        b.build()
+        proj.edit("base", IMPL_EDIT)
+        report = b.build()
+        assert report.compiled == ["base", "mid", "app"]
+
+    def test_null_build(self, proj):
+        b = TimestampBuilder(proj)
+        b.build()
+        report = b.build()
+        assert report.compiled == []
+
+    def test_mid_edit_cascades_only_downstream(self, proj):
+        b = TimestampBuilder(proj)
+        b.build()
+        proj.touch("mid")
+        report = b.build()
+        assert report.compiled == ["mid", "app"]
+
+    def test_results_match_cutoff(self, proj):
+        tb = TimestampBuilder(proj)
+        tb.build()
+        exports = tb.link()
+        assert exports["app"].structures["App"].values["answer"] == 42
+
+
+class TestSmartBuilder:
+    TWO_EXPORTS = """
+        structure Used = struct fun f x = x + 1 end
+        structure Unused = struct fun g x = x - 1 end
+    """
+    CLIENT = "structure Client = struct val v = Used.f 1 end"
+
+    def test_cold_build(self):
+        p = Project.from_sources(
+            {"prov": self.TWO_EXPORTS, "client": self.CLIENT})
+        report = SmartBuilder(p).build()
+        assert report.compiled == ["prov", "client"]
+
+    def test_unused_interface_change_skipped(self):
+        p = Project.from_sources(
+            {"prov": self.TWO_EXPORTS, "client": self.CLIENT})
+        b = SmartBuilder(p)
+        b.build()
+        # Change Unused's interface; the client only mentions Used.
+        p.edit("prov", self.TWO_EXPORTS.replace(
+            "fun g x = x - 1", "fun g x = (x, x)"))
+        report = b.build()
+        assert report.compiled == ["prov"]
+
+    def test_cutoff_would_recompile_in_same_case(self):
+        p = Project.from_sources(
+            {"prov": self.TWO_EXPORTS, "client": self.CLIENT})
+        b = CutoffBuilder(p)
+        b.build()
+        p.edit("prov", self.TWO_EXPORTS.replace(
+            "fun g x = x - 1", "fun g x = (x, x)"))
+        report = b.build()
+        # prov's whole-unit pid changed, so cutoff recompiles the client.
+        assert report.compiled == ["prov", "client"]
+
+    def test_used_interface_change_recompiles(self):
+        p = Project.from_sources(
+            {"prov": self.TWO_EXPORTS, "client": self.CLIENT})
+        b = SmartBuilder(p)
+        b.build()
+        p.edit("prov", self.TWO_EXPORTS.replace(
+            "fun f x = x + 1", 'fun f x = Int.toString x'))
+        report = b.build()
+        assert report.compiled == ["prov", "client"]
+
+    def test_impl_edit_skipped(self):
+        p = Project.from_sources(
+            {"prov": self.TWO_EXPORTS, "client": self.CLIENT})
+        b = SmartBuilder(p)
+        b.build()
+        p.edit("prov", self.TWO_EXPORTS.replace(
+            "fun f x = x + 1", "fun f x = 1 + x"))
+        report = b.build()
+        assert report.compiled == ["prov"]
+
+    def test_new_dependency_recompiles(self):
+        p = Project.from_sources(
+            {"prov": self.TWO_EXPORTS, "client": self.CLIENT})
+        b = SmartBuilder(p)
+        b.build()
+        p.edit("client",
+               "structure Client = struct val v = Used.f (Unused.g 2) end")
+        report = b.build()
+        assert report.compiled == ["client"]
+
+    def test_smart_execution_correct(self):
+        p = Project.from_sources(
+            {"prov": self.TWO_EXPORTS, "client": self.CLIENT})
+        b = SmartBuilder(p)
+        b.build()
+        exports = b.link()
+        assert exports["client"].structures["Client"].values["v"] == 2
+
+
+class TestBinStore:
+    def test_persistence_roundtrip(self, proj, tmp_path):
+        b = CutoffBuilder(proj)
+        b.build()
+        b.store.save_directory(str(tmp_path / "bins"))
+        restored = BinStore.load_directory(str(tmp_path / "bins"))
+        assert restored.names() == b.store.names()
+        b2 = CutoffBuilder(proj, store=restored)
+        report = b2.build()
+        assert report.compiled == []
+        assert len(report.loaded) == 3
+        exports = b2.link()
+        assert exports["app"].structures["App"].values["answer"] == 42
+
+    def test_payload_bytes_tracked(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        assert b.store.total_payload_bytes() > 0
+
+    def test_removed_bin_recompiles(self, proj):
+        b = CutoffBuilder(proj)
+        b.build()
+        b.store.remove("mid")
+        b2 = CutoffBuilder(proj, store=b.store)
+        report = b2.build()
+        assert report.compiled == ["mid"]
+
+
+class TestSmartAcrossSessions:
+    TWO = ("structure Used = struct fun f x = x + 1 end "
+           "structure Unused = struct fun g x = x - 1 end")
+    CLI = "structure Client = struct val v = Used.f 1 end"
+
+    def test_member_hashes_persist(self, tmp_path):
+        p = Project.from_sources({"prov": self.TWO, "client": self.CLI})
+        b1 = SmartBuilder(p)
+        b1.build()
+        b1.store.save_directory(str(tmp_path / "bins"))
+
+        store = BinStore.load_directory(str(tmp_path / "bins"))
+        p.edit("prov", self.TWO.replace("fun g x = x - 1",
+                                        "fun g x = (x, x)"))
+        b2 = SmartBuilder(p, store=store)
+        report = b2.build()
+        # The unused member's interface changed; the persisted per-name
+        # hashes let the fresh session skip the client.
+        assert report.compiled == ["prov"]
+        assert report.loaded == ["client"]
+        exports = b2.link()
+        assert exports["client"].structures["Client"].values["v"] == 2

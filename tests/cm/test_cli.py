@@ -1,0 +1,116 @@
+"""The command-line build driver (python -m repro.cm)."""
+
+import os
+
+import pytest
+
+from repro.cm.__main__ import main
+
+
+@pytest.fixture
+def srcdir(tmp_path):
+    d = tmp_path / "proj"
+    d.mkdir()
+    (d / "base.sml").write_text(
+        "structure Base = struct fun triple x = 3 * x end\n")
+    (d / "main.sml").write_text(
+        "structure Main = struct val answer = Base.triple 14 end\n")
+    return str(d)
+
+
+class TestCli:
+    def test_build_and_print(self, srcdir, capsys):
+        assert main([srcdir, "--print", "Main.answer"]) == 0
+        out = capsys.readouterr().out
+        assert "2 compiled" in out
+        assert "Main.answer = 42" in out
+
+    def test_bins_reused_on_second_run(self, srcdir, capsys):
+        assert main([srcdir, "--no-link"]) == 0
+        capsys.readouterr()
+        assert main([srcdir, "--no-link"]) == 0
+        out = capsys.readouterr().out
+        assert "0 compiled, 2 loaded" in out
+        assert os.path.isdir(os.path.join(srcdir, ".bin"))
+
+    def test_manager_choice(self, srcdir, capsys):
+        assert main([srcdir, "--manager", "make", "--no-link"]) == 0
+        assert "2 compiled" in capsys.readouterr().out
+
+    def test_stats_flag(self, srcdir, capsys):
+        assert main([srcdir, "--stats", "--no-link"]) == 0
+        assert "total build time" in capsys.readouterr().out
+
+    def test_type_error_reported(self, srcdir, capsys):
+        with open(os.path.join(srcdir, "bad.sml"), "w") as f:
+            f.write('structure Bad = struct val x = 1 + "s" end\n')
+        assert main([srcdir, "--no-link"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_binding_reported(self, srcdir, capsys):
+        assert main([srcdir, "--print", "Main.missing"]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_directory(self, capsys):
+        assert main(["/nonexistent/dir"]) == 2
+
+    def test_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(empty)]) == 2
+
+    def test_incremental_after_edit(self, srcdir, capsys):
+        assert main([srcdir, "--no-link"]) == 0
+        capsys.readouterr()
+        with open(os.path.join(srcdir, "main.sml"), "w") as f:
+            f.write("structure Main = struct val answer = "
+                    "Base.triple 10 end\n")
+        assert main([srcdir, "--print", "Main.answer"]) == 0
+        out = capsys.readouterr().out
+        assert "1 compiled, 1 loaded" in out
+        assert "Main.answer = 30" in out
+
+
+class TestCmFiles:
+    def test_cm_file_build(self, tmp_path, capsys):
+        lib = tmp_path / "lib"
+        lib.mkdir()
+        (lib / "s.sml").write_text(
+            "structure S = struct val v = 7 end")
+        (lib / "lib.cm").write_text("group lib\nmembers\n  s.sml\n")
+        app = tmp_path / "app"
+        app.mkdir()
+        (app / "m.sml").write_text(
+            "structure M = struct val out = S.v * 6 end")
+        (app / "app.cm").write_text(
+            "group app\nmembers\n  m.sml\nimports\n  ../lib/lib.cm\n")
+        assert main([str(app / "app.cm"), "--print", "M.out"]) == 0
+        out = capsys.readouterr().out
+        assert "group lib" in out and "group app" in out
+        assert "M.out = 42" in out
+
+    def test_bad_cm_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cm"
+        bad.write_text("members\n x.sml\n")
+        assert main([str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stale_format_bins_ignored(self, srcdir, capsys):
+        import json
+
+        assert main([srcdir, "--no-link"]) == 0
+        capsys.readouterr()
+        # Corrupt a payload and rewrite another header with an old
+        # format tag: both must be treated as cache misses.
+        bin_dir = os.path.join(srcdir, ".bin")
+        with open(os.path.join(bin_dir, "base.bin"), "wb") as f:
+            f.write(b"garbage")
+        header_path = os.path.join(bin_dir, "main.bin.json")
+        with open(header_path) as f:
+            header = json.load(f)
+        header["format"] = 1
+        with open(header_path, "w") as f:
+            json.dump(header, f)
+        assert main([srcdir, "--print", "Main.answer"]) == 0
+        out = capsys.readouterr().out
+        assert "Main.answer = 42" in out

@@ -1,0 +1,136 @@
+"""Dependency analysis over source files."""
+
+import pytest
+
+from repro.cm import DependencyError, Project, analyze
+
+
+def project(**sources):
+    return Project.from_sources(sources)
+
+
+class TestAnalysis:
+    def test_simple_chain(self):
+        p = project(
+            a="structure A = struct val v = 1 end",
+            b="structure B = struct val w = A.v end",
+        )
+        graph = analyze(p)
+        assert graph.deps == {"a": [], "b": ["a"]}
+        assert graph.order == ["a", "b"]
+
+    def test_signature_dependency(self):
+        p = project(
+            sigs="signature S = sig val v : int end",
+            impl="structure I : S = struct val v = 1 end",
+        )
+        graph = analyze(p)
+        assert graph.deps["impl"] == ["sigs"]
+
+    def test_functor_dependency(self):
+        p = project(
+            f="functor F(X : sig end) = struct end",
+            use="structure U = F(struct end)",
+        )
+        graph = analyze(p)
+        assert graph.deps["use"] == ["f"]
+
+    def test_open_dependency(self):
+        p = project(
+            a="structure A = struct val v = 1 end",
+            b="local open A in structure B = struct val w = v end end",
+        )
+        graph = analyze(p)
+        assert graph.deps["b"] == ["a"]
+
+    def test_diamond(self):
+        p = project(
+            base="structure Base = struct val v = 1 end",
+            l="structure L = struct val x = Base.v end",
+            r="structure R = struct val y = Base.v end",
+            top="structure T = struct val s = L.x + R.y end",
+        )
+        graph = analyze(p)
+        assert graph.deps["top"] == ["l", "r"]
+        assert graph.order.index("base") < graph.order.index("l")
+        assert graph.order.index("l") < graph.order.index("top")
+
+    def test_no_false_self_dependency(self):
+        p = project(a="structure A = struct val v = 1 end "
+                      "structure A2 = struct val w = A.v end")
+        graph = analyze(p)
+        assert graph.deps["a"] == []
+
+    def test_basis_names_ignored(self):
+        p = project(a="structure A = struct val v = List.length [1] end")
+        assert analyze(p).deps["a"] == []
+
+    def test_uses_tracked_per_name(self):
+        p = project(
+            a="structure A1 = struct val v = 1 end "
+              "structure A2 = struct val w = 2 end",
+            b="structure B = struct val x = A1.v end",
+        )
+        graph = analyze(p)
+        assert graph.uses["b"] == {"a": {"structures:A1"}}
+
+    def test_transitive_dependents(self):
+        p = project(
+            a="structure A = struct val v = 1 end",
+            b="structure B = struct val w = A.v end",
+            c="structure C = struct val x = B.w end",
+        )
+        graph = analyze(p)
+        assert graph.transitive_dependents("a") == {"b", "c"}
+        assert graph.transitive_dependents("c") == set()
+
+
+class TestErrors:
+    def test_cycle_detected(self):
+        p = project(
+            a="structure A = struct val v = B.w end",
+            b="structure B = struct val w = A.v end",
+        )
+        with pytest.raises(DependencyError, match="cycle"):
+            analyze(p)
+
+    def test_duplicate_module_name(self):
+        p = project(
+            a="structure Same = struct end",
+            b="structure Same = struct end",
+        )
+        with pytest.raises(DependencyError, match="defined by both"):
+            analyze(p)
+
+    def test_top_level_val_rejected(self):
+        # Footnote 4: units must contain module declarations only.
+        p = project(a="val x = 1")
+        with pytest.raises(DependencyError, match="only"):
+            analyze(p)
+
+    def test_top_level_fun_rejected(self):
+        p = project(a="fun f x = x")
+        with pytest.raises(DependencyError, match="only"):
+            analyze(p)
+
+    def test_local_module_decs_allowed(self):
+        p = project(a="local structure H = struct val v = 1 end in "
+                      "structure A = struct val w = H.v end end")
+        graph = analyze(p)
+        assert graph.order == ["a"]
+
+    def test_visibility_enforced(self):
+        p = project(
+            a="structure A = struct val v = 1 end",
+            b="structure B = struct val w = A.v end",
+        )
+        with pytest.raises(DependencyError, match="visibility"):
+            analyze(p, visible={"a": set(), "b": set()})
+
+    def test_restrict(self):
+        p = project(
+            a="structure A = struct val v = 1 end",
+            b="structure B = struct val w = 2 end",
+        )
+        graph = analyze(p, restrict=["a"])
+        assert graph.order == ["a"]

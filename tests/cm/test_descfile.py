@@ -1,0 +1,108 @@
+"""Group description files (.cm): parsing and hierarchical loading."""
+
+import os
+
+import pytest
+
+from repro.cm import GroupBuilder
+from repro.cm.descfile import DescFileError, load_group_file, parse_desc
+
+
+class TestParsing:
+    def test_basic(self):
+        name, members, imports = parse_desc(
+            "group app\nmembers\n  a.sml\n  b.sml\nimports\n  ../lib.cm\n")
+        assert name == "app"
+        assert members == ["a.sml", "b.sml"]
+        assert imports == ["../lib.cm"]
+
+    def test_comments_and_blanks(self):
+        name, members, _ = parse_desc(
+            "-- a build description\ngroup g\n\nmembers -- the sources\n"
+            "  a.sml  -- main\n")
+        assert name == "g"
+        assert members == ["a.sml"]
+
+    def test_missing_group_directive(self):
+        with pytest.raises(DescFileError, match="missing 'group"):
+            parse_desc("members\n a.sml\n")
+
+    def test_duplicate_group_directive(self):
+        with pytest.raises(DescFileError, match="duplicate"):
+            parse_desc("group a\ngroup b\n")
+
+    def test_stray_line(self):
+        with pytest.raises(DescFileError, match="unexpected"):
+            parse_desc("group g\n  floating.sml\n")
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    lib = tmp_path / "lib"
+    app = tmp_path / "app"
+    lib.mkdir()
+    app.mkdir()
+    (lib / "stack.sml").write_text("""
+        structure Stack = struct
+          fun push (x, s) = x :: s
+          fun depth s = length s
+        end
+    """)
+    (lib / "lib.cm").write_text("group stacklib\nmembers\n  stack.sml\n")
+    (app / "main.sml").write_text("""
+        structure Main = struct
+          val d = Stack.depth (Stack.push (1, nil))
+        end
+    """)
+    (app / "app.cm").write_text(
+        "group app\nmembers\n  main.sml\nimports\n  ../lib/lib.cm\n")
+    return tmp_path
+
+
+class TestLoading:
+    def test_hierarchy(self, workspace):
+        group, project = load_group_file(str(workspace / "app" / "app.cm"))
+        assert group.name == "app"
+        assert group.members == ["main"]
+        assert group.imports[0].name == "stacklib"
+        assert set(project.names()) == {"main", "stack"}
+
+    def test_build_and_run(self, workspace):
+        group, project = load_group_file(str(workspace / "app" / "app.cm"))
+        gb = GroupBuilder(project)
+        reports = gb.build(group)
+        assert reports["stacklib"].compiled == ["stack"]
+        assert reports["app"].compiled == ["main"]
+        exports = gb.link()
+        assert exports["main"].structures["Main"].values["d"] == 1
+
+    def test_diamond_shared_once(self, workspace):
+        # Two groups importing the same lib.cm share one Group object.
+        tool = workspace / "tool"
+        tool.mkdir()
+        (tool / "tool.sml").write_text(
+            "structure Tool = struct val e = Stack.depth nil end")
+        (tool / "tool.cm").write_text(
+            "group tool\nmembers\n  tool.sml\nimports\n  ../lib/lib.cm\n")
+        (workspace / "all.cm").write_text(
+            "group all\nmembers\nimports\n  app/app.cm\n  tool/tool.cm\n")
+        group, project = load_group_file(str(workspace / "all.cm"))
+        app, tool_group = group.imports
+        assert app.imports[0] is tool_group.imports[0]
+        gb = GroupBuilder(project)
+        reports = gb.build(group)
+        assert sum(len(r.compiled) for r in reports.values()) == 3
+
+    def test_cycle_rejected(self, tmp_path):
+        (tmp_path / "a.cm").write_text(
+            "group a\nmembers\nimports\n  b.cm\n")
+        (tmp_path / "b.cm").write_text(
+            "group b\nmembers\nimports\n  a.cm\n")
+        with pytest.raises(DescFileError, match="cycle"):
+            load_group_file(str(tmp_path / "a.cm"))
+
+    def test_missing_member(self, tmp_path):
+        (tmp_path / "g.cm").write_text(
+            "group g\nmembers\n  ghost.sml\n")
+        with pytest.raises(DescFileError, match="does not exist"):
+            load_group_file(str(tmp_path / "g.cm"))

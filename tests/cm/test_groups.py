@@ -1,0 +1,125 @@
+"""Groups and libraries (§9)."""
+
+import pytest
+
+from repro.cm import (
+    CutoffBuilder,
+    DependencyError,
+    Group,
+    GroupBuilder,
+    Project,
+    TimestampBuilder,
+)
+
+SOURCES = {
+    # Library group.
+    "libsig": "signature STACK = sig type 'a t val empty : 'a t "
+              "val push : 'a * 'a t -> 'a t val depth : 'a t -> int end",
+    "libimpl": """
+        structure Stack : STACK = struct
+          type 'a t = 'a list
+          val empty = nil
+          fun push (x, s) = x :: s
+          fun depth s = length s
+        end
+    """,
+    # Application group.
+    "app": """
+        structure Main = struct
+          val d = Stack.depth (Stack.push (1, Stack.push (2, Stack.empty)))
+        end
+    """,
+    # A second application group sharing the library.
+    "tool": """
+        structure Tool = struct
+          val e = Stack.depth Stack.empty
+        end
+    """,
+}
+
+
+def make_groups():
+    lib = Group("stacklib", ["libsig", "libimpl"])
+    app = Group("app", ["app"], imports=[lib])
+    tool = Group("tool", ["tool"], imports=[lib])
+    top = Group("everything", [], imports=[app, tool])
+    return lib, app, tool, top
+
+
+class TestGroups:
+    def test_build_hierarchy(self):
+        p = Project.from_sources(SOURCES)
+        _lib, _app, _tool, top = make_groups()
+        gb = GroupBuilder(p)
+        reports = gb.build(top)
+        assert set(reports) == {"stacklib", "app", "tool", "everything"}
+        assert reports["stacklib"].compiled == ["libimpl", "libsig"] or \
+            reports["stacklib"].compiled == ["libsig", "libimpl"]
+        assert reports["app"].compiled == ["app"]
+
+    def test_shared_library_built_once(self):
+        p = Project.from_sources(SOURCES)
+        _lib, _app, _tool, top = make_groups()
+        gb = GroupBuilder(p)
+        reports = gb.build(top)
+        total = sum(len(r.compiled) for r in reports.values())
+        assert total == 4  # libsig, libimpl, app, tool -- no duplicates
+
+    def test_execution(self):
+        p = Project.from_sources(SOURCES)
+        _lib, _app, _tool, top = make_groups()
+        gb = GroupBuilder(p)
+        gb.build(top)
+        exports = gb.link()
+        assert exports["app"].structures["Main"].values["d"] == 2
+
+    def test_visibility_violation(self):
+        sources = dict(SOURCES)
+        # `rogue` lives in its own group that does NOT import the lib.
+        sources["rogue"] = "structure Rogue = struct val r = Stack.empty end"
+        p = Project.from_sources(sources)
+        lib = Group("stacklib", ["libsig", "libimpl"])
+        rogue = Group("rogue", ["rogue"])  # no imports!
+        top = Group("everything", [], imports=[lib, rogue])
+        gb = GroupBuilder(p)
+        with pytest.raises(DependencyError, match="visibility"):
+            gb.build(top)
+
+    def test_unit_in_two_groups_rejected(self):
+        p = Project.from_sources(SOURCES)
+        g1 = Group("one", ["libsig"])
+        g2 = Group("two", ["libsig"])
+        top = Group("t", [], imports=[g1, g2])
+        with pytest.raises(ValueError, match="belongs to both"):
+            GroupBuilder(p).build(top)
+
+    def test_incremental_rebuild_within_groups(self):
+        p = Project.from_sources(SOURCES)
+        _lib, _app, _tool, top = make_groups()
+        gb = GroupBuilder(p)
+        gb.build(top)
+        # Implementation-only edit in the library; cutoff holds across
+        # group boundaries.
+        p.edit("libimpl", SOURCES["libimpl"].replace(
+            "fun depth s = length s",
+            "fun depth s = foldl (fn (_, n) => n + 1) 0 s"))
+        reports = gb.build(top)
+        compiled = [n for r in reports.values() for n in r.compiled]
+        assert compiled == ["libimpl"]
+
+    def test_group_builder_with_timestamp_baseline(self):
+        p = Project.from_sources(SOURCES)
+        _lib, _app, _tool, top = make_groups()
+        gb = GroupBuilder(p, builder_class=TimestampBuilder)
+        gb.build(top)
+        p.touch("libimpl")
+        reports = gb.build(top)
+        compiled = {n for r in reports.values() for n in r.compiled}
+        # make cascades into both client groups.
+        assert compiled == {"libimpl", "app", "tool"}
+
+    def test_closure_order_imports_first(self):
+        lib, app, _tool, top = make_groups()
+        names = [g.name for g in top.closure()]
+        assert names.index("stacklib") < names.index("app")
+        assert names[-1] == "everything"

@@ -1,0 +1,78 @@
+"""Build reports and project bookkeeping."""
+
+import pytest
+
+from repro.cm import BuildReport, Project, UnitOutcome
+
+
+class TestBuildReport:
+    def test_partition_by_action(self):
+        report = BuildReport()
+        report.add(UnitOutcome("a", "compiled", "new"))
+        report.add(UnitOutcome("b", "loaded", ""))
+        report.add(UnitOutcome("c", "cached", ""))
+        report.add(UnitOutcome("d", "compiled", "source changed", True))
+        assert report.compiled == ["a", "d"]
+        assert report.loaded == ["b"]
+        assert report.cached == ["c"]
+        assert report.n_compiled == 2
+
+    def test_cutoffs_are_unchanged_pids(self):
+        report = BuildReport()
+        report.add(UnitOutcome("a", "compiled", "x", pid_changed=False))
+        report.add(UnitOutcome("b", "compiled", "x", pid_changed=True))
+        report.add(UnitOutcome("c", "loaded", "x", pid_changed=False))
+        assert report.cutoffs() == ["a"]
+
+    def test_summary_mentions_cutoffs(self):
+        report = BuildReport()
+        report.add(UnitOutcome("a", "compiled", "x", pid_changed=False))
+        assert "cutoff at: a" in report.summary()
+
+    def test_summary_counts(self):
+        report = BuildReport()
+        report.add(UnitOutcome("a", "compiled", "", True))
+        report.add(UnitOutcome("b", "loaded", ""))
+        assert report.summary().startswith("1 compiled, 1 loaded")
+
+
+class TestProject:
+    def test_versions_monotone(self):
+        p = Project()
+        p.add("a", "structure A = struct end")
+        v1 = p.version("a")
+        p.touch("a")
+        assert p.version("a") > v1
+
+    def test_duplicate_add_rejected(self):
+        p = Project()
+        p.add("a", "x")
+        with pytest.raises(ValueError):
+            p.add("a", "y")
+
+    def test_remove(self):
+        p = Project()
+        p.add("a", "x")
+        p.remove("a")
+        assert "a" not in p
+        assert len(p) == 0
+
+    def test_names_sorted(self):
+        p = Project.from_sources({"z": "1", "a": "2"})
+        assert p.names() == ["a", "z"]
+
+    def test_total_lines(self):
+        p = Project.from_sources({"a": "one\ntwo\n", "b": "three"})
+        assert p.total_lines() == 3 + 1
+
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "one.sml").write_text("structure A = struct end")
+        (tmp_path / "two.sml").write_text("structure B = struct end")
+        (tmp_path / "ignored.txt").write_text("not sml")
+        p = Project.from_directory(str(tmp_path))
+        assert p.names() == ["one", "two"]
+
+    def test_edit_changes_text(self):
+        p = Project.from_sources({"a": "old"})
+        p.edit("a", "new")
+        assert p.source("a") == "new"

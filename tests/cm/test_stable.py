@@ -1,0 +1,150 @@
+"""Stable libraries: a built group frozen into one archive."""
+
+import pytest
+
+from repro.cm import CutoffBuilder, Project
+from repro.cm.stable import parse_archive, stabilize
+
+LIB = {
+    "mathsig": "signature MATH = sig val double : int -> int "
+               "val square : int -> int end",
+    "math": """
+        structure Math : MATH = struct
+          fun double x = x * 2
+          fun square x = x * x
+        end
+    """,
+}
+
+APP = {
+    "app": "structure App = struct val v = Math.square (Math.double 3) end",
+}
+
+
+@pytest.fixture
+def archive():
+    project = Project.from_sources(LIB)
+    builder = CutoffBuilder(project)
+    builder.build()
+    return stabilize(builder, ["mathsig", "math"])
+
+
+class TestArchiveFormat:
+    def test_roundtrip(self, archive):
+        units = parse_archive(archive)
+        assert [u.name for u in units] == ["mathsig", "math"]
+        assert "Math" in units[1].provides
+        assert units[1].imports[0][0] == "mathsig"
+
+    def test_not_closed_rejected(self):
+        project = Project.from_sources({**LIB, **APP})
+        builder = CutoffBuilder(project)
+        builder.build()
+        with pytest.raises(ValueError, match="closed"):
+            stabilize(builder, ["app"])  # app imports math, not packed
+
+    def test_must_be_built(self):
+        project = Project.from_sources(LIB)
+        builder = CutoffBuilder(project)
+        with pytest.raises(ValueError, match="build"):
+            stabilize(builder, ["math"])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a stable"):
+            parse_archive(b"garbage")
+
+    def test_truncation_rejected(self, archive):
+        with pytest.raises(Exception):
+            parse_archive(archive[:-4])
+
+
+class TestStableClients:
+    def test_client_builds_without_library_sources(self, archive):
+        # The client project contains ONLY the app source.
+        project = Project.from_sources(APP)
+        builder = CutoffBuilder(project)
+        builder.add_stable_archive(archive)
+        report = builder.build()
+        assert set(report.loaded) == {"mathsig", "math"}
+        assert report.compiled == ["app"]
+        exports = builder.link()
+        assert exports["app"].structures["App"].values["v"] == 36
+
+    def test_client_rebuild_never_touches_stable(self, archive):
+        project = Project.from_sources(APP)
+        builder = CutoffBuilder(project)
+        builder.add_stable_archive(archive)
+        builder.build()
+        project.edit("app", APP["app"].replace("3", "4"))
+        report = builder.build()
+        assert report.compiled == ["app"]
+        exports = builder.link()
+        assert exports["app"].structures["App"].values["v"] == 64
+
+    def test_stable_units_have_correct_pids(self, archive):
+        project = Project.from_sources(APP)
+        builder = CutoffBuilder(project)
+        builder.add_stable_archive(archive)
+        builder.build()
+        # The rehydrated stable units registered under their pids; the
+        # client's import list names them.
+        app = builder.units["app"]
+        assert app.import_pid_of("math") == \
+            builder.units["math"].export_pid
+
+    def test_dependency_analysis_uses_provides(self, archive):
+        project = Project.from_sources(APP)
+        builder = CutoffBuilder(project)
+        builder.add_stable_archive(archive)
+        builder.build()
+        assert builder.last_graph.deps["app"] == ["math", "mathsig"] or \
+            builder.last_graph.deps["app"] == ["math"]
+
+    def test_two_archives_layer(self, archive):
+        # A second stable library built on top of the first.
+        mid_project = Project.from_sources({
+            "mid": "structure Mid = struct val six = Math.double 3 end",
+        })
+        mid_builder = CutoffBuilder(mid_project)
+        mid_builder.add_stable_archive(archive)
+        mid_builder.build()
+        # Note: stabilize requires closure, so pack mid alone fails...
+        with pytest.raises(ValueError, match="closed"):
+            stabilize(mid_builder, ["mid"])
+        # ...but clients can simply load both archives.
+        app_project = Project.from_sources({
+            "top": "structure Top = struct val v = Mid.six + "
+                   "Math.square 2 end",
+        })
+        top_builder = CutoffBuilder(app_project)
+        top_builder.add_stable_archive(archive)
+        # Build mid from source in the same project instead.
+        app_project.add(
+            "mid", "structure Mid = struct val six = Math.double 3 end")
+        report = top_builder.build()
+        assert set(report.compiled) == {"mid", "top"}
+        exports = top_builder.link()
+        assert exports["top"].structures["Top"].values["v"] == 10
+
+
+class TestStableWithGroups:
+    def test_group_build_over_stable_library(self, archive):
+        from repro.cm import Group, GroupBuilder
+
+        project = Project.from_sources({
+            "physics": "structure Physics = struct "
+                       "val v = Math.double 4 end",
+            "render": "structure Render = struct "
+                      "val s = Math.square 3 end",
+        })
+        physics = Group("physics", ["physics"])
+        render = Group("render", ["render"])
+        top = Group("all", [], imports=[physics, render])
+        gb = GroupBuilder(project)
+        gb.add_stable_archive(archive)
+        reports = gb.build(top)
+        assert set(reports["(stable)"].loaded) == {"mathsig", "math"}
+        assert reports["physics"].compiled == ["physics"]
+        exports = gb.link()
+        assert exports["physics"].structures["Physics"].values["v"] == 8
+        assert exports["render"].structures["Render"].values["s"] == 9

@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.basis import make_basis
+from repro.dynamic.evaluate import eval_decs
+from repro.elab.topdec import elaborate_decs
+from repro.lang.parser import parse_program
+from repro.semant.format import format_type
+
+
+@pytest.fixture(scope="session")
+def basis():
+    """The shared pervasive basis (expensive; build once)."""
+    return make_basis()
+
+
+@pytest.fixture
+def elab(basis):
+    """elab(src) -> exported static env."""
+
+    def run(src):
+        env, _el = elaborate_decs(parse_program(src), basis.static_env)
+        return env
+
+    return run
+
+
+@pytest.fixture
+def elab_full(basis):
+    """elab_full(src) -> (exported static env, elaborator)."""
+
+    def run(src):
+        return elaborate_decs(parse_program(src), basis.static_env)
+
+    return run
+
+
+@pytest.fixture
+def run_sml(basis):
+    """run_sml(src) -> (static export env, dynamic frame).
+
+    Elaborates and evaluates the program against the basis.
+    """
+
+    def run(src):
+        decs = parse_program(src)
+        env, _el = elaborate_decs(decs, basis.static_env)
+        frame = basis.dyn_env.child()
+        eval_decs(decs, frame)
+        return env, frame
+
+    return run
+
+
+@pytest.fixture
+def value_of(run_sml):
+    """value_of(src, name) -> the dynamic value of a top-level binding."""
+
+    def run(src, name):
+        _env, frame = run_sml(src)
+        return frame.lookup_value(name)
+
+    return run
+
+
+@pytest.fixture
+def type_of(elab):
+    """type_of(src, name) -> the rendered type of a top-level binding."""
+
+    def run(src, name):
+        env = elab(src)
+        return format_type(env.values[name].scheme)
+
+    return run

@@ -1,0 +1,308 @@
+"""Dynamic semantics: evaluation of the core and module languages."""
+
+import pytest
+
+from repro.dynamic.values import (
+    Char,
+    SMLRaise,
+    VCon,
+    Word,
+    format_value,
+    python_list,
+    sml_list,
+)
+
+
+class TestArithmetic:
+    def test_add(self, value_of):
+        assert value_of("val x = 1 + 2", "x") == 3
+
+    def test_precedence(self, value_of):
+        assert value_of("val x = 2 + 3 * 4", "x") == 14
+
+    def test_div_mod(self, value_of):
+        assert value_of("val x = (17 div 5, 17 mod 5)", "x") == (3, 2)
+
+    def test_negative_div_floors(self, value_of):
+        # SML div rounds toward negative infinity.
+        assert value_of("val x = ~7 div 2", "x") == -4
+
+    def test_negation(self, value_of):
+        assert value_of("val x = ~(3 + 4)", "x") == -7
+
+    def test_abs(self, value_of):
+        assert value_of("val x = abs (~5)", "x") == 5
+
+    def test_comparisons(self, value_of):
+        assert value_of("val x = (1 < 2, 2 <= 2, 3 > 4, 5 >= 5)", "x") == \
+            (True, True, False, True)
+
+    def test_real_ops(self, value_of):
+        assert value_of("val x = Real.+ (1.5, 2.25)", "x") == 3.75
+
+    def test_real_from_int(self, value_of):
+        assert value_of("val x = Real.fromInt 3", "x") == 3.0
+
+    def test_word_ops(self, value_of):
+        assert value_of("val x = Word.toInt (Word.andb (0w12, 0w10))",
+                        "x") == 8
+
+
+class TestEquality:
+    def test_int_equality(self, value_of):
+        assert value_of("val x = (1 = 1, 1 = 2, 1 <> 2)", "x") == \
+            (True, False, True)
+
+    def test_structural_equality(self, value_of):
+        assert value_of("val x = [1, 2] = [1, 2]", "x") is True
+
+    def test_datatype_equality(self, value_of):
+        src = ("datatype t = A | B of int "
+               "val x = (A = A, B 1 = B 1, B 1 = B 2)")
+        assert value_of(src, "x") == (True, True, False)
+
+    def test_record_equality(self, value_of):
+        assert value_of("val x = {a = 1, b = 2} = {b = 2, a = 1}",
+                        "x") is True
+
+    def test_ref_identity_equality(self, value_of):
+        src = ("val r = ref 0 val s = ref 0 "
+               "val x = (r = r, r = s)")
+        assert value_of(src, "x") == (True, False)
+
+
+class TestStringsAndChars:
+    def test_concat(self, value_of):
+        assert value_of('val x = "ab" ^ "cd"', "x") == "abcd"
+
+    def test_size(self, value_of):
+        assert value_of('val x = size "hello"', "x") == 5
+
+    def test_substring(self, value_of):
+        assert value_of('val x = substring ("hello", 1, 3)', "x") == "ell"
+
+    def test_chr_ord(self, value_of):
+        assert value_of("val x = str (chr (ord #\"a\" + 1))", "x") == "b"
+
+    def test_explode_implode(self, value_of):
+        assert value_of('val x = implode (rev (explode "abc"))',
+                        "x") == "cba"
+
+    def test_int_to_string(self, value_of):
+        assert value_of("val x = Int.toString (~42)", "x") == "~42"
+
+    def test_int_from_string(self, value_of):
+        v = value_of('val x = Int.fromString "17"', "x")
+        assert isinstance(v, VCon) and v.name == "SOME" and v.arg == 17
+
+    def test_string_compare(self, value_of):
+        v = value_of('val x = String.compare ("a", "b")', "x")
+        assert v.name == "LESS"
+
+
+class TestControl:
+    def test_if(self, value_of):
+        assert value_of("val x = if 1 < 2 then \"y\" else \"n\"", "x") == "y"
+
+    def test_andalso_short_circuit(self, value_of):
+        src = ("val r = ref 0 "
+               "val x = false andalso (r := 1; true) "
+               "val seen = !r")
+        assert value_of(src, "seen") == 0
+
+    def test_orelse_short_circuit(self, value_of):
+        src = ("val r = ref 0 "
+               "val x = true orelse (r := 1; false) "
+               "val seen = !r")
+        assert value_of(src, "seen") == 0
+
+    def test_while(self, value_of):
+        src = ("val i = ref 0 val acc = ref 0 "
+               "val _ = while !i < 5 do (acc := !acc + !i; i := !i + 1) "
+               "val x = !acc")
+        assert value_of(src, "x") == 10
+
+    def test_sequence_returns_last(self, value_of):
+        assert value_of("val x = (1; 2; 3)", "x") == 3
+
+    def test_case(self, value_of):
+        src = ("fun classify n = case n of 0 => \"zero\" "
+               "| 1 => \"one\" | _ => \"many\" "
+               "val x = (classify 0, classify 1, classify 9)")
+        assert value_of(src, "x") == ("zero", "one", "many")
+
+    def test_let_scoping(self, value_of):
+        src = "val x = 1 val y = let val x = 10 in x + 1 end + x"
+        assert value_of(src, "y") == 12
+
+
+class TestFunctionsAndClosures:
+    def test_closure_captures(self, value_of):
+        src = ("fun adder n = fn m => n + m "
+               "val add3 = adder 3 "
+               "val x = add3 4")
+        assert value_of(src, "x") == 7
+
+    def test_partial_application(self, value_of):
+        src = "fun f a b c = a + b * c val g = f 1 2 val x = g 3"
+        assert value_of(src, "x") == 7
+
+    def test_recursion_deep(self, value_of):
+        src = ("fun sum (0, acc) = acc | sum (n, acc) = sum (n - 1, acc + n) "
+               "val x = sum (100, 0)")
+        assert value_of(src, "x") == 5050
+
+    def test_mutual_recursion(self, value_of):
+        src = ("fun even 0 = true | even n = odd (n - 1) "
+               "and odd 0 = false | odd n = even (n - 1) "
+               "val x = (even 10, odd 10)")
+        assert value_of(src, "x") == (True, False)
+
+    def test_val_rec(self, value_of):
+        src = ("val rec loop = fn 0 => \"done\" | n => loop (n - 1) "
+               "val x = loop 3")
+        assert value_of(src, "x") == "done"
+
+    def test_composition_operator(self, value_of):
+        src = "val f = (fn x => x + 1) o (fn x => x * 2) val x = f 5"
+        assert value_of(src, "x") == 11
+
+    def test_clause_order(self, value_of):
+        src = "fun f 0 = \"zero\" | f _ = \"other\" val x = f 0"
+        assert value_of(src, "x") == "zero"
+
+    def test_shadowed_function_static_scope(self, value_of):
+        src = ("fun f x = x + 1 "
+               "fun g y = f y "
+               "fun f x = x * 100 "
+               "val x = g 1")
+        assert value_of(src, "x") == 2  # g still sees the first f
+
+
+class TestDataAndPatterns:
+    def test_list_sugar(self, value_of):
+        v = value_of("val x = [1, 2, 3]", "x")
+        assert python_list(v) == [1, 2, 3]
+
+    def test_cons(self, value_of):
+        v = value_of("val x = 1 :: 2 :: nil", "x")
+        assert python_list(v) == [1, 2]
+
+    def test_append(self, value_of):
+        v = value_of("val x = [1] @ [2, 3]", "x")
+        assert python_list(v) == [1, 2, 3]
+
+    def test_list_pattern(self, value_of):
+        assert value_of("val [a, b] = [10, 20] val x = a + b", "x") == 30
+
+    def test_as_pattern(self, value_of):
+        src = ("fun dup (all as (x :: _)) = x :: all | dup nil = nil "
+               "val x = dup [1, 2]")
+        assert python_list(value_of(src, "x")) == [1, 1, 2]
+
+    def test_record_pattern(self, value_of):
+        src = "val {a, b = c} = {a = 1, b = 2} val x = a + c"
+        assert value_of(src, "x") == 3
+
+    def test_flexible_record_pattern(self, value_of):
+        src = ("fun name ({name, ...} : {name: string, age: int}) = name "
+               "val x = name {name = \"sml\", age = 31}")
+        assert value_of(src, "x") == "sml"
+
+    def test_constructor_patterns(self, value_of):
+        src = ("datatype shape = Circle of int | Rect of int * int "
+               "fun area (Circle r) = 3 * r * r "
+               "  | area (Rect (w, h)) = w * h "
+               "val x = (area (Circle 2), area (Rect (3, 4)))")
+        assert value_of(src, "x") == (12, 12)
+
+    def test_nested_patterns(self, value_of):
+        src = ("val x = case [(1, \"a\"), (2, \"b\")] of "
+               "  (_, s) :: _ => s | nil => \"none\"")
+        assert value_of(src, "x") == "a"
+
+    def test_wildcard(self, value_of):
+        assert value_of("fun k _ = 42 val x = k \"whatever\"", "x") == 42
+
+    def test_char_pattern(self, value_of):
+        src = ("fun isA #\"a\" = true | isA _ = false "
+               "val x = (isA #\"a\", isA #\"b\")")
+        assert value_of(src, "x") == (True, False)
+
+    def test_string_pattern(self, value_of):
+        src = ('fun f "yes" = 1 | f _ = 0 val x = f "yes"')
+        assert value_of(src, "x") == 1
+
+    def test_option(self, value_of):
+        src = ("fun get (SOME x) = x | get NONE = 0 "
+               "val x = (get (SOME 5), get NONE)")
+        assert value_of(src, "x") == (5, 0)
+
+
+class TestModulesDynamic:
+    def test_structure_values(self, value_of):
+        src = ("structure S = struct val a = 1 fun f x = x + a end "
+               "val x = S.f S.a")
+        assert value_of(src, "x") == 2
+
+    def test_functor_application(self, value_of):
+        src = ("functor Add(X : sig val n : int end) = struct "
+               "  fun add m = m + X.n end "
+               "structure A5 = Add(struct val n = 5 end) "
+               "structure A9 = Add(struct val n = 9 end) "
+               "val x = (A5.add 1, A9.add 1)")
+        assert value_of(src, "x") == (6, 10)
+
+    def test_nested_structure_access(self, value_of):
+        src = ("structure A = struct structure B = struct val v = 7 end end "
+               "val x = A.B.v")
+        assert value_of(src, "x") == 7
+
+    def test_open_dynamic(self, value_of):
+        src = "structure S = struct val v = 3 end open S val x = v + 1"
+        assert value_of(src, "x") == 4
+
+    def test_local_dynamic(self, value_of):
+        src = ("local val a = 10 in val b = a * 2 end val x = b")
+        assert value_of(src, "x") == 20
+
+    def test_constraint_no_dynamic_effect(self, value_of):
+        src = ("signature S = sig val v : int end "
+               "structure X :> S = struct val v = 5 end "
+               "val x = X.v")
+        assert value_of(src, "x") == 5
+
+    def test_functor_body_uses_definition_env(self, value_of):
+        src = ("val base = 100 "
+               "structure H = struct fun bump x = x + 1 end "
+               "functor F(X : sig val v : int end) = struct "
+               "  val out = H.bump X.v end "
+               "structure R = F(struct val v = 1 end) "
+               "val x = R.out")
+        assert value_of(src, "x") == 2
+
+
+class TestValueFormatting:
+    def test_format_list(self):
+        assert format_value(sml_list([1, 2])) == "[1, 2]"
+
+    def test_format_negative(self):
+        assert format_value(-3) == "~3"
+
+    def test_format_string_escapes(self):
+        assert format_value('a"b') == '"a\\"b"'
+
+    def test_format_char(self):
+        assert format_value(Char("x")) == '#"x"'
+
+    def test_format_word(self):
+        assert format_value(Word(255)) == "0wxff"
+
+    def test_format_bool(self):
+        assert format_value(True) == "true"
+
+    def test_format_record(self):
+        assert format_value({"a": 1, "b": 2}) == "{a=1, b=2}"
+
+    def test_format_constructor(self):
+        assert format_value(VCon("SOME", 3)) == "SOME 3"

@@ -1,0 +1,119 @@
+"""Evaluator edge cases: scoping corners, laziness boundaries, value
+semantics details."""
+
+import pytest
+
+from repro.dynamic.values import SMLRaise, python_list
+
+
+class TestScopingCorners:
+    def test_closure_over_import_not_shadowed_by_later_local(self, value_of):
+        # A closure referencing a basis binding must not pick up a later
+        # local rebinding of the same name.
+        src = ("fun early l = rev l "
+               "fun rev l = l "
+               "val x = early [1, 2]")
+        assert python_list(value_of(src, "x")) == [2, 1]
+
+    def test_let_rebinding_invisible_outside(self, value_of):
+        src = ("val n = 1 "
+               "val a = let val n = 100 in n end "
+               "val x = (a, n)")
+        assert value_of(src, "x") == (100, 1)
+
+    def test_structure_capture_at_definition(self, value_of):
+        src = ("val base = 10 "
+               "structure S = struct fun get () = base end "
+               "val base = 99 "
+               "val x = S.get ()")
+        assert value_of(src, "x") == 10
+
+    def test_functor_application_uses_current_arg(self, value_of):
+        src = ("functor F(X : sig val v : int end) = struct "
+               "  val doubled = X.v * 2 end "
+               "structure A = F(struct val v = 3 end) "
+               "structure B = F(struct val v = 5 end) "
+               "val x = (A.doubled, B.doubled)")
+        assert value_of(src, "x") == (6, 10)
+
+    def test_open_then_shadow(self, value_of):
+        src = ("structure S = struct val v = 1 end "
+               "open S "
+               "val v = v + 10 "
+               "val x = v")
+        assert value_of(src, "x") == 11
+
+
+class TestEvaluationOrder:
+    def test_tuple_left_to_right(self, value_of):
+        src = ("val log = ref nil "
+               "fun note n = (log := n :: !log; n) "
+               "val t = (note 1, note 2, note 3) "
+               "val x = rev (!log)")
+        assert python_list(value_of(src, "x")) == [1, 2, 3]
+
+    def test_application_argument_before_call(self, value_of):
+        src = ("val log = ref nil "
+               "fun note n = (log := n :: !log; n) "
+               "fun f a = note 9 "
+               "val _ = f (note 1) "
+               "val x = rev (!log)")
+        # Our AppExp evaluates fn then... the argument first, then body.
+        assert python_list(value_of(src, "x")) == [1, 9]
+
+    def test_val_bindings_sequential(self, value_of):
+        src = "val a = 1 val b = a + 1 val c = b + 1 val x = (a, b, c)"
+        assert value_of(src, "x") == (1, 2, 3)
+
+    def test_handle_does_not_catch_in_handler_body(self, run_sml):
+        src = ("exception A "
+               "val x = (raise A) handle A => raise A")
+        with pytest.raises(SMLRaise):
+            run_sml(src)
+
+    def test_before_evaluates_both(self, value_of):
+        src = ("val r = ref 0 "
+               "val x = (1 before (r := 5)) + !r")
+        assert value_of(src, "x") == 6
+
+
+class TestValueSemantics:
+    def test_string_immutability_by_construction(self, value_of):
+        src = ('val s = "base" val t = s ^ "!" val x = (s, t)')
+        assert value_of(src, "x") == ("base", "base!")
+
+    def test_large_int_arithmetic(self, value_of):
+        # SML's IntInf-ish behaviour: Python ints never overflow.
+        src = "fun pow (b, 0) = 1 | pow (b, n) = b * pow (b, n - 1) " \
+              "val x = pow (2, 100)"
+        assert value_of(src, "x") == 2 ** 100
+
+    def test_deep_list_construction(self, value_of):
+        src = ("val x = length (List.tabulate (500, fn i => i))")
+        assert value_of(src, "x") == 500
+
+    def test_polymorphic_function_reuse(self, value_of):
+        src = ("fun pair x = (x, x) "
+               "val x = (pair 1, pair \"s\", pair true)")
+        assert value_of(src, "x") == ((1, 1), ("s", "s"), (True, True))
+
+    def test_curried_closure_freshness(self, value_of):
+        src = ("fun counter start = "
+               "  let val cell = ref start "
+               "  in fn () => (cell := !cell + 1; !cell) end "
+               "val c1 = counter 0 "
+               "val c2 = counter 100 "
+               "val x = (c1 (), c1 (), c2 ())")
+        assert value_of(src, "x") == (1, 2, 101)
+
+    def test_exceptions_are_values(self, value_of):
+        src = ("exception E of int "
+               "val packet = E 42 "
+               "fun fire () = raise packet "
+               "val x = fire () handle E n => n")
+        assert value_of(src, "x") == 42
+
+    def test_exception_packet_shared(self, value_of):
+        src = ("val packets = map Fail [\"a\", \"b\"] "
+               "val x = (raise List.nth (packets, 1)) handle Fail m => m")
+        assert value_of(src, "x") == "b"

@@ -1,0 +1,129 @@
+"""Dynamic semantics of exceptions: raising, handling, generativity."""
+
+import pytest
+
+from repro.dynamic.values import SMLRaise
+
+
+class TestRaiseHandle:
+    def test_raise_and_handle(self, value_of):
+        src = ("exception E "
+               "val x = (raise E) handle E => 42")
+        assert value_of(src, "x") == 42
+
+    def test_handle_with_argument(self, value_of):
+        src = ("exception Msg of string "
+               "val x = (raise Msg \"hi\") handle Msg s => s")
+        assert value_of(src, "x") == "hi"
+
+    def test_unhandled_propagates(self, run_sml):
+        with pytest.raises(SMLRaise):
+            run_sml("exception E val x = raise E")
+
+    def test_handler_ordering(self, value_of):
+        src = ("exception A exception B "
+               "val x = (raise B) handle A => 1 | B => 2")
+        assert value_of(src, "x") == 2
+
+    def test_non_matching_handler_reraises(self, value_of):
+        src = ("exception A exception B "
+               "val x = ((raise A) handle B => 1) handle A => 2")
+        assert value_of(src, "x") == 2
+
+    def test_handle_passes_through_value(self, value_of):
+        src = "exception E val x = 5 handle E => 9"
+        assert value_of(src, "x") == 5
+
+    def test_raise_inside_handler(self, value_of):
+        src = ("exception A exception B "
+               "val x = ((raise A) handle A => raise B) handle B => 3")
+        assert value_of(src, "x") == 3
+
+    def test_wildcard_handler(self, value_of):
+        src = "exception E of int val x = (raise E 1) handle _ => 0"
+        assert value_of(src, "x") == 0
+
+    def test_exn_variable_handler(self, value_of):
+        src = ("val x = (raise Fail \"boom\") handle e => exnName e")
+        assert value_of(src, "x") == "Fail"
+
+
+class TestBuiltinExceptions:
+    def test_div_by_zero(self, value_of):
+        src = "val x = (1 div 0) handle Div => ~1"
+        assert value_of(src, "x") == -1
+
+    def test_mod_by_zero(self, value_of):
+        src = "val x = (1 mod 0) handle Div => ~1"
+        assert value_of(src, "x") == -1
+
+    def test_hd_empty(self, value_of):
+        src = "val x = hd nil handle Empty => ~1"
+        assert value_of(src, "x") == -1
+
+    def test_nth_subscript(self, value_of):
+        src = "val x = List.nth ([1], 5) handle Subscript => ~1"
+        assert value_of(src, "x") == -1
+
+    def test_valOf_none(self, value_of):
+        src = "val x = valOf NONE handle Option => ~1"
+        assert value_of(src, "x") == -1
+
+    def test_substring_subscript(self, value_of):
+        src = 'val x = substring ("ab", 1, 5) handle Subscript => "!"'
+        assert value_of(src, "x") == "!"
+
+    def test_chr_out_of_range(self, value_of):
+        src = 'val x = str (chr 999) handle Chr => "!"'
+        assert value_of(src, "x") == "!"
+
+    def test_fail_carries_message(self, value_of):
+        src = 'val x = (raise Fail "boom") handle Fail m => m'
+        assert value_of(src, "x") == "boom"
+
+    def test_match_exception(self, value_of):
+        src = ("fun f 0 = 1 "
+               "val x = f 5 handle Match => ~1")
+        assert value_of(src, "x") == -1
+
+    def test_bind_exception(self, value_of):
+        src = ("val x = (let val 1 = 2 in 0 end) handle Bind => ~1")
+        assert value_of(src, "x") == -1
+
+
+class TestGenerativity:
+    def test_exception_generativity(self, value_of):
+        # Two evaluations of the same exception declaration create
+        # distinct exceptions; the inner handler must not catch the
+        # outer exception of the same name.
+        src = ("fun mk () = let exception E in fn () => raise E end "
+               "val raise1 = mk () "
+               "val x = (let exception E in raise1 () handle E => 1 end) "
+               "        handle _ => 2")
+        assert value_of(src, "x") == 2
+
+    def test_exception_alias_same_identity(self, value_of):
+        src = ("exception Original of int "
+               "exception Alias = Original "
+               "val x = (raise Alias 7) handle Original n => n")
+        assert value_of(src, "x") == 7
+
+    def test_functor_exception_generative(self, value_of):
+        # Each functor application makes fresh exceptions.
+        src = ("functor F(X : sig end) = struct exception E "
+               "  fun throw () = raise E "
+               "  fun catch f = (f (); 0) handle E => 1 end "
+               "structure A = F(struct end) "
+               "structure B = F(struct end) "
+               "val x = (A.catch A.throw, A.catch B.throw handle _ => 99)")
+        assert value_of(src, "x") == (1, 99)
+
+    def test_exception_escapes_scope(self, value_of):
+        # An exception raised after its declaring scope ends retains its
+        # identity (caught only via a surviving alias).
+        src = ("val (throw, catch) = "
+               "  let exception Hidden "
+               "  in (fn () => raise Hidden, "
+               "      fn f => (f (); 0) handle Hidden => 1) end "
+               "val x = catch throw")
+        assert value_of(src, "x") == 1

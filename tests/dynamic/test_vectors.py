@@ -1,0 +1,103 @@
+"""Vector and Array basis structures."""
+
+import pytest
+
+from repro.dynamic.values import Array, Vector
+from repro.elab.errors import ElabError
+
+
+class TestVector:
+    def test_from_to_list(self, value_of):
+        src = ("val v = Vector.fromList [1, 2] "
+               "val back = Vector.toList v")
+        from repro.dynamic.values import python_list
+
+        assert python_list(value_of(src, "back")) == [1, 2]
+
+    def test_tabulate_and_length(self, value_of):
+        src = "val x = Vector.length (Vector.tabulate (4, fn i => i))"
+        assert value_of(src, "x") == 4
+
+    def test_sub(self, value_of):
+        src = "val x = Vector.sub (Vector.fromList [5, 6, 7], 2)"
+        assert value_of(src, "x") == 7
+
+    def test_sub_out_of_range(self, value_of):
+        src = ("val x = Vector.sub (Vector.fromList [1], 5) "
+               "handle Subscript => ~1")
+        assert value_of(src, "x") == -1
+
+    def test_map(self, value_of):
+        src = ("val v = Vector.map (fn s => s ^ \"!\") "
+               "(Vector.fromList [\"a\", \"b\"])")
+        assert value_of(src, "v") == Vector(("a!", "b!"))
+
+    def test_map_changes_type(self, type_of):
+        src = ("val v = Vector.map Int.toString "
+               "(Vector.fromList [1])")
+        assert type_of(src, "v") == "string vector"
+
+    def test_foldl(self, value_of):
+        src = ("val x = Vector.foldl (fn (a, b) => a + b) 10 "
+               "(Vector.fromList [1, 2, 3])")
+        assert value_of(src, "x") == 16
+
+    def test_concat(self, value_of):
+        src = ("val v = Vector.concat "
+               "[Vector.fromList [1], Vector.fromList [2, 3]]")
+        assert value_of(src, "v") == Vector((1, 2, 3))
+
+    def test_structural_equality(self, value_of):
+        src = ("val x = Vector.fromList [1, 2] = Vector.fromList [1, 2]")
+        assert value_of(src, "x") is True
+
+    def test_vector_admits_equality_type(self, type_of):
+        assert type_of(
+            "fun eq (a : int vector, b) = a = b", "eq") == \
+            "int vector * int vector -> bool"
+
+
+class TestArray:
+    def test_array_fill(self, value_of):
+        src = "val x = Array.sub (Array.array (3, \"z\"), 2)"
+        assert value_of(src, "x") == "z"
+
+    def test_update_mutates(self, value_of):
+        src = ("val a = Array.fromList [1, 2, 3] "
+               "val _ = Array.update (a, 0, 99) "
+               "val x = Array.sub (a, 0)")
+        assert value_of(src, "x") == 99
+
+    def test_identity_equality(self, value_of):
+        src = ("val a = Array.fromList [1] "
+               "val b = Array.fromList [1] "
+               "val x = (a = a, a = b)")
+        assert value_of(src, "x") == (True, False)
+
+    def test_negative_size_raises(self, value_of):
+        src = "val x = (Array.array (~1, 0); 1) handle Size => ~1"
+        assert value_of(src, "x") == -1
+
+    def test_update_out_of_range(self, value_of):
+        src = ("val a = Array.fromList [1] "
+               "val x = (Array.update (a, 7, 0); 1) "
+               "handle Subscript => ~1")
+        assert value_of(src, "x") == -1
+
+    def test_vector_snapshot_immutable(self, value_of):
+        src = ("val a = Array.fromList [1, 2] "
+               "val snap = Array.vector a "
+               "val _ = Array.update (a, 0, 99) "
+               "val x = Vector.sub (snap, 0)")
+        assert value_of(src, "x") == 1
+
+    def test_array_always_eqtype(self, elab):
+        # 'a array admits equality even when 'a does not (like ref).
+        elab("val a = Array.fromList [fn x => x] val ok = a = a")
+
+    def test_shared_mutation_visible(self, value_of):
+        src = ("val a = Array.array (2, 0) "
+               "val b = a "
+               "val _ = Array.update (a, 0, 7) "
+               "val x = Array.sub (b, 0)")
+        assert value_of(src, "x") == 7

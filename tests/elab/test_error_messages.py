@@ -1,0 +1,90 @@
+"""Error-message quality: diagnostics must name the offending
+identifier and carry a sensible source line."""
+
+import pytest
+
+from repro.elab.errors import ElabError
+
+
+def error_of(elab, src) -> ElabError:
+    with pytest.raises(ElabError) as err:
+        elab(src)
+    return err.value
+
+
+class TestNames:
+    def test_unbound_variable_named(self, elab):
+        err = error_of(elab, "val x = mysteriousName")
+        assert "mysteriousName" in str(err)
+
+    def test_unbound_qualified_named(self, elab):
+        err = error_of(elab, "val x = Lost.member")
+        assert "Lost.member" in str(err)
+
+    def test_unbound_tycon_named(self, elab):
+        err = error_of(elab, "val x : phantom = 1")
+        assert "phantom" in str(err)
+
+    def test_unbound_signature_named(self, elab):
+        err = error_of(elab, "structure S : GHOST = struct end")
+        assert "GHOST" in str(err)
+
+    def test_unbound_functor_named(self, elab):
+        err = error_of(elab, "structure S = Spectral(struct end)")
+        assert "Spectral" in str(err)
+
+    def test_signature_mismatch_names_member(self, elab):
+        err = error_of(
+            elab,
+            "signature S = sig val needed : int end "
+            "structure X : S = struct end")
+        assert "needed" in str(err)
+
+    def test_signature_mismatch_names_signature(self, elab):
+        err = error_of(
+            elab,
+            "signature WINDOW = sig type t end "
+            "structure X : WINDOW = struct end")
+        assert "WINDOW" in str(err)
+
+    def test_constructor_misuse_named(self, elab):
+        err = error_of(
+            elab,
+            "datatype t = Boxed of int "
+            "fun f Boxed = 1")
+        assert "Boxed" in str(err)
+
+    def test_duplicate_variable_named(self, elab):
+        err = error_of(elab, "fun f (dup, dup) = dup")
+        assert "dup" in str(err)
+
+    def test_arity_error_counts(self, elab):
+        err = error_of(elab, "val x : (int, int) list = nil")
+        text = str(err)
+        assert "2" in text and "1" in text
+
+
+class TestLines:
+    def test_line_of_type_clash(self, elab):
+        err = error_of(elab, "val a = 1\nval b = 2\nval c = 1 + true")
+        assert err.line == 3
+
+    def test_line_of_unbound(self, elab):
+        err = error_of(elab, "val a = 1\nval b = ghost")
+        assert err.line == 2
+
+    def test_line_inside_structure(self, elab):
+        err = error_of(
+            elab,
+            "structure S = struct\n  val good = 1\n  val bad = ghost\nend")
+        assert err.line == 3
+
+
+class TestWarningsCarryContext:
+    def test_fun_warning_names_function(self, elab_full):
+        _env, el = elab_full("fun partial 0 = 1")
+        assert any("partial" in msg for msg, _ in el.warnings)
+
+    def test_redundant_names_clause_number(self, elab_full):
+        _env, el = elab_full("fun f 1 = 1 | f 1 = 2 | f _ = 3")
+        assert any("clause 2" in msg for msg, _ in el.warnings)

@@ -1,0 +1,309 @@
+"""Type inference for the core language."""
+
+import pytest
+
+from repro.elab.errors import ElabError
+
+
+class TestLiterals:
+    def test_int(self, type_of):
+        assert type_of("val x = 42", "x") == "int"
+
+    def test_real(self, type_of):
+        assert type_of("val x = 3.14", "x") == "real"
+
+    def test_string(self, type_of):
+        assert type_of('val x = "hi"', "x") == "string"
+
+    def test_char(self, type_of):
+        assert type_of('val x = #"a"', "x") == "char"
+
+    def test_word(self, type_of):
+        assert type_of("val x = 0w7", "x") == "word"
+
+    def test_unit(self, type_of):
+        assert type_of("val x = ()", "x") == "unit"
+
+    def test_bool(self, type_of):
+        assert type_of("val x = true", "x") == "bool"
+
+
+class TestFunctions:
+    def test_identity_polymorphic(self, type_of):
+        assert type_of("fun id x = x", "id") == "'a -> 'a"
+
+    def test_const(self, type_of):
+        assert type_of("fun const x y = x", "const") == "'a -> 'b -> 'a"
+
+    def test_compose_type(self, type_of):
+        t = type_of("fun comp f g x = f (g x)", "comp")
+        assert t == "('a -> 'b) -> ('c -> 'a) -> 'c -> 'b"
+
+    def test_monomorphic_after_use(self, type_of):
+        assert type_of("fun inc x = x + 1", "inc") == "int -> int"
+
+    def test_recursion(self, type_of):
+        t = type_of("fun fact n = if n = 0 then 1 else n * fact (n - 1)",
+                    "fact")
+        assert t == "int -> int"
+
+    def test_mutual_recursion(self, type_of):
+        src = ("fun even n = if n = 0 then true else odd (n - 1) "
+               "and odd n = if n = 0 then false else even (n - 1)")
+        assert type_of(src, "even") == "int -> bool"
+
+    def test_clausal_patterns(self, type_of):
+        t = type_of("fun len nil = 0 | len (_ :: t) = 1 + len t", "len")
+        assert t == "'a list -> int"
+
+    def test_higher_order(self, type_of):
+        t = type_of("fun apply f = f 0", "apply")
+        assert t == "(int -> 'a) -> 'a"
+
+    def test_fn_expression(self, type_of):
+        assert type_of("val f = fn (a, b) => a + b", "f") == \
+            "int * int -> int"
+
+    def test_curried_result_annotation(self, type_of):
+        assert type_of("fun f x : int = x", "f") == "int -> int"
+
+
+class TestLetPolymorphism:
+    def test_let_generalizes(self, type_of):
+        src = "val p = let fun id x = x in (id 1, id \"s\") end"
+        assert type_of(src, "p") == "int * string"
+
+    def test_lambda_bound_not_generalized(self, elab):
+        src = 'fun bad f = (f 1, f "s")'
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_value_restriction(self, type_of):
+        # `id id` is expansive: it must not generalize.
+        src = "fun id x = x val f = id id val use = f 5"
+        assert type_of(src, "use") == "int"
+
+    def test_value_restriction_blocks_polymorphic_use(self, elab):
+        src = 'fun id x = x val f = id id val a = f 5 val b = f "s"'
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_fn_is_nonexpansive(self, type_of):
+        src = "val f = fn x => x"
+        assert type_of(src, "f") == "'a -> 'a"
+
+    def test_tuple_of_values_nonexpansive(self, type_of):
+        src = "val p = (fn x => x, nil)"
+        assert type_of(src, "p") == "('a -> 'a) * 'b list"
+
+
+class TestDatatypes:
+    def test_simple_enum(self, type_of):
+        src = "datatype color = Red | Green val c = Red"
+        assert type_of(src, "c") == "color"
+
+    def test_constructor_function(self, type_of):
+        src = "datatype box = Box of int val b = Box"
+        assert type_of(src, "b") == "int -> box"
+
+    def test_polymorphic(self, type_of):
+        src = "datatype 'a pair = P of 'a * 'a val p = P (1, 2)"
+        assert type_of(src, "p") == "int pair"
+
+    def test_recursive(self, type_of):
+        src = ("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree "
+               "fun depth Leaf = 0 "
+               "  | depth (Node (l, _, r)) = "
+               "      1 + (if depth l > depth r then depth l else depth r)")
+        assert type_of(src, "depth") == "'a tree -> int"
+
+    def test_mutually_recursive(self, elab):
+        src = ("datatype exp = Num of int | Let of bind * exp "
+               "and bind = Bind of string * exp")
+        env = elab(src)
+        assert "exp" in env.tycons
+        assert "bind" in env.tycons
+
+    def test_generativity(self, elab):
+        # Two structurally identical datatypes are distinct generative
+        # types; the second A shadows the first, so `bad : a` fails.
+        import pytest as _pytest
+        from repro.elab.errors import ElabError as _E
+        with _pytest.raises(_E):
+            elab("datatype a = A of int datatype b = A of int "
+                 "val bad : a = A 3")
+
+    def test_generativity_mismatch(self, elab):
+        src = ("structure X = struct datatype t = T end "
+               "structure Y = struct datatype t = T end "
+               "val bad : X.t = Y.T")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_withtype(self, type_of):
+        src = ("datatype t = Node of edges withtype edges = t list "
+               "val n = Node nil")
+        assert type_of(src, "n") == "t"
+
+    def test_replication(self, type_of):
+        src = ("structure A = struct datatype t = X of int end "
+               "datatype u = datatype A.t "
+               "val v = X 3")
+        assert type_of(src, "v") == "t"
+
+    def test_constructor_arity_error(self, elab):
+        with pytest.raises(ElabError):
+            elab("datatype t = C of int val x = case C 1 of C => 1")
+
+
+class TestRecordsAndTuples:
+    def test_tuple(self, type_of):
+        assert type_of("val t = (1, \"a\", true)", "t") == \
+            "int * string * bool"
+
+    def test_record(self, type_of):
+        assert type_of("val r = {name = \"x\", age = 3}", "r") == \
+            "{age: int, name: string}"
+
+    def test_selector_on_known_record(self, type_of):
+        src = "val r = {a = 1, b = \"s\"} val x = #b r"
+        assert type_of(src, "x") == "string"
+
+    def test_tuple_selector(self, type_of):
+        assert type_of("val x = #2 (1, \"s\")", "x") == "string"
+
+    def test_flexible_pattern_with_annotation(self, type_of):
+        src = ("fun get ({name, ...} : {name: string, age: int}) = name")
+        assert type_of(src, "get") == "{age: int, name: string} -> string"
+
+    def test_unresolved_flex_record_rejected(self, elab):
+        with pytest.raises(ElabError):
+            elab("fun get {name, ...} = name")
+
+    def test_record_field_order_irrelevant(self, type_of):
+        src = "val a = {x = 1, y = 2} val b = {y = 2, x = 1} val c = a = b"
+        assert type_of(src, "c") == "bool"
+
+    def test_missing_field(self, elab):
+        with pytest.raises(ElabError):
+            elab("val r = {a = 1} val x = #b r")
+
+
+class TestExceptionsStatic:
+    def test_exception_type(self, type_of):
+        assert type_of("exception E val e = E", "e") == "exn"
+
+    def test_exception_with_arg(self, type_of):
+        assert type_of("exception E of string val e = E", "e") == \
+            "string -> exn"
+
+    def test_raise_any_type(self, type_of):
+        src = "exception E fun f true = 1 | f false = raise E"
+        assert type_of(src, "f") == "bool -> int"
+
+    def test_handle_types_must_agree(self, elab):
+        with pytest.raises(ElabError):
+            elab('exception E val x = (1 handle E => "s")')
+
+    def test_polymorphic_exception_rejected(self, elab):
+        with pytest.raises(ElabError):
+            elab("exception E of 'a list")
+
+    def test_exception_alias(self, type_of):
+        src = "exception E of int exception F = E val f = F"
+        assert type_of(src, "f") == "int -> exn"
+
+
+class TestReferences:
+    def test_ref_type(self, type_of):
+        assert type_of("val r = ref 0", "r") == "int ref"
+
+    def test_deref(self, type_of):
+        assert type_of("val r = ref \"s\" val x = !r", "x") == "string"
+
+    def test_assign_type(self, type_of):
+        assert type_of("val r = ref 0 val u = r := 1", "u") == "unit"
+
+    def test_ref_is_expansive(self, elab):
+        # `ref nil` must not be polymorphic (the classic unsoundness).
+        src = 'val r = ref nil val _ = r := [1] val s = "x" :: !r'
+        with pytest.raises(ElabError):
+            elab(src)
+
+
+class TestErrors:
+    def test_unbound_variable(self, elab):
+        with pytest.raises(ElabError, match="unbound variable"):
+            elab("val x = nonexistent")
+
+    def test_unbound_type(self, elab):
+        with pytest.raises(ElabError, match="unbound type"):
+            elab("val x : mystery = 1")
+
+    def test_type_clash(self, elab):
+        with pytest.raises(ElabError):
+            elab('val x = 1 + "two"')
+
+    def test_occurs_check(self, elab):
+        with pytest.raises(ElabError, match="circular"):
+            elab("fun f x = x x")
+
+    def test_arity_mismatch_tycon(self, elab):
+        with pytest.raises(ElabError):
+            elab("val x : (int, int) list = nil")
+
+    def test_if_branches_must_agree(self, elab):
+        with pytest.raises(ElabError):
+            elab('val x = if true then 1 else "s"')
+
+    def test_condition_must_be_bool(self, elab):
+        with pytest.raises(ElabError):
+            elab("val x = if 1 then 2 else 3")
+
+    def test_duplicate_pattern_variable(self, elab):
+        with pytest.raises(ElabError, match="duplicate"):
+            elab("fun f (x, x) = x")
+
+    def test_case_rules_must_agree(self, elab):
+        with pytest.raises(ElabError):
+            elab('val x = case 1 of 0 => "a" | _ => 1')
+
+
+class TestShadowing:
+    def test_value_shadowing(self, type_of):
+        src = 'val x = 1 val x = "s"'
+        assert type_of(src, "x") == "string"
+
+    def test_let_shadowing_restores(self, type_of):
+        src = "val x = 1 val y = let val x = \"s\" in x end val z = x"
+        assert type_of(src, "z") == "int"
+
+    def test_constructor_not_shadowable_by_val(self, elab):
+        # In SML, `val C = 5` where C is a nullary constructor is a
+        # *pattern match* of C against 5, which is a type error.
+        with pytest.raises(ElabError):
+            elab("datatype t = C val C = 5")
+
+    def test_local_hides_private(self, elab):
+        env = elab("local val secret = 1 in val public = secret + 1 end")
+        assert "public" in env.values
+        assert "secret" not in env.values
+
+
+class TestTypeAbbreviations:
+    def test_simple(self, type_of):
+        src = "type point = int * int val p : point = (1, 2)"
+        assert type_of(src, "p") == "int * int"
+
+    def test_parameterized(self, type_of):
+        src = ("type 'a pair = 'a * 'a val p : int pair = (1, 2)")
+        assert type_of(src, "p") == "int * int"
+
+    def test_two_params(self, type_of):
+        src = ("type ('a, 'b) assoc = ('a * 'b) list "
+               "val m : (string, int) assoc = [(\"a\", 1)]")
+        assert type_of(src, "m") == "(string * int) list"
+
+    def test_abbreviation_expands_in_unification(self, type_of):
+        src = ("type t = int fun f (x : t) = x + 1 val y = f 3")
+        assert type_of(src, "y") == "int"

@@ -1,0 +1,138 @@
+"""Exhaustiveness and redundancy warnings."""
+
+import pytest
+
+
+@pytest.fixture
+def warnings_of(basis):
+    from repro.elab.topdec import elaborate_decs
+    from repro.lang.parser import parse_program
+
+    def run(src):
+        _env, el = elaborate_decs(parse_program(src), basis.static_env)
+        return [message for message, _line in el.warnings]
+
+    return run
+
+
+class TestExhaustiveness:
+    def test_complete_fun_is_silent(self, warnings_of):
+        assert warnings_of("fun f 0 = 1 | f n = 2") == []
+
+    def test_missing_literal_default(self, warnings_of):
+        assert any("not exhaustive" in w
+                   for w in warnings_of("fun f 0 = 1"))
+
+    def test_complete_datatype(self, warnings_of):
+        src = "datatype c = R | G | B fun f R = 1 | f G = 2 | f B = 3"
+        assert warnings_of(src) == []
+
+    def test_missing_datatype_constructor(self, warnings_of):
+        src = "datatype c = R | G | B fun f R = 1 | f G = 2"
+        assert any("not exhaustive" in w for w in warnings_of(src))
+
+    def test_complete_list_match(self, warnings_of):
+        assert warnings_of("fun f nil = 0 | f (h :: t) = 1") == []
+
+    def test_fixed_length_list_incomplete(self, warnings_of):
+        assert any("not exhaustive" in w
+                   for w in warnings_of("fun g [a, b] = a"))
+
+    def test_bool_tuple_complete(self, warnings_of):
+        src = ("val x = case (true, false) of (true, _) => 1 "
+               "| (_, true) => 2 | (false, false) => 3")
+        assert warnings_of(src) == []
+
+    def test_bool_tuple_incomplete(self, warnings_of):
+        src = ("val x = case (true, false) of (true, _) => 1 "
+               "| (false, true) => 2")
+        assert any("not exhaustive" in w for w in warnings_of(src))
+
+    def test_nested_constructor_matrix(self, warnings_of):
+        src = ("datatype 'a t = L | N of 'a t * 'a t "
+               "fun d L = 0 | d (N (L, r)) = 1 | d (N (N (a, b), r)) = 2")
+        assert warnings_of(src) == []
+
+    def test_option_complete(self, warnings_of):
+        assert warnings_of(
+            "fun f (SOME x) = x | f NONE = 0") == []
+
+    def test_wildcard_silences(self, warnings_of):
+        assert warnings_of("fun f 0 = 1 | f _ = 2") == []
+
+    def test_variable_silences(self, warnings_of):
+        assert warnings_of('fun f "a" = 1 | f other = 2') == []
+
+    def test_record_pattern(self, warnings_of):
+        src = ("fun f ({ok = true, n} : {ok: bool, n: int}) = n "
+               "  | f {ok = false, n} = 0 - n")
+        assert warnings_of(src) == []
+
+    def test_exceptions_never_exhaustive_requirement(self, warnings_of):
+        # handle matches are allowed to be partial (unmatched re-raise).
+        assert warnings_of("val z = (1 handle Div => 2)") == []
+
+    def test_fn_expression_checked(self, warnings_of):
+        assert any("not exhaustive" in w
+                   for w in warnings_of("val f = fn 0 => 1"))
+
+    def test_case_checked(self, warnings_of):
+        assert any("not exhaustive" in w for w in warnings_of(
+            "datatype t = A | B val x = case A of A => 1"))
+
+
+class TestValBindings:
+    def test_refutable_binding_warns(self, warnings_of):
+        assert any("not exhaustive" in w
+                   for w in warnings_of("val SOME y = SOME 3"))
+
+    def test_tuple_binding_silent(self, warnings_of):
+        assert warnings_of("val (a, b) = (1, 2)") == []
+
+    def test_single_constructor_datatype_silent(self, warnings_of):
+        src = "datatype w = W of int val W n = W 5"
+        assert warnings_of(src) == []
+
+    def test_cons_binding_warns(self, warnings_of):
+        assert any("not exhaustive" in w
+                   for w in warnings_of("val h :: t = [1, 2]"))
+
+
+class TestRedundancy:
+    def test_duplicate_literal(self, warnings_of):
+        src = "fun h x = case x of 1 => 1 | 1 => 2 | _ => 3"
+        assert any("redundant" in w for w in warnings_of(src))
+
+    def test_rule_after_wildcard(self, warnings_of):
+        src = "datatype c = R | G fun f R = 1 | f _ = 2 | f G = 3"
+        assert any("redundant" in w for w in warnings_of(src))
+
+    def test_shadowed_constructor_rule(self, warnings_of):
+        src = ("fun f (SOME _) = 1 | f NONE = 2 | f (SOME 3) = 3")
+        assert any("redundant" in w for w in warnings_of(src))
+
+    def test_no_false_redundancy(self, warnings_of):
+        src = ("fun f (SOME 1) = 1 | f (SOME _) = 2 | f NONE = 0")
+        assert warnings_of(src) == []
+
+    def test_overlapping_but_not_redundant(self, warnings_of):
+        src = ("fun f (1, _) = 1 | f (_, 1) = 2 | f _ = 3")
+        assert warnings_of(src) == []
+
+
+class TestReplWarnings:
+    def test_repl_shows_warning(self):
+        from repro.interactive import REPL
+
+        repl = REPL()
+        out = repl.eval("fun f 0 = 1").render()
+        assert "warning" in out and "not exhaustive" in out
+        # The binding still happens.
+        assert "val f = fn : int -> int" in out
+
+    def test_repl_silent_when_complete(self):
+        from repro.interactive import REPL
+
+        repl = REPL()
+        out = repl.eval("fun f 0 = 1 | f n = n").render()
+        assert "warning" not in out

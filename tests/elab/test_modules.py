@@ -1,0 +1,371 @@
+"""Module-language elaboration: structures, signatures, functors,
+signature matching."""
+
+import pytest
+
+from repro.elab.errors import ElabError
+from repro.semant.format import format_type
+
+
+def sig_of(env, struct, name):
+    return format_type(env.structures[struct].env.values[name].scheme)
+
+
+class TestStructures:
+    def test_basic(self, elab):
+        env = elab("structure S = struct val x = 1 fun f y = y + x end")
+        assert sig_of(env, "S", "f") == "int -> int"
+
+    def test_nested(self, elab):
+        env = elab(
+            "structure A = struct structure B = struct val v = 3 end end"
+        )
+        inner = env.structures["A"].env.structures["B"]
+        assert "v" in inner.env.values
+
+    def test_alias_shares_identity(self, elab):
+        env = elab("structure A = struct datatype t = T end "
+                   "structure B = A "
+                   "val ok : A.t = B.T")
+        assert format_type(env.values["ok"].scheme) == "t"
+
+    def test_qualified_access(self, type_of):
+        src = "structure S = struct val x = 41 end val y = S.x + 1"
+        assert type_of(src, "y") == "int"
+
+    def test_open(self, type_of):
+        src = "structure S = struct val deep = 7 end open S val y = deep"
+        assert type_of(src, "y") == "int"
+
+    def test_open_brings_constructors(self, type_of):
+        src = ("structure S = struct datatype t = K of int end "
+               "open S val v = K 3")
+        assert type_of(src, "v") == "t"
+
+    def test_let_strexp(self, elab):
+        env = elab("structure S = let val hidden = 2 in "
+                   "struct val shown = hidden * 2 end end")
+        assert "shown" in env.structures["S"].env.values
+        assert "hidden" not in env.structures["S"].env.values
+
+    def test_unbound_structure(self, elab):
+        with pytest.raises(ElabError, match="unbound"):
+            elab("val x = Missing.y")
+
+    def test_unbound_structure_in_open(self, elab):
+        with pytest.raises(ElabError, match="unbound structure"):
+            elab("open Missing")
+
+
+class TestSignatureMatching:
+    ORDER = ("signature ORDER = sig type t val le : t * t -> bool end ")
+
+    def test_transparent_type_leaks(self, type_of):
+        src = (self.ORDER +
+               "structure S : ORDER = struct "
+               "  type t = int fun le (a, b) = a <= b end "
+               "val uses_int = S.le (1, 2)")
+        assert type_of(src, "uses_int") == "bool"
+
+    def test_opaque_type_hidden(self, elab):
+        src = (self.ORDER +
+               "structure S :> ORDER = struct "
+               "  type t = int fun le (a, b) = a <= b end "
+               "val bad = S.le (1, 2)")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_thinning_hides_extra_members(self, elab):
+        src = (self.ORDER +
+               "structure S : ORDER = struct "
+               "  type t = int fun le (a, b) = a <= b "
+               "  val unspecified = 99 end "
+               "val bad = S.unspecified")
+        with pytest.raises(ElabError, match="unbound"):
+            elab(src)
+
+    def test_missing_value_rejected(self, elab):
+        src = self.ORDER + "structure S : ORDER = struct type t = int end"
+        with pytest.raises(ElabError, match="le"):
+            elab(src)
+
+    def test_missing_type_rejected(self, elab):
+        src = (self.ORDER +
+               "structure S : ORDER = struct "
+               "fun le (a, b) = a <= (b : int) end")
+        with pytest.raises(ElabError, match="type t"):
+            elab(src)
+
+    def test_wrong_value_type_rejected(self, elab):
+        src = (self.ORDER +
+               "structure S : ORDER = struct "
+               "type t = int val le = 5 end")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_polymorphic_value_matches_monomorphic_spec(self, elab):
+        src = ("signature S = sig val id : int -> int end "
+               "structure X : S = struct fun id x = x end "
+               "val v = X.id 3")
+        elab(src)
+
+    def test_monomorphic_value_fails_polymorphic_spec(self, elab):
+        src = ("signature S = sig val id : 'a -> 'a end "
+               "structure X : S = struct fun id (x : int) = x end")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_type_spec_with_definition_checked(self, elab):
+        src = ("signature S = sig type t = int val v : t end "
+               "structure X : S = struct type t = string "
+               "val v = \"s\" end")
+        with pytest.raises(ElabError, match="spec definition"):
+            elab(src)
+
+    def test_type_spec_with_definition_ok(self, type_of):
+        src = ("signature S = sig type t = int val v : t end "
+               "structure X : S = struct type t = int val v = 3 end "
+               "val y = X.v + 1")
+        assert type_of(src, "y") == "int"
+
+    def test_datatype_spec(self, type_of):
+        src = ("signature S = sig datatype t = A | B of int end "
+               "structure X : S = struct datatype t = A | B of int end "
+               "val v = X.B 3")
+        assert type_of(src, "v") == "t"
+
+    def test_datatype_spec_missing_constructor(self, elab):
+        src = ("signature S = sig datatype t = A | B of int end "
+               "structure X : S = struct datatype t = A end")
+        with pytest.raises(ElabError, match="constructors differ"):
+            elab(src)
+
+    def test_datatype_spec_wrong_arg(self, elab):
+        src = ("signature S = sig datatype t = B of int end "
+               "structure X : S = struct datatype t = B of string end")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_exception_spec(self, elab):
+        src = ("signature S = sig exception E of int end "
+               "structure X : S = struct exception E of int end "
+               "val v = (raise X.E 3) handle X.E n => n")
+        elab(src)
+
+    def test_structure_spec(self, elab):
+        src = ("signature INNER = sig val v : int end "
+               "signature OUTER = sig structure I : INNER end "
+               "structure X : OUTER = struct "
+               "  structure I = struct val v = 1 end end "
+               "val y = X.I.v")
+        elab(src)
+
+    def test_nested_type_realization(self, type_of):
+        src = ("signature P = sig structure A : sig type t end "
+               "              val get : A.t -> int end "
+               "structure X : P = struct "
+               "  structure A = struct type t = string end "
+               "  fun get (s : string) = size s end "
+               "val n = X.get \"abc\"")
+        assert type_of(src, "n") == "int"
+
+    def test_opaque_generativity(self, elab):
+        # Two opaque ascriptions of the same struct give distinct types.
+        src = ("signature S = sig type t val mk : int -> t end "
+               "structure A :> S = struct type t = int fun mk n = n end "
+               "structure B :> S = struct type t = int fun mk n = n end "
+               "val bad : A.t = B.mk 3")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_eqtype_spec_satisfied(self, elab):
+        src = ("signature S = sig eqtype t val v : t end "
+               "structure X : S = struct type t = int val v = 1 end "
+               "val b = X.v = X.v")
+        elab(src)
+
+    def test_eqtype_spec_violated(self, elab):
+        src = ("signature S = sig eqtype t end "
+               "structure X : S = struct type t = int -> int end")
+        with pytest.raises(ElabError, match="equality"):
+            elab(src)
+
+    def test_eqtype_real_rejected(self, elab):
+        src = ("signature S = sig eqtype t end "
+               "structure X : S = struct type t = real end")
+        with pytest.raises(ElabError, match="equality"):
+            elab(src)
+
+
+class TestWhereAndSharing:
+    def test_where_type(self, type_of):
+        src = ("signature S = sig type t val v : t end "
+               "structure X : S where type t = int = "
+               "  struct type t = int val v = 3 end "
+               "val y = X.v + 1")
+        assert type_of(src, "y") == "int"
+
+    def test_where_type_conflict(self, elab):
+        src = ("signature S = sig type t val v : t end "
+               "structure X : S where type t = int = "
+               "  struct type t = string val v = \"s\" end")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_where_type_non_flexible_rejected(self, elab):
+        src = ("signature S = sig type t = int end "
+               "signature BAD = S where type t = string")
+        with pytest.raises(ElabError, match="flexible"):
+            elab(src)
+
+    def test_sharing_allows_crossuse(self, elab):
+        src = ("signature PAIR = sig "
+               "  structure A : sig type t val v : t end "
+               "  structure B : sig type t val f : t -> int end "
+               "  sharing type A.t = B.t end "
+               "functor F(P : PAIR) = struct val n = P.B.f P.A.v end")
+        elab(src)
+
+    def test_no_sharing_no_crossuse(self, elab):
+        src = ("signature PAIR = sig "
+               "  structure A : sig type t val v : t end "
+               "  structure B : sig type t val f : t -> int end end "
+               "functor F(P : PAIR) = struct val n = P.B.f P.A.v end")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_sharing_match_requires_same_type(self, elab):
+        src = ("signature PAIR = sig "
+               "  structure A : sig type t end "
+               "  structure B : sig type t end "
+               "  sharing type A.t = B.t end "
+               "structure Bad = struct "
+               "  structure A = struct type t = int end "
+               "  structure B = struct type t = string end end "
+               "functor F(P : PAIR) = struct end "
+               "structure R = F(Bad)")
+        with pytest.raises(ElabError, match="sharing|realization"):
+            elab(src)
+
+    def test_include(self, elab):
+        src = ("signature BASE = sig val x : int end "
+               "signature EXT = sig include BASE val y : int end "
+               "structure S : EXT = struct val x = 1 val y = 2 end "
+               "val both = S.x + S.y")
+        elab(src)
+
+
+class TestFunctors:
+    def test_basic_application(self, type_of):
+        src = ("signature T = sig type t val v : t end "
+               "functor Twice(X : T) = struct val pair = (X.v, X.v) end "
+               "structure R = Twice(struct type t = int val v = 5 end) "
+               "val p = R.pair")
+        assert type_of(src, "p") == "int * int"
+
+    def test_generative_datatypes(self, elab):
+        # Each application mints a fresh datatype.
+        src = ("functor Mk(X : sig end) = struct datatype t = K end "
+               "structure E = struct end "
+               "structure A = Mk(E) structure B = Mk(E) "
+               "val bad : A.t = B.K")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_result_signature_constrains(self, elab):
+        src = ("signature OUT = sig val visible : int end "
+               "functor F(X : sig end) : OUT = struct "
+               "  val visible = 1 val hidden = 2 end "
+               "structure R = F(struct end) "
+               "val bad = R.hidden")
+        with pytest.raises(ElabError, match="unbound"):
+            elab(src)
+
+    def test_opaque_result_signature(self, elab):
+        src = ("signature OUT = sig type t val mk : int -> t end "
+               "functor F(X : sig end) :> OUT = struct "
+               "  type t = int fun mk n = n end "
+               "structure R = F(struct end) "
+               "val bad = R.mk 3 + 1")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_argument_must_match(self, elab):
+        src = ("signature T = sig val v : int end "
+               "functor F(X : T) = struct end "
+               "structure R = F(struct val w = 1 end)")
+        with pytest.raises(ElabError, match="not present"):
+            elab(src)
+
+    def test_definition_time_body_errors(self, elab):
+        # The body is checked at definition, not first application.
+        src = ("functor F(X : sig val v : int end) = struct "
+               "  val bad = X.v ^ \"s\" end")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_parameter_signature_respected(self, elab):
+        # Body may only use what the parameter signature specifies.
+        src = ("functor F(X : sig val v : int end) = struct "
+               "  val w = X.other end")
+        with pytest.raises(ElabError, match="unbound"):
+            elab(src)
+
+    def test_transparent_propagation_through_functor(self, type_of):
+        # Figure 1's crucial property.
+        src = ("signature PO = sig type elem val less : elem * elem -> bool end "
+               "functor Sort(P : PO) = struct "
+               "  type t = P.elem fun sort (l : t list) = l end "
+               "structure IntPO = struct "
+               "  type elem = int fun less (a, b) = a < b end "
+               "structure S = Sort(IntPO) "
+               "val sorted = S.sort [3, 1]")
+        assert type_of(src, "sorted") == "int list"
+
+    def test_functor_closure_sees_definition_env(self, type_of):
+        # The body references a structure visible at definition site.
+        src = ("structure Helper = struct fun bump x = x + 1 end "
+               "functor F(X : sig val v : int end) = struct "
+               "  val w = Helper.bump X.v end "
+               "structure R = F(struct val v = 41 end) "
+               "val out = R.w")
+        assert type_of(src, "out") == "int"
+
+    def test_derived_form_argument(self, type_of):
+        src = ("functor F(X : sig val v : int end) = "
+               "  struct val w = X.v + 1 end "
+               "structure R = F(val v = 1) "
+               "val out = R.w")
+        assert type_of(src, "out") == "int"
+
+    def test_unbound_functor(self, elab):
+        with pytest.raises(ElabError, match="unbound functor"):
+            elab("structure R = Nope(struct end)")
+
+    def test_functor_reuse_two_applications(self, type_of):
+        src = ("signature T = sig type t val v : t end "
+               "functor Id(X : T) = struct val v = X.v end "
+               "structure A = Id(struct type t = int val v = 1 end) "
+               "structure B = Id(struct type t = string val v = \"s\" end) "
+               "val pair = (A.v, B.v)")
+        assert type_of(src, "pair") == "int * string"
+
+
+class TestSignatureInstances:
+    def test_named_sig_instances_independent(self, elab):
+        # Two structures matching the same named signature must NOT share
+        # their abstract types implicitly.
+        src = ("signature T = sig type t end "
+               "functor F(X : sig structure A : T structure B : T "
+               "              val inject : A.t -> B.t end) = struct end")
+        elab(src)  # must elaborate: A.t and B.t are distinct flexibles
+
+    def test_signature_binding(self, elab):
+        env = elab("signature S = sig val v : int end signature S2 = S")
+        assert "S2" in env.signatures
+
+    def test_val_spec_implicit_polymorphism(self, elab):
+        src = ("signature M = sig val map : ('a -> 'b) -> 'a list -> 'b list end "
+               "structure X : M = struct val map = map end "
+               "val r = X.map (fn n => n + 1) [1]")
+        elab(src)

@@ -1,0 +1,118 @@
+"""Operator overloading: arithmetic/comparison over int, real, word,
+string, char with int defaulting (the Definition's scheme)."""
+
+import pytest
+
+from repro.elab.errors import ElabError
+
+
+class TestResolution:
+    def test_int_arith(self, type_of):
+        assert type_of("val x = 1 + 2", "x") == "int"
+
+    def test_real_arith(self, type_of):
+        assert type_of("val x = 1.5 * 2.0", "x") == "real"
+
+    def test_word_arith(self, type_of):
+        assert type_of("val x = 0w3 + 0w4", "x") == "word"
+
+    def test_context_from_annotation(self, type_of):
+        assert type_of("val f = fn (x : real) => x + x", "f") == \
+            "real -> real"
+
+    def test_context_from_one_operand(self, type_of):
+        assert type_of("fun f x = x + 1.0", "f") == "real -> real"
+
+    def test_real_division(self, type_of):
+        assert type_of("val x = 1.0 / 2.0", "x") == "real"
+
+    def test_unary_minus_real(self, type_of):
+        assert type_of("val x = ~(1.5)", "x") == "real"
+
+    def test_string_comparison(self, type_of):
+        assert type_of('val x = "a" < "b"', "x") == "bool"
+
+    def test_char_comparison(self, type_of):
+        assert type_of('val x = #"a" <= #"b"', "x") == "bool"
+
+    def test_real_comparison(self, type_of):
+        assert type_of("val x = 1.5 >= 0.5", "x") == "bool"
+
+
+class TestDefaulting:
+    def test_unconstrained_defaults_to_int(self, type_of):
+        assert type_of("fun double x = x + x", "double") == "int -> int"
+
+    def test_comparison_defaults_to_int(self, type_of):
+        assert type_of("fun lt (a, b) = a < b", "lt") == \
+            "int * int -> bool"
+
+    def test_defaulted_value_usable_as_int(self, type_of):
+        src = "fun double x = x + x val y = double 4"
+        assert type_of(src, "y") == "int"
+
+    def test_defaulted_value_rejects_real(self, elab):
+        with pytest.raises(ElabError):
+            elab("fun double x = x + x val y = double 4.0")
+
+    def test_operator_as_value_defaults(self, type_of):
+        assert type_of("val plus = op+", "plus") == "int * int -> int"
+
+
+class TestRejection:
+    def test_mixed_int_real(self, elab):
+        with pytest.raises(ElabError):
+            elab("val x = 1 + 2.0")
+
+    def test_string_addition(self, elab):
+        with pytest.raises(ElabError, match="overloaded"):
+            elab('val x = "a" + "b"')
+
+    def test_bool_comparison(self, elab):
+        with pytest.raises(ElabError, match="overloaded"):
+            elab("val x = true < false")
+
+    def test_real_div_rejected(self, elab):
+        with pytest.raises(ElabError, match="overloaded"):
+            elab("val x = 1.5 div 2.0")
+
+    def test_int_slash_rejected(self, elab):
+        with pytest.raises(ElabError):
+            elab("val x = 1 / 2")
+
+    def test_real_equality_rejected(self, elab):
+        # real is not an equality type; = must not accept it.
+        with pytest.raises(ElabError):
+            elab("val x = 1.5 = 1.5")
+
+
+class TestDynamics:
+    def test_real_values(self, value_of):
+        assert value_of("val x = 1.5 + 2.25", "x") == 3.75
+
+    def test_word_values_wrap(self, value_of):
+        from repro.dynamic.values import Word
+
+        v = value_of("val x = 0w3 * 0w5", "x")
+        assert v == Word(15)
+
+    def test_word_subtraction_wraps(self, value_of):
+        from repro.dynamic.values import Word
+
+        v = value_of("val x = 0w1 - 0w2", "x")
+        assert v.bits > 0  # wrapped around, not negative
+
+    def test_char_comparison_value(self, value_of):
+        assert value_of('val x = #"b" > #"a"', "x") is True
+
+    def test_real_division_by_zero(self, value_of):
+        src = "val x = (1.0 / 0.0) handle Div => ~1.0"
+        assert value_of(src, "x") == -1.0
+
+    def test_word_div(self, value_of):
+        from repro.dynamic.values import Word
+
+        assert value_of("val x = 0w7 div 0w2", "x") == Word(3)
+
+    def test_defaulted_double(self, value_of):
+        assert value_of("fun d x = x + x val v = d 21", "v") == 42

@@ -1,0 +1,105 @@
+"""Realization corners: where type with parameters, nested realization,
+constructor rebinding under transparent matching."""
+
+import pytest
+
+from repro.elab.errors import ElabError
+
+
+class TestWhereTypeParameterized:
+    def test_unary_where_type(self, type_of):
+        src = ("signature C = sig type 'a t val wrap : 'a -> 'a t end "
+               "structure L : C where type 'a t = 'a list = struct "
+               "  type 'a t = 'a list fun wrap x = [x] end "
+               "val v = hd (L.wrap 5)")
+        assert type_of(src, "v") == "int"
+
+    def test_where_type_to_concrete(self, type_of):
+        src = ("signature S = sig type t val get : t -> int end "
+               "signature SI = S where type t = int "
+               "structure X : SI = struct type t = int fun get n = n end "
+               "val v = X.get 3 + 1")
+        assert type_of(src, "v") == "int"
+
+    def test_where_arity_mismatch(self, elab):
+        src = ("signature S = sig type 'a t end "
+               "signature BAD = S where type t = int")
+        with pytest.raises(ElabError, match="arity"):
+            elab(src)
+
+    def test_chained_where(self, type_of):
+        src = ("signature P = sig type a type b val mk : a -> b end "
+               "structure X : P where type a = int where type b = string = "
+               "  struct type a = int type b = string "
+               "         val mk = Int.toString end "
+               "val v = X.mk 3")
+        assert type_of(src, "v") == "string"
+
+
+class TestConstructorRealization:
+    def test_datatype_spec_constructors_usable_through_match(self, value_of):
+        src = ("signature S = sig datatype t = A | B of int "
+               "              val flip : t -> t end "
+               "structure X : S = struct "
+               "  datatype t = A | B of int "
+               "  fun flip A = B 0 | flip (B _) = A end "
+               "val v = case X.flip X.A of X.B n => n | X.A => ~1")
+        assert value_of(src, "v") == 0
+
+    def test_shared_datatype_across_views(self, elab):
+        # The same datatype seen through two ascriptions stays one type.
+        src = ("structure Base = struct datatype t = K of int end "
+               "signature V = sig datatype t = K of int end "
+               "structure V1 : V = Base "
+               "structure V2 : V = Base "
+               "val ok : V1.t = V2.K 3")
+        elab(src)
+
+    def test_opaque_views_diverge(self, elab):
+        src = ("structure Base = struct datatype t = K of int end "
+               "signature V = sig type t val mk : int -> t end "
+               "structure W1 :> V = struct open Base val mk = K end "
+               "structure W2 :> V = struct open Base val mk = K end "
+               "val bad : W1.t = W2.mk 3")
+        with pytest.raises(ElabError):
+            elab(src)
+
+
+class TestNestedRealization:
+    def test_two_level_structure_spec(self, type_of):
+        src = ("signature DEEP = sig "
+               "  structure A : sig structure B : sig type t end "
+               "                   val get : B.t -> int end "
+               "end "
+               "structure D : DEEP = struct "
+               "  structure A = struct "
+               "    structure B = struct type t = string end "
+               "    fun get (s : string) = size s "
+               "  end "
+               "end "
+               "val v = D.A.get \"four\"")
+        assert type_of(src, "v") == "int"
+
+    def test_val_spec_uses_sibling_structure_type(self, elab):
+        src = ("signature PAIR = sig "
+               "  structure Key : sig type t end "
+               "  val default : Key.t "
+               "end "
+               "structure P : PAIR = struct "
+               "  structure Key = struct type t = int end "
+               "  val default = 0 "
+               "end "
+               "val d = P.default + 1")
+        elab(src)
+
+    def test_wrong_nested_type_rejected(self, elab):
+        src = ("signature PAIR = sig "
+               "  structure Key : sig type t end "
+               "  val default : Key.t "
+               "end "
+               "structure P : PAIR = struct "
+               "  structure Key = struct type t = int end "
+               "  val default = \"not an int\" "
+               "end")
+        with pytest.raises(ElabError):
+            elab(src)

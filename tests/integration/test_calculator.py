@@ -1,0 +1,83 @@
+"""The calculator example as an integration test: a five-unit SML
+program (lexer/parser/evaluator with mutual recursion, exceptions,
+datatypes) through the full toolchain."""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.cm import BinStore, CutoffBuilder, Project
+from repro.dynamic.evaluate import apply_value
+from repro.dynamic.values import SMLRaise
+
+_EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def _load_units():
+    spec = importlib.util.spec_from_file_location(
+        "sml_calculator", os.path.join(_EXAMPLES, "sml_calculator.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.UNITS
+
+
+@pytest.fixture(scope="module")
+def calc():
+    units = _load_units()
+    builder = CutoffBuilder(Project.from_sources(units))
+    builder.build()
+    exports = builder.link()
+    run = exports["eval"].structures["Eval"].values["run"]
+    return units, builder, run
+
+
+class TestCalculator:
+    def test_precedence(self, calc):
+        _u, _b, run = calc
+        assert apply_value(run, "1 + 2 * 3") == 7
+        assert apply_value(run, "(1 + 2) * 3") == 9
+
+    def test_left_associativity(self, calc):
+        _u, _b, run = calc
+        assert apply_value(run, "10 - 3 - 2") == 5
+
+    def test_let_scoping(self, calc):
+        _u, _b, run = calc
+        assert apply_value(run, "let x = 2 in let x = x * x in x end end") \
+            == 4
+
+    def test_unbound_variable_raises(self, calc):
+        _u, _b, run = calc
+        with pytest.raises(SMLRaise, match="Unbound"):
+            apply_value(run, "mystery + 1")
+
+    def test_parse_error_raises(self, calc):
+        _u, _b, run = calc
+        with pytest.raises(SMLRaise, match="ParseError"):
+            apply_value(run, "1 + ")
+
+    def test_lex_error_raises(self, calc):
+        _u, _b, run = calc
+        with pytest.raises(SMLRaise, match="LexError"):
+            apply_value(run, "1 ? 2")
+
+    def test_nested_parens(self, calc):
+        _u, _b, run = calc
+        assert apply_value(run, "((((5))))") == 5
+
+    def test_bigger_program(self, calc):
+        _u, _b, run = calc
+        program = ("let a = 3 in let b = a * a in "
+                   "let c = b - a in a * b * c end end end")
+        assert apply_value(run, program) == 3 * 9 * 6
+
+    def test_survives_bin_roundtrip(self, calc):
+        units, builder, _run = calc
+        fresh = CutoffBuilder(Project.from_sources(units),
+                              store=builder.store)
+        report = fresh.build()
+        assert report.compiled == []
+        exports = fresh.link()
+        run = exports["eval"].structures["Eval"].values["run"]
+        assert apply_value(run, "let x = 6 in x * 7 end") == 42

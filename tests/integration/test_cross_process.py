@@ -1,0 +1,104 @@
+"""True cross-process persistence: bin files written by another Python
+process must rehydrate here.
+
+This is the strongest form of the paper's separate-compilation claim:
+nothing in a bin file may depend on the writing process's memory (object
+ids, stamp numbers, dict layout).  The test shells out to a fresh
+interpreter to build and save bins, then loads them in this process.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.cm import BinStore, CutoffBuilder, Project
+
+SOURCES = {
+    "base": """
+        signature STACK = sig
+          type 'a t
+          val empty : 'a t
+          val push : 'a * 'a t -> 'a t
+          val sum : int t -> int
+        end
+        structure Stack : STACK = struct
+          datatype 'a t = S of 'a list
+          val empty = S nil
+          fun push (x, S xs) = S (x :: xs)
+          fun sum (S xs) = foldl (fn (a, b) => a + b) 0 xs
+        end
+    """,
+    "app": """
+        structure App = struct
+          val total = Stack.sum (Stack.push (40, Stack.push (2,
+                        Stack.empty)))
+        end
+    """,
+}
+
+BUILD_SCRIPT = textwrap.dedent("""
+    import json, sys
+    from repro.cm import CutoffBuilder, Project
+
+    bin_dir = sys.argv[1]
+    sources = json.loads(sys.argv[2])
+    project = Project.from_sources(sources)
+    builder = CutoffBuilder(project)
+    report = builder.build()
+    assert len(report.compiled) == len(sources), report
+    builder.store.save_directory(bin_dir)
+    print("built", ",".join(sorted(builder.units)))
+""")
+
+
+@pytest.mark.parametrize("edit_between", [False, True])
+def test_bins_from_another_process(tmp_path, edit_between):
+    import json
+
+    bin_dir = str(tmp_path / "bins")
+    env = dict(os.environ)
+    result = subprocess.run(
+        [sys.executable, "-c", BUILD_SCRIPT, bin_dir,
+         json.dumps(SOURCES)],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert "built app,base" in result.stdout
+
+    project = Project.from_sources(SOURCES)
+    if edit_between:
+        # An implementation-only edit made after the other process built.
+        project.edit("base", SOURCES["base"].replace(
+            "fun sum (S xs) = foldl (fn (a, b) => a + b) 0 xs",
+            "fun sum (S xs) = foldl (fn (a, b) => b + a) 0 xs"))
+    store = BinStore.load_directory(bin_dir)
+    builder = CutoffBuilder(project, store=store)
+    report = builder.build()
+    if edit_between:
+        assert report.compiled == ["base"]
+        assert report.loaded == ["app"]
+    else:
+        assert report.compiled == []
+        assert len(report.loaded) == 2
+    exports = builder.link()
+    assert exports["app"].structures["App"].values["total"] == 42
+
+
+def test_pids_agree_across_processes(tmp_path):
+    import json
+
+    bin_dir = str(tmp_path / "bins")
+    result = subprocess.run(
+        [sys.executable, "-c", BUILD_SCRIPT, bin_dir,
+         json.dumps(SOURCES)],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+
+    other = BinStore.load_directory(bin_dir)
+    mine = CutoffBuilder(Project.from_sources(SOURCES))
+    mine.build()
+    for name in ("base", "app"):
+        assert other.get(name).export_pid == \
+            mine.units[name].export_pid, name

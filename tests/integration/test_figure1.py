@@ -1,0 +1,126 @@
+"""Figure 1 of the paper, end to end.
+
+The figure's point: ``TopSort`` is constrained to ``SORT``, whose ``type
+t`` is opaque *in the signature text*, yet transparent signature matching
+propagates ``FSort.t = Factors.elem list = int list`` to clients.  "The
+(partial) signature SORT does not limit the dependencies"; this is why
+SML needs inter-implementation dependency tracking at all.
+"""
+
+import pytest
+
+from repro.cm import CutoffBuilder, Project, TimestampBuilder
+from repro.dynamic.evaluate import apply_value
+from repro.dynamic.values import python_list, sml_list
+
+UNITS = {
+    "orders": """
+        signature PARTIAL_ORDER = sig
+          type elem
+          val less : elem * elem -> bool
+        end
+        signature SORT = sig
+          type t
+          val sort : t list -> t list
+        end
+    """,
+    "topsort": """
+        functor TopSort(P : PARTIAL_ORDER) : SORT = struct
+          type t = P.elem
+          fun insert (x, nil) = [x]
+            | insert (x, h :: rest) =
+                if P.less (x, h) then x :: h :: rest
+                else h :: insert (x, rest)
+          fun sort l = foldl insert nil l
+        end
+    """,
+    "factors": """
+        structure Factors : PARTIAL_ORDER = struct
+          type elem = int
+          fun less (i, j) = (j mod i = 0)
+        end
+    """,
+    "fsort": """
+        structure FSort : SORT = TopSort(Factors)
+    """,
+}
+
+
+@pytest.fixture
+def built():
+    project = Project.from_sources(UNITS)
+    builder = CutoffBuilder(project)
+    builder.build()
+    return project, builder
+
+
+class TestFigure1:
+    def test_dependency_graph(self, built):
+        _project, builder = built
+        graph = builder.last_graph
+        assert graph.deps["topsort"] == ["orders"]
+        assert graph.deps["factors"] == ["orders"]
+        # fsort mentions SORT (from orders) in its ascription too.
+        assert sorted(graph.deps["fsort"]) == ["factors", "orders",
+                                               "topsort"]
+
+    def test_transparency(self, built):
+        # FSort.t must be int (the paper: "FSort.t is the same as int").
+        _project, builder = built
+        project = _project
+        project.add(
+            "client",
+            "structure Client = struct val xs = FSort.sort [6, 2, 3] "
+            "val total = foldl (fn (a, b) => a + b) 0 xs end")
+        report = builder.build()
+        assert "client" in report.compiled  # and it type-checks: t = int
+
+    def test_execution(self, built):
+        _project, builder = built
+        exports = builder.link()
+        sort = exports["fsort"].structures["FSort"].values["sort"]
+        result = apply_value(sort, sml_list([6, 2, 3]))
+        # Insertion by divisibility: a stack where each element divides
+        # the one below it floats divisors up.
+        assert sorted(python_list(result)) == [2, 3, 6]
+
+    def test_functor_body_edit_cascades(self, built):
+        # TopSort's body is inlined into FSort through re-elaboration, so
+        # editing the *implementation* of the functor must recompile its
+        # appliers -- the paper's point about functor inter-implementation
+        # dependence.
+        project, builder = built
+        project.edit("topsort", UNITS["topsort"].replace(
+            "fun sort l = foldl insert nil l",
+            "fun sort l = foldl insert nil (rev l)"))
+        report = builder.build()
+        assert "topsort" in report.compiled
+        assert "fsort" in report.compiled
+
+    def test_factors_impl_edit_cuts_off(self, built):
+        project, builder = built
+        project.edit("factors", UNITS["factors"].replace(
+            "(j mod i = 0)", "(0 = j mod i)"))
+        report = builder.build()
+        assert report.compiled == ["factors"]
+
+    def test_elem_change_cascades(self, built):
+        # Changing Factors.elem changes FSort.t -- visible interface
+        # change, full cascade.
+        project, builder = built
+        project.edit("factors", UNITS["factors"].replace(
+            "type elem = int", "type elem = int * int").replace(
+            "fun less (i, j) = (j mod i = 0)",
+            "fun less ((a, _), (b, _)) = a < b"))
+        report = builder.build()
+        assert "factors" in report.compiled
+        assert "fsort" in report.compiled
+
+    def test_timestamp_baseline_cascades_everywhere(self):
+        project = Project.from_sources(UNITS)
+        builder = TimestampBuilder(project)
+        builder.build()
+        project.touch("orders")
+        report = builder.build()
+        assert set(report.compiled) == {"orders", "topsort", "factors",
+                                        "fsort"}

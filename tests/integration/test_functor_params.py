@@ -1,0 +1,157 @@
+"""Higher-order functors: functor-valued parameters (§10.2).
+
+The paper lists higher-order functors as ongoing work (MacQueen-Tofte);
+SML/NJ shipped them.  Our re-elaboration architecture supports the
+functor-parameter form, with the argument checked *semantically*: it is
+applied to a formal instance of the spec's parameter signature and the
+result matched against the spec's result signature.
+"""
+
+import pytest
+
+from repro.cm import CutoffBuilder, Project
+from repro.dynamic.values import python_list
+from repro.elab.errors import ElabError
+
+PRELUDE_SRC = """
+signature ORD = sig type t val le : t * t -> bool end
+signature SORTER = sig type t val sort : t list -> t list end
+functor InsertionSort(P : ORD) : SORTER where type t = P.t = struct
+  type t = P.t
+  fun insert (x, nil) = [x]
+    | insert (x, h :: rest) =
+        if P.le (x, h) then x :: h :: rest else h :: insert (x, rest)
+  fun sort l = foldl insert nil l
+end
+functor ReverseSort(P : ORD) : SORTER where type t = P.t = struct
+  type t = P.t
+  structure Fwd = InsertionSort(P)
+  fun sort l = rev (Fwd.sort l)
+end
+"""
+
+HIGHER = """
+functor Tester(functor Mk(P : ORD) : SORTER where type t = P.t) = struct
+  structure IntOrd = struct type t = int fun le (a, b) = a <= b end
+  structure S = Mk(IntOrd)
+  fun sortInts (l : int list) = S.sort l
+end
+"""
+
+
+class TestElaboration:
+    def test_declaration(self, elab):
+        env = elab(PRELUDE_SRC + HIGHER)
+        assert "Tester" in env.functors
+        assert env.functors["Tester"].takes_functor()
+
+    def test_application(self, type_of):
+        src = (PRELUDE_SRC + HIGHER +
+               "structure T = Tester(InsertionSort) "
+               "val out = T.sortInts [2, 1]")
+        assert type_of(src, "out") == "int list"
+
+    def test_dependent_result_signature(self, type_of):
+        # Mk's result type t equals the argument's t: propagated int.
+        src = (PRELUDE_SRC + HIGHER +
+               "structure T = Tester(InsertionSort) "
+               "val out = hd (T.S.sort [5])")
+        assert type_of(src, "out") == "int"
+
+    def test_nonconforming_argument_rejected(self, elab):
+        src = (PRELUDE_SRC + HIGHER +
+               "functor NotASorter(P : ORD) = struct val x = 1 end "
+               "structure Bad = Tester(NotASorter)")
+        with pytest.raises(ElabError, match="SORTER|not present"):
+            elab(src)
+
+    def test_wrong_result_type_rejected(self, elab):
+        # A functor producing a SORTER over the WRONG type.
+        src = (PRELUDE_SRC + HIGHER +
+               "functor ConstSort(P : ORD) = struct "
+               "  type t = string fun sort (l : string list) = l end "
+               "structure Bad = Tester(ConstSort)")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_structure_argument_rejected(self, elab):
+        src = (PRELUDE_SRC + HIGHER +
+               "structure S = struct end "
+               "structure Bad = Tester(S)")
+        with pytest.raises(ElabError, match="unbound functor"):
+            elab(src)
+
+    def test_functor_passed_where_structure_expected(self, elab):
+        src = (PRELUDE_SRC +
+               "functor Wants(X : ORD) = struct end "
+               "structure Bad = Wants(InsertionSort)")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_definition_time_body_check(self, elab):
+        # The body misuses the formal functor's result: caught at
+        # definition, before any application exists.
+        src = (PRELUDE_SRC +
+               "functor Broken(functor Mk(P : ORD) : SORTER) = struct "
+               "  structure IntOrd = struct type t = int "
+               "    fun le (a, b) = a <= b end "
+               "  structure S = Mk(IntOrd) "
+               "  val bad = S.sort 5 end")
+        with pytest.raises(ElabError):
+            elab(src)
+
+
+class TestDynamics:
+    def test_execution(self, value_of):
+        src = (PRELUDE_SRC + HIGHER +
+               "structure T = Tester(InsertionSort) "
+               "val out = T.sortInts [3, 1, 2]")
+        assert python_list(value_of(src, "out")) == [1, 2, 3]
+
+    def test_different_arguments_different_behaviour(self, value_of):
+        src = (PRELUDE_SRC + HIGHER +
+               "structure Up = Tester(InsertionSort) "
+               "structure Down = Tester(ReverseSort) "
+               "val out = (Up.sortInts [2, 1, 3], Down.sortInts [2, 1, 3])")
+        up, down = value_of(src, "out")
+        assert python_list(up) == [1, 2, 3]
+        assert python_list(down) == [3, 2, 1]
+
+
+class TestAcrossUnits:
+    def test_higher_order_across_bin_files(self):
+        sources = {
+            "sorting": PRELUDE_SRC,
+            "tester": HIGHER,
+            "use": ("structure T = Tester(ReverseSort) "
+                    "structure Out = struct val r = T.sortInts [1, 3, 2] "
+                    "end"),
+        }
+        b1 = CutoffBuilder(Project.from_sources(sources))
+        b1.build()
+        exports = b1.link()
+        assert python_list(
+            exports["use"].structures["Out"].values["r"]) == [3, 2, 1]
+
+        # New session from bins: the higher-order functor rehydrates.
+        b2 = CutoffBuilder(Project.from_sources(sources), store=b1.store)
+        report = b2.build()
+        assert report.compiled == []
+        exports2 = b2.link()
+        assert python_list(
+            exports2["use"].structures["Out"].values["r"]) == [3, 2, 1]
+
+    def test_spec_edit_cascades(self):
+        sources = {
+            "sorting": PRELUDE_SRC,
+            "tester": HIGHER,
+        }
+        project = Project.from_sources(sources)
+        builder = CutoffBuilder(project)
+        builder.build()
+        # Editing the functor-parameter spec changes tester's interface.
+        project.edit("tester", HIGHER.replace(
+            "fun sortInts (l : int list) = S.sort l",
+            "fun sortInts (l : int list) = S.sort (S.sort l)"))
+        report = builder.build()
+        assert "tester" in report.compiled

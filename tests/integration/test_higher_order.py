@@ -1,0 +1,139 @@
+"""Functors as structure members -- the slice of higher-order module
+style this reproduction supports (the paper's §10 discusses the rest as
+open problems in 1994)."""
+
+import pytest
+
+from repro.cm import CutoffBuilder, Project
+from repro.dynamic.values import python_list
+
+
+class TestNestedFunctors:
+    def test_functor_inside_structure(self, type_of):
+        src = ("structure Lib = struct "
+               "  functor Pairify(X : sig type t val v : t end) = struct "
+               "    val pair = (X.v, X.v) end "
+               "end "
+               "structure P = Lib.Pairify(struct type t = int val v = 1 end) "
+               "val out = P.pair")
+        assert type_of(src, "out") == "int * int"
+
+    def test_deeply_qualified_application(self, type_of):
+        src = ("structure A = struct structure B = struct "
+               "  functor Id(X : sig val v : int end) = struct "
+               "val w = X.v end end end "
+               "structure R = A.B.Id(struct val v = 9 end) "
+               "val out = R.w")
+        assert type_of(src, "out") == "int"
+
+    def test_functor_factory(self, type_of):
+        # A functor whose result contains another functor, closed over
+        # the outer parameter.
+        src = ("functor Outer(X : sig val base : int end) = struct "
+               "  functor Inner(Y : sig val extra : int end) = struct "
+               "    val total = X.base + Y.extra end "
+               "end "
+               "structure O = Outer(struct val base = 40 end) "
+               "structure I = O.Inner(struct val extra = 2 end) "
+               "val out = I.total")
+        assert type_of(src, "out") == "int"
+
+    def test_factory_dynamics(self, value_of):
+        src = ("functor Outer(X : sig val base : int end) = struct "
+               "  functor Inner(Y : sig val extra : int end) = struct "
+               "    val total = X.base + Y.extra end "
+               "end "
+               "structure O1 = Outer(struct val base = 40 end) "
+               "structure O2 = Outer(struct val base = 100 end) "
+               "structure A = O1.Inner(struct val extra = 2 end) "
+               "structure B = O2.Inner(struct val extra = 2 end) "
+               "val out = (A.total, B.total)")
+        assert value_of(src, "out") == (42, 102)
+
+    def test_generativity_through_factory(self, elab):
+        from repro.elab.errors import ElabError
+
+        src = ("functor Outer(X : sig end) = struct "
+               "  functor Mk(Y : sig end) = struct datatype t = K end "
+               "end "
+               "structure O = Outer(struct end) "
+               "structure A = O.Mk(struct end) "
+               "structure B = O.Mk(struct end) "
+               "val bad : A.t = B.K")
+        with pytest.raises(ElabError):
+            elab(src)
+
+    def test_unbound_qualified_functor(self, elab):
+        from repro.elab.errors import ElabError
+
+        with pytest.raises(ElabError, match="unbound functor"):
+            elab("structure Lib = struct end "
+                 "structure R = Lib.Nope(struct end)")
+
+
+class TestAcrossUnits:
+    SOURCES = {
+        "lib": """
+            signature ORD = sig type t val le : t * t -> bool end
+            structure SortLib = struct
+              functor Make(P : ORD) = struct
+                fun insert (x, nil) = [x]
+                  | insert (x, h :: t) =
+                      if P.le (x, h) then x :: h :: t
+                      else h :: insert (x, t)
+                fun sort l = foldl insert nil l
+              end
+            end
+        """,
+        "use": """
+            structure IntOrd = struct
+              type t = int
+              fun le (a, b) = a <= b
+            end
+            structure IntSort = SortLib.Make(IntOrd)
+            structure Out = struct val r = IntSort.sort [3, 1, 2] end
+        """,
+    }
+
+    def test_cross_unit_application(self):
+        builder = CutoffBuilder(Project.from_sources(self.SOURCES))
+        builder.build()
+        exports = builder.link()
+        assert python_list(
+            exports["use"].structures["Out"].values["r"]) == [1, 2, 3]
+
+    def test_nested_functor_survives_bin_files(self):
+        b1 = CutoffBuilder(Project.from_sources(self.SOURCES))
+        b1.build()
+        b2 = CutoffBuilder(Project.from_sources(self.SOURCES),
+                           store=b1.store)
+        report = b2.build()
+        assert report.compiled == []
+        exports = b2.link()
+        assert python_list(
+            exports["use"].structures["Out"].values["r"]) == [1, 2, 3]
+
+    def test_nested_functor_body_edit_changes_pid(self):
+        project = Project.from_sources(self.SOURCES)
+        builder = CutoffBuilder(project)
+        builder.build()
+        # Editing the nested functor's body is an interface-relevant
+        # change (the body is part of the structure's statenv).
+        project.edit("lib", self.SOURCES["lib"].replace(
+            "fun sort l = foldl insert nil l",
+            "fun sort l = foldl insert nil (rev l)"))
+        report = builder.build()
+        assert set(report.compiled) == {"lib", "use"}
+
+    def test_sibling_member_addition_cascades(self):
+        # Adding a member to SortLib changes the structure's interface,
+        # so clients recompile -- the usual interface-change rule applies
+        # to functor-bearing structures too.
+        project = Project.from_sources(self.SOURCES)
+        builder = CutoffBuilder(project)
+        builder.build()
+        project.edit("lib", self.SOURCES["lib"].replace(
+            "functor Make(P : ORD)",
+            "val version = 1\n              functor Make(P : ORD)"))
+        report = builder.build()
+        assert set(report.compiled) == {"lib", "use"}

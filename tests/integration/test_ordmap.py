@@ -1,0 +1,180 @@
+"""An Okasaki red-black tree map, written in SML as a functor library,
+property-tested against Python dicts.
+
+This is the heaviest pattern-matching workload in the suite (the
+four-way `balance` match), exercising deep nested constructor patterns,
+functor application, and the exhaustiveness checker on real code.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cm import CutoffBuilder, Project
+from repro.dynamic.evaluate import apply_value
+from repro.dynamic.values import VCon, python_list
+
+SOURCES = {
+    "ord": """
+        signature ORD_KEY = sig
+          type key
+          val compare : key * key -> order
+        end
+        structure IntKey : ORD_KEY = struct
+          type key = int
+          val compare = Int.compare
+        end
+        structure StringKey : ORD_KEY = struct
+          type key = string
+          val compare = String.compare
+        end
+    """,
+    "rbmap": """
+        functor RedBlackMap(K : ORD_KEY) = struct
+          datatype color = Red | Black
+          datatype 'a tree =
+            Leaf
+          | Node of color * 'a tree * (K.key * 'a) * 'a tree
+
+          val empty = Leaf
+
+          fun lookup (key, Leaf) = NONE
+            | lookup (key, Node (_, l, (k, v), r)) =
+                (case K.compare (key, k) of
+                   LESS => lookup (key, l)
+                 | GREATER => lookup (key, r)
+                 | EQUAL => SOME v)
+
+          (* Okasaki's balance: rebuild any red-red violation. *)
+          fun balance (Black, Node (Red, Node (Red, a, x, b), y, c), z, d) =
+                Node (Red, Node (Black, a, x, b), y, Node (Black, c, z, d))
+            | balance (Black, Node (Red, a, x, Node (Red, b, y, c)), z, d) =
+                Node (Red, Node (Black, a, x, b), y, Node (Black, c, z, d))
+            | balance (Black, a, x, Node (Red, Node (Red, b, y, c), z, d)) =
+                Node (Red, Node (Black, a, x, b), y, Node (Black, c, z, d))
+            | balance (Black, a, x, Node (Red, b, y, Node (Red, c, z, d))) =
+                Node (Red, Node (Black, a, x, b), y, Node (Black, c, z, d))
+            | balance (color, l, kv, r) = Node (color, l, kv, r)
+
+          fun insert (key, value, tree) =
+            let
+              fun ins Leaf = Node (Red, Leaf, (key, value), Leaf)
+                | ins (Node (color, l, (k, v), r)) =
+                    (case K.compare (key, k) of
+                       LESS => balance (color, ins l, (k, v), r)
+                     | GREATER => balance (color, l, (k, v), ins r)
+                     | EQUAL => Node (color, l, (k, value), r))
+            in
+              case ins tree of
+                Node (_, l, kv, r) => Node (Black, l, kv, r)
+              | Leaf => Leaf
+            end
+
+          fun foldr f base Leaf = base
+            | foldr f base (Node (_, l, kv, r)) =
+                foldr f (f (kv, foldr f base r)) l
+
+          fun toList tree = foldr (fn (kv, acc) => kv :: acc) nil tree
+          fun fromList pairs =
+            List.foldl (fn ((k, v), t) => insert (k, v, t)) empty pairs
+          fun size tree = length (toList tree)
+
+          (* depth invariant check for the tests *)
+          fun blackDepths Leaf = [0]
+            | blackDepths (Node (color, l, _, r)) =
+                let val inc = case color of Black => 1 | Red => 0
+                in map (fn d => d + inc) (blackDepths l @ blackDepths r)
+                end
+        end
+    """,
+    "intmap": "structure IntMap = RedBlackMap(IntKey)",
+}
+
+
+@pytest.fixture(scope="module")
+def intmap():
+    builder = CutoffBuilder(Project.from_sources(SOURCES))
+    builder.build()
+    exports = builder.link()
+    return exports["intmap"].structures["IntMap"]
+
+
+def _insert(m, key, value, tree):
+    return apply_value(m.values["insert"], (key, value, tree))
+
+
+def _lookup(m, key, tree):
+    return apply_value(m.values["lookup"], (key, tree))
+
+
+def _to_dict(m, tree):
+    return dict(python_list(apply_value(m.values["toList"], tree)))
+
+
+class TestBasics:
+    def test_empty_lookup(self, intmap):
+        assert _lookup(intmap, 1, intmap.values["empty"]) == VCon("NONE")
+
+    def test_insert_lookup(self, intmap):
+        t = _insert(intmap, 5, "five", intmap.values["empty"])
+        assert _lookup(intmap, 5, t) == VCon("SOME", "five")
+
+    def test_overwrite(self, intmap):
+        t = intmap.values["empty"]
+        t = _insert(intmap, 1, "a", t)
+        t = _insert(intmap, 1, "b", t)
+        assert _lookup(intmap, 1, t) == VCon("SOME", "b")
+        assert apply_value(intmap.values["size"], t) == 1
+
+    def test_sorted_iteration(self, intmap):
+        t = intmap.values["empty"]
+        for k in (5, 1, 9, 3, 7):
+            t = _insert(intmap, k, k * 10, t)
+        pairs = python_list(apply_value(intmap.values["toList"], t))
+        assert pairs == [(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(-50, 50),
+                              st.integers(0, 1000)), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_dict(self, intmap, ops):
+        tree = intmap.values["empty"]
+        model: dict[int, int] = {}
+        for key, value in ops:
+            tree = _insert(intmap, key, value, tree)
+            model[key] = value
+        assert _to_dict(intmap, tree) == model
+        for key in list(model) + [999]:
+            got = _lookup(intmap, key, tree)
+            if key in model:
+                assert got == VCon("SOME", model[key])
+            else:
+                assert got == VCon("NONE")
+
+    @given(st.lists(st.integers(-100, 100), max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_red_black_invariant(self, intmap, keys):
+        """Every root-to-leaf path has the same black depth."""
+        tree = intmap.values["empty"]
+        for key in keys:
+            tree = _insert(intmap, key, key, tree)
+        depths = python_list(
+            apply_value(intmap.values["blackDepths"], tree))
+        assert len(set(depths)) == 1
+
+    @given(st.lists(st.integers(-100, 100), max_size=80, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_balanced_depth_bound(self, intmap, keys):
+        """Black-depth balance bounds the tree height to O(log n)."""
+        import math
+
+        tree = intmap.values["empty"]
+        for key in keys:
+            tree = _insert(intmap, key, key, tree)
+        if not keys:
+            return
+        depths = python_list(
+            apply_value(intmap.values["blackDepths"], tree))
+        black = depths[0]
+        # Height <= 2 * black depth; black depth <= log2(n+1) + 1.
+        assert black <= math.log2(len(keys) + 1) + 1

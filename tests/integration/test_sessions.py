@@ -1,0 +1,84 @@
+"""Cross-session scenarios: the work dehydration exists to enable."""
+
+import pytest
+
+from repro.cm import BinStore, CutoffBuilder, Project
+from repro.workload import chain, diamond, generate_workload
+
+
+class TestMultiSession:
+    def test_three_session_development(self):
+        """Session 1 builds; session 2 edits and rebuilds incrementally;
+        session 3 only loads."""
+        w = generate_workload(chain(6), helpers_per_unit=2)
+        store = BinStore()
+
+        s1 = CutoffBuilder(w.project, store=store)
+        assert len(s1.build().compiled) == 6
+
+        w.edit_implementation("u002")
+        s2 = CutoffBuilder(w.project, store=store)
+        r2 = s2.build()
+        assert r2.compiled == ["u002"]
+        assert len(r2.loaded) == 5
+
+        s3 = CutoffBuilder(w.project, store=store)
+        r3 = s3.build()
+        assert r3.compiled == []
+        assert len(r3.loaded) == 6
+        s3.link()  # executes fine from bins alone
+
+    def test_disk_persistence_between_sessions(self, tmp_path):
+        w = generate_workload(diamond(2, 2), helpers_per_unit=2)
+        s1 = CutoffBuilder(w.project)
+        s1.build()
+        s1.store.save_directory(str(tmp_path / "bins"))
+
+        store = BinStore.load_directory(str(tmp_path / "bins"))
+        s2 = CutoffBuilder(w.project, store=store)
+        report = s2.build()
+        assert report.compiled == []
+        s2.link()
+
+    def test_stale_bin_detected_in_new_session(self):
+        w = generate_workload(chain(3), helpers_per_unit=2)
+        store = BinStore()
+        CutoffBuilder(w.project, store=store).build()
+        # Corrupt the record's pid to simulate a stale/forged bin: the
+        # dependents' import check must force recompilation.
+        record = store.get("u000")
+        record.export_pid = "f" * 32
+        s2 = CutoffBuilder(w.project, store=store)
+        report = s2.build()
+        # u000 loads under the forged pid; u001 sees a pid mismatch and
+        # recompiles; u001's recompile restores the true chain.
+        assert "u001" in report.compiled
+
+    def test_interleaved_edits_and_sessions(self):
+        w = generate_workload(chain(4), helpers_per_unit=2)
+        store = BinStore()
+        CutoffBuilder(w.project, store=store).build()
+
+        w.edit_interface("u000")
+        s2 = CutoffBuilder(w.project, store=store)
+        r2 = s2.build()
+        assert "u000" in r2.compiled
+        assert "u001" in r2.compiled  # interface changed -> dependent
+
+        s3 = CutoffBuilder(w.project, store=store)
+        assert s3.build().compiled == []
+
+
+class TestMixedBuilders:
+    def test_cutoff_can_reuse_timestamp_bins(self):
+        # Both builders write the same bin format; switching managers
+        # mid-project must work (the records carry everything needed).
+        from repro.cm import TimestampBuilder
+
+        w = generate_workload(chain(3), helpers_per_unit=2)
+        store = BinStore()
+        TimestampBuilder(w.project, store=store).build()
+        cutoff = CutoffBuilder(w.project, store=store)
+        report = cutoff.build()
+        assert report.compiled == []
+        assert len(report.loaded) == 3

@@ -1,0 +1,154 @@
+"""The interactive read-eval-print loop."""
+
+import pytest
+
+from repro.interactive import REPL
+
+
+@pytest.fixture(scope="module")
+def repl():
+    # One session for the read-only tests; stateful tests make their own.
+    return REPL()
+
+
+class TestBasics:
+    def test_val(self):
+        r = REPL()
+        assert r.eval("val x = 1 + 2").render() == "val x = 3 : int"
+
+    def test_it_binding(self):
+        r = REPL()
+        assert r.eval("40 + 2").render() == "val it = 42 : int"
+
+    def test_bindings_persist(self):
+        r = REPL()
+        r.eval("val x = 10")
+        assert r.eval("x * x").render() == "val it = 100 : int"
+
+    def test_it_is_usable(self):
+        r = REPL()
+        r.eval("21")
+        assert r.eval("it + it").render() == "val it = 42 : int"
+
+    def test_function_definition(self):
+        r = REPL()
+        out = r.eval("fun square n = n * n").render()
+        assert out == "val square = fn : int -> int"
+
+    def test_polymorphic_rendering(self):
+        r = REPL()
+        out = r.eval("fun id x = x").render()
+        assert out == "val id = fn : 'a -> 'a"
+
+    def test_datatype(self):
+        r = REPL()
+        r.eval("datatype t = A | B of int")
+        assert r.eval("B 5").render() == "val it = B 5 : t"
+
+    def test_structure(self):
+        r = REPL()
+        r.eval("structure S = struct val v = 9 end")
+        assert r.eval("S.v").render() == "val it = 9 : int"
+
+    def test_functor_declaration_and_use(self):
+        r = REPL()
+        r.eval("functor F(X : sig val n : int end) = "
+               "struct val m = X.n * 2 end")
+        r.eval("structure R = F(struct val n = 21 end)")
+        assert r.eval("R.m").render() == "val it = 42 : int"
+
+    def test_signature(self):
+        r = REPL()
+        out = r.eval("signature S = sig val v : int end").render()
+        assert out == "signature S"
+
+    def test_string_value_rendering(self):
+        r = REPL()
+        assert r.eval('"a" ^ "b"').render() == 'val it = "ab" : string'
+
+    def test_list_rendering(self):
+        r = REPL()
+        assert r.eval("[1, 2, 3]").render() == \
+            "val it = [1, 2, 3] : int list"
+
+    def test_tuple_pattern_binding(self):
+        r = REPL()
+        out = r.eval("val (a, b) = (1, true)").render()
+        assert "val a = 1 : int" in out
+        assert "val b = true : bool" in out
+
+
+class TestErrorsAndRecovery:
+    def test_syntax_error(self):
+        r = REPL()
+        result = r.eval("val = 3")
+        assert not result.ok
+        assert "syntax error" in result.error
+
+    def test_type_error(self):
+        r = REPL()
+        result = r.eval('1 + "two"')
+        assert not result.ok
+        assert "type error" in result.error
+
+    def test_uncaught_exception(self):
+        r = REPL()
+        result = r.eval("hd nil")
+        assert not result.ok
+        assert "Empty" in result.error
+
+    def test_failed_input_leaves_env_intact(self):
+        r = REPL()
+        r.eval("val x = 5")
+        r.eval('val x = 1 + "bad"')   # fails
+        assert r.eval("x").render() == "val it = 5 : int"
+
+    def test_failed_exec_does_not_bind(self):
+        r = REPL()
+        result = r.eval("val y = hd nil")
+        assert not result.ok
+        assert not r.eval("y").ok  # y unbound
+
+    def test_unbound_variable(self):
+        r = REPL()
+        result = r.eval("mystery")
+        assert not result.ok
+        assert "unbound" in result.error
+
+
+class TestSessionSemantics:
+    def test_shadowing(self):
+        r = REPL()
+        r.eval("val x = 1")
+        r.eval('val x = "now a string"')
+        assert r.eval("x").render() == 'val it = "now a string" : string'
+
+    def test_old_closures_see_old_bindings(self):
+        r = REPL()
+        r.eval("val n = 1")
+        r.eval("fun get () = n")
+        r.eval("val n = 99")
+        assert r.eval("get ()").render() == "val it = 1 : int"
+
+    def test_print_output_captured(self):
+        r = REPL()
+        r.eval('print "side effect\\n"')
+        assert r.printed_output() == "side effect\n"
+
+    def test_refs_persist_across_inputs(self):
+        r = REPL()
+        r.eval("val cell = ref 0")
+        r.eval("cell := 41")
+        assert r.eval("!cell + 1").render() == "val it = 42 : int"
+
+    def test_exception_declared_then_handled(self):
+        r = REPL()
+        r.eval("exception Boom of string")
+        out = r.eval('(raise Boom "x") handle Boom s => s ^ "!"').render()
+        assert out == 'val it = "x!" : string'
+
+    def test_open_in_repl(self):
+        r = REPL()
+        r.eval("structure M = struct val hidden = 3 end")
+        r.eval("open M")
+        assert r.eval("hidden").render() == "val it = 3 : int"

@@ -1,0 +1,85 @@
+"""REPL <-> compilation manager integration (§6, §8: one world)."""
+
+import pytest
+
+from repro.cm import CutoffBuilder, Project
+from repro.interactive import REPL
+
+SOURCES = {
+    "queue": """
+        signature QUEUE = sig
+          type 'a t
+          val empty : 'a t
+          val push : 'a * 'a t -> 'a t
+          val peek : 'a t -> 'a option
+        end
+        structure Queue : QUEUE = struct
+          type 'a t = 'a list
+          val empty = nil
+          fun push (x, q) = q @ [x]
+          fun peek nil = NONE | peek (h :: _) = SOME h
+        end
+    """,
+    "util": """
+        functor Twice(X : QUEUE) = struct
+          fun push2 (a, b, q) = X.push (b, X.push (a, q))
+        end
+    """,
+}
+
+
+class TestUse:
+    def test_use_brings_structures(self):
+        repl = REPL()
+        builder = CutoffBuilder(Project.from_sources(SOURCES))
+        result = repl.use(builder)
+        assert result.ok
+        assert any("structure Queue" in b for b in result.bindings)
+        out = repl.eval(
+            "Queue.peek (Queue.push (7, Queue.empty))").render()
+        assert out == "val it = SOME 7 : int option"
+
+    def test_use_brings_functors(self):
+        repl = REPL()
+        builder = CutoffBuilder(Project.from_sources(SOURCES))
+        repl.use(builder)
+        repl.eval("structure Q2 = Twice(Queue)")
+        out = repl.eval(
+            "Queue.peek (Q2.push2 (1, 2, Queue.empty))").render()
+        assert out == "val it = SOME 1 : int option"
+
+    def test_use_brings_signatures(self):
+        repl = REPL()
+        builder = CutoffBuilder(Project.from_sources(SOURCES))
+        repl.use(builder)
+        out = repl.eval(
+            "structure Mine : QUEUE = struct type 'a t = 'a list "
+            "val empty = nil fun push (x, q) = x :: q "
+            "fun peek nil = NONE | peek (h :: _) = SOME h end").render()
+        assert "structure Mine" in out
+
+    def test_use_is_incremental(self):
+        repl = REPL()
+        project = Project.from_sources(SOURCES)
+        builder = CutoffBuilder(project)
+        first = repl.use(builder)
+        assert "2 compiled" in first.bindings[0]
+        second = repl.use(builder)
+        assert "0 compiled" in second.bindings[0]
+
+    def test_session_bindings_survive_use(self):
+        repl = REPL()
+        repl.eval("val mine = 5")
+        builder = CutoffBuilder(Project.from_sources(SOURCES))
+        repl.use(builder)
+        assert repl.eval("mine").render() == "val it = 5 : int"
+
+    def test_types_flow_between_worlds(self):
+        # A value built interactively has the *same* type as the
+        # compiled unit's (tycon identity is shared through the session).
+        repl = REPL()
+        builder = CutoffBuilder(Project.from_sources(SOURCES))
+        repl.use(builder)
+        repl.eval("val q = Queue.push (1, Queue.empty)")
+        out = repl.eval("Queue.peek q").render()
+        assert out == "val it = SOME 1 : int option"

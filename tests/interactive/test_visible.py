@@ -1,0 +1,58 @@
+"""The Visible Compiler: metaprogramming over compiler primitives."""
+
+import pytest
+
+from repro.interactive import VisibleCompiler
+
+
+class TestVisibleCompiler:
+    def test_compile_and_execute(self):
+        vc = VisibleCompiler()
+        unit = vc.compile("m", "structure M = struct val v = 6 * 7 end", [])
+        export = vc.execute(unit)
+        assert export.structures["M"].values["v"] == 42
+
+    def test_chain(self):
+        vc = VisibleCompiler()
+        a = vc.compile("a", "structure A = struct fun f x = x + 1 end", [])
+        b = vc.compile("b", "structure B = struct val v = A.f 1 end", [a])
+        exports = vc.execute_all([a, b])
+        assert exports["b"].structures["B"].values["v"] == 2
+
+    def test_pid_extraction(self):
+        vc = VisibleCompiler()
+        unit = vc.compile("m", "structure M = struct end", [])
+        assert vc.export_pid(unit) == unit.export_pid
+        assert vc.import_pids(unit) == []
+
+    def test_dehydrate_rehydrate_cycle(self):
+        vc1 = VisibleCompiler()
+        src = "structure M = struct datatype t = T of int fun un (T n) = n end"
+        unit = vc1.compile("m", src, [])
+        payload = vc1.dehydrate(unit)
+
+        vc2 = VisibleCompiler()
+        loaded = vc2.rehydrate("m", unit.export_pid, payload, [], src)
+        client = vc2.compile(
+            "c", "structure C = struct val v = M.un (M.T 5) end", [loaded])
+        exports = vc2.execute_all([loaded, client])
+        assert exports["c"].structures["C"].values["v"] == 5
+
+    def test_generated_code_compilation(self):
+        # The paper's metaprogramming scenario: a program that *builds*
+        # sources and compiles them at runtime.
+        vc = VisibleCompiler()
+        units = []
+        for k in range(5):
+            dep = [units[-1]] if units else []
+            prev = f"+ M{k-1}.v " if units else ""
+            src = f"structure M{k} = struct val v = 1 {prev}end"
+            units.append(vc.compile(f"m{k}", src, dep))
+        exports = vc.execute_all(units)
+        assert exports["m4"].structures["M4"].values["v"] == 5
+
+    def test_context_env_layering(self):
+        vc = VisibleCompiler()
+        a = vc.compile("a", "structure A = struct val v = 1 end", [])
+        env = vc.context_env([a])
+        assert env.lookup_structure("A") is not None

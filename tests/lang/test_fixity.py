@@ -1,0 +1,88 @@
+"""User fixity declarations: precedence, associativity, scoping."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program
+
+
+def exp_of(src):
+    decs = parse_program(src)
+    return decs[-1].bindings[0][1]
+
+
+class TestUserInfix:
+    def test_custom_operator(self):
+        e = exp_of("infix 6 <+> val x = a <+> b")
+        assert isinstance(e, ast.AppExp)
+        assert e.fn.path == ("<+>",)
+
+    def test_precedence_respected(self):
+        # <+> at 3 binds looser than * at 7.
+        e = exp_of("infix 3 <+> val x = a <+> b * c")
+        assert e.fn.path == ("<+>",)
+        rhs = e.arg.parts[1]
+        assert rhs.fn.path == ("*",)
+
+    def test_infixr(self):
+        e = exp_of("infixr 5 ^^ val x = a ^^ b ^^ c")
+        # Right-assoc: a ^^ (b ^^ c).
+        rhs = e.arg.parts[1]
+        assert rhs.fn.path == ("^^",)
+
+    def test_default_precedence_zero(self):
+        e = exp_of("infix <&> val x = a <&> b + c")
+        assert e.fn.path == ("<&>",)
+
+    def test_nonfix_removes(self):
+        # After nonfix, + is an ordinary identifier: `+ (1, 2)` applies it.
+        decs = parse_program("nonfix + val x = + (1, 2)")
+        e = decs[-1].bindings[0][1]
+        assert isinstance(e, ast.AppExp)
+        assert e.fn.path == ("+",)
+
+    def test_alpha_operator(self):
+        e = exp_of("infix 4 divides val x = a divides b")
+        assert e.fn.path == ("divides",)
+
+    def test_infix_in_pattern(self):
+        decs = parse_program(
+            "infix 5 +++ fun f (a +++ b) = a val r = 1")
+        clause = decs[1].functions[0][0]
+        assert isinstance(clause.pats[0], ast.ConPat)
+        assert clause.pats[0].path == ("+++",)
+
+
+class TestScoping:
+    def test_let_scope_restores(self):
+        src = ("val a = let infix 9 <*> val t = x <*> y in t end "
+               "val b = <*>")
+        # After the let, <*> has no fixity; used bare it's an identifier
+        # ... which parses as a variable reference.
+        decs = parse_program(src)
+        assert isinstance(decs[1].bindings[0][1], ast.VarExp)
+
+    def test_struct_scope_restores(self):
+        src = ("structure S = struct infix 9 ?? val v = a ?? b end "
+               "val c = ??")
+        decs = parse_program(src)
+        assert isinstance(decs[1].bindings[0][1], ast.VarExp)
+
+    def test_end_to_end_custom_operator(self, value_of):
+        src = ("infix 6 <+> "
+               "fun (a <+> b) = a * 10 + b "
+               "val x = 1 <+> 2 <+> 3")
+        assert value_of(src, "x") == 123
+
+    def test_infixr_semantics(self, value_of):
+        src = ("infixr 5 ^^^ "
+               "fun (a ^^^ b) = a - b "
+               "val x = 10 ^^^ 4 ^^^ 1")   # 10 - (4 - 1)
+        assert value_of(src, "x") == 7
+
+    def test_mixed_precedence_evaluation(self, value_of):
+        src = ("infix 2 imp "
+               "fun (a imp b) = not a orelse b "
+               "val x = true imp false")
+        assert value_of(src, "x") is False

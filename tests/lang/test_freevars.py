@@ -1,0 +1,104 @@
+"""Free-name analysis (functor closures + dependency scanning)."""
+
+from repro.lang.freevars import (
+    defined_module_names,
+    mentioned_names,
+    module_level_mentions,
+)
+from repro.lang.parser import parse_program
+
+
+def mentions(src):
+    return mentioned_names(parse_program(src))
+
+
+class TestMentions:
+    def test_value_names(self):
+        m = mentions("structure S = struct val x = helper 3 end")
+        assert "helper" in m.values
+
+    def test_qualified_path_root(self):
+        m = mentions("structure S = struct val x = A.B.f 1 end")
+        assert "A" in m.structures
+        assert "f" not in m.values
+
+    def test_tycon_names(self):
+        m = mentions("structure S = struct val x : speed = x end")
+        assert "speed" in m.tycons
+
+    def test_qualified_tycon_root(self):
+        m = mentions("structure S = struct val x : Units.speed = x end")
+        assert "Units" in m.structures
+
+    def test_signature_names(self):
+        m = mentions("structure S : SORTER = struct end")
+        assert "SORTER" in m.signatures
+
+    def test_functor_names(self):
+        m = mentions("structure S = Make(struct end)")
+        assert "Make" in m.functors
+
+    def test_open(self):
+        m = mentions("local open Lib.Sub in structure S = struct end end")
+        assert "Lib" in m.structures
+
+    def test_constructor_patterns(self):
+        m = mentions(
+            "structure S = struct fun f (Leaf x) = x | f Empty = 0 end")
+        assert "Leaf" in m.values
+        assert "Empty" in m.values
+
+    def test_exception_alias(self):
+        m = mentions(
+            "structure S = struct exception E = Errors.Bad end")
+        assert "Errors" in m.structures
+
+    def test_where_type(self):
+        m = mentions("structure S : SIG where type t = int = Impl")
+        assert "SIG" in m.signatures
+        assert "Impl" in m.structures
+
+    def test_datatype_replication(self):
+        m = mentions(
+            "structure S = struct datatype t = datatype Other.u end")
+        assert "Other" in m.structures
+
+
+class TestModuleLevel:
+    def test_self_definitions_subtracted(self):
+        src = ("structure A = struct val v = 1 end "
+               "structure B = struct val w = A.v end")
+        m = module_level_mentions(parse_program(src))
+        assert "A" not in m.structures
+
+    def test_external_kept(self):
+        src = "structure B = struct val w = External.v end"
+        m = module_level_mentions(parse_program(src))
+        assert m.structures == {"External"}
+
+    def test_no_value_tracking_at_module_level(self):
+        src = "structure B = struct val w = someval end"
+        m = module_level_mentions(parse_program(src))
+        assert m.values == set()
+
+
+class TestDefinedNames:
+    def test_all_namespaces(self):
+        src = ("structure S = struct end "
+               "signature G = sig end "
+               "functor F(X : sig end) = struct end")
+        d = defined_module_names(parse_program(src))
+        assert d["structures"] == {"S"}
+        assert d["signatures"] == {"G"}
+        assert d["functors"] == {"F"}
+
+    def test_local_public_part_counts(self):
+        src = ("local structure H = struct end in "
+               "structure P = struct end end")
+        d = defined_module_names(parse_program(src))
+        assert "P" in d["structures"]
+
+    def test_and_bindings(self):
+        src = "structure A = struct end and B = struct end"
+        d = defined_module_names(parse_program(src))
+        assert d["structures"] == {"A", "B"}

@@ -1,0 +1,438 @@
+"""Unit tests for the SML parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expression, parse_program
+
+
+def parse1(text):
+    decs = parse_program(text)
+    assert len(decs) == 1
+    return decs[0]
+
+
+class TestExpressions:
+    def test_int(self):
+        assert parse_expression("42") == ast.IntExp(42, 1)
+
+    def test_application_left_assoc(self):
+        e = parse_expression("f x y")
+        assert isinstance(e, ast.AppExp)
+        assert isinstance(e.fn, ast.AppExp)
+
+    def test_infix_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        # Must be 1 + (2 * 3).
+        assert isinstance(e, ast.AppExp)
+        assert e.fn.path == ("+",)
+        rhs = e.arg.parts[1]
+        assert rhs.fn.path == ("*",)
+
+    def test_infix_left_assoc(self):
+        e = parse_expression("1 - 2 - 3")
+        # (1 - 2) - 3
+        lhs = e.arg.parts[0]
+        assert isinstance(lhs, ast.AppExp)
+        assert lhs.fn.path == ("-",)
+
+    def test_cons_right_assoc(self):
+        e = parse_expression("1 :: 2 :: nil")
+        rhs = e.arg.parts[1]
+        assert isinstance(rhs, ast.AppExp)
+        assert rhs.fn.path == ("::",)
+
+    def test_equality_operator(self):
+        e = parse_expression("x = y")
+        assert e.fn.path == ("=",)
+
+    def test_comparison_below_arith(self):
+        e = parse_expression("a + 1 < b * 2")
+        assert e.fn.path == ("<",)
+
+    def test_tuple(self):
+        e = parse_expression("(1, 2, 3)")
+        assert isinstance(e, ast.TupleExp)
+        assert len(e.parts) == 3
+
+    def test_unit(self):
+        e = parse_expression("()")
+        assert isinstance(e, ast.TupleExp)
+        assert e.parts == []
+
+    def test_sequence(self):
+        e = parse_expression("(a; b; c)")
+        assert isinstance(e, ast.SeqExp)
+        assert len(e.parts) == 3
+
+    def test_record(self):
+        e = parse_expression("{x = 1, y = 2}")
+        assert isinstance(e, ast.RecordExp)
+        assert [f[0] for f in e.fields] == ["x", "y"]
+
+    def test_selector(self):
+        e = parse_expression("#name r")
+        assert isinstance(e, ast.AppExp)
+        assert isinstance(e.fn, ast.SelectorExp)
+        assert e.fn.label == "name"
+
+    def test_list(self):
+        e = parse_expression("[1, 2]")
+        assert isinstance(e, ast.ListExp)
+
+    def test_if(self):
+        e = parse_expression("if a then b else c")
+        assert isinstance(e, ast.IfExp)
+
+    def test_fn(self):
+        e = parse_expression("fn x => x")
+        assert isinstance(e, ast.FnExp)
+        assert len(e.rules) == 1
+
+    def test_fn_multiple_rules(self):
+        e = parse_expression("fn 0 => 1 | n => n")
+        assert len(e.rules) == 2
+
+    def test_case(self):
+        e = parse_expression("case xs of nil => 0 | x :: _ => x")
+        assert isinstance(e, ast.CaseExp)
+        assert len(e.rules) == 2
+        pat = e.rules[1][0]
+        assert isinstance(pat, ast.ConPat)
+        assert pat.path == ("::",)
+
+    def test_let(self):
+        e = parse_expression("let val x = 1 in x + 1 end")
+        assert isinstance(e, ast.LetExp)
+        assert len(e.decs) == 1
+
+    def test_let_with_seq_body(self):
+        e = parse_expression("let val x = 1 in f x; g x end")
+        assert isinstance(e.body, ast.SeqExp)
+
+    def test_andalso_orelse(self):
+        e = parse_expression("a andalso b orelse c")
+        assert isinstance(e, ast.OrelseExp)
+        assert isinstance(e.left, ast.AndalsoExp)
+
+    def test_handle(self):
+        e = parse_expression("f x handle Overflow => 0")
+        assert isinstance(e, ast.HandleExp)
+
+    def test_raise(self):
+        e = parse_expression("raise Fail \"no\"")
+        assert isinstance(e, ast.RaiseExp)
+
+    def test_typed(self):
+        e = parse_expression("x : int")
+        assert isinstance(e, ast.TypedExp)
+
+    def test_qualified_name(self):
+        e = parse_expression("List.map f xs")
+        fn = e.fn.fn
+        assert fn.path == ("List", "map")
+
+    def test_op_prefix(self):
+        e = parse_expression("op + (1, 2)")
+        assert isinstance(e, ast.AppExp)
+        assert e.fn.path == ("+",)
+
+    def test_while(self):
+        e = parse_expression("while !r > 0 do r := !r - 1")
+        assert isinstance(e, ast.WhileExp)
+
+    def test_assignment(self):
+        e = parse_expression("r := 1 + 2")
+        assert e.fn.path == (":=",)
+
+    def test_string_concat(self):
+        e = parse_expression('"a" ^ "b"')
+        assert e.fn.path == ("^",)
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("val")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 2 end")
+
+
+class TestPatterns:
+    def test_fun_with_constructor_pattern(self):
+        d = parse1("fun len nil = 0 | len (_ :: t) = 1 + len t")
+        clauses = d.functions[0]
+        assert len(clauses) == 2
+        assert isinstance(clauses[1].pats[0], ast.ConPat)
+
+    def test_as_pattern(self):
+        d = parse1("val all as (x, y) = p")
+        pat = d.bindings[0][0]
+        assert isinstance(pat, ast.AsPat)
+        assert pat.name == "all"
+
+    def test_record_pattern_flexible(self):
+        d = parse1("val {x, ...} = r")
+        pat = d.bindings[0][0]
+        assert isinstance(pat, ast.RecordPat)
+        assert pat.flexible
+
+    def test_list_pattern(self):
+        d = parse1("val [a, b] = xs")
+        assert isinstance(d.bindings[0][0], ast.ListPat)
+
+    def test_typed_pattern(self):
+        d = parse1("val x : int = 5")
+        assert isinstance(d.bindings[0][0], ast.TypedPat)
+
+    def test_wildcard(self):
+        d = parse1("val _ = print")
+        assert isinstance(d.bindings[0][0], ast.WildPat)
+
+    def test_constant_pattern(self):
+        d = parse1('fun f "yes" = 1 | f _ = 0')
+        assert isinstance(d.functions[0][0].pats[0], ast.ConstPat)
+
+
+class TestDeclarations:
+    def test_val(self):
+        d = parse1("val x = 5")
+        assert isinstance(d, ast.ValDec)
+
+    def test_val_and(self):
+        d = parse1("val x = 1 and y = 2")
+        assert len(d.bindings) == 2
+
+    def test_val_rec(self):
+        d = parse1("val rec f = fn x => f x")
+        assert isinstance(d, ast.ValRecDec)
+
+    def test_val_rec_requires_fn(self):
+        with pytest.raises(ParseError):
+            parse_program("val rec f = 3")
+
+    def test_fun_clauses(self):
+        d = parse1("fun fact 0 = 1 | fact n = n * fact (n - 1)")
+        assert isinstance(d, ast.FunDec)
+        assert len(d.functions[0]) == 2
+
+    def test_fun_curried(self):
+        d = parse1("fun add x y = x + y")
+        assert len(d.functions[0][0].pats) == 2
+
+    def test_fun_and(self):
+        d = parse1("fun even 0 = true | even n = odd (n - 1) "
+                   "and odd 0 = false | odd n = even (n - 1)")
+        assert len(d.functions) == 2
+
+    def test_fun_infix_definition(self):
+        decs = parse_program("infix 6 +++ fun x +++ y = x + y")
+        assert isinstance(decs[0], ast.FixityDec)
+        fun = decs[1]
+        assert fun.functions[0][0].name == "+++"
+
+    def test_fun_result_type(self):
+        d = parse1("fun f x : int = x")
+        assert d.functions[0][0].result_ty is not None
+
+    def test_type_abbreviation(self):
+        d = parse1("type point = int * int")
+        assert isinstance(d, ast.TypeDec)
+
+    def test_type_with_params(self):
+        d = parse1("type ('a, 'b) pair = 'a * 'b")
+        assert d.bindings[0][0] == ["'a", "'b"]
+
+    def test_datatype(self):
+        d = parse1("datatype color = Red | Green | Blue")
+        assert isinstance(d, ast.DatatypeDec)
+        assert len(d.bindings[0][2]) == 3
+
+    def test_datatype_with_args(self):
+        d = parse1("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree")
+        cons = d.bindings[0][2]
+        assert cons[0].arg_ty is None
+        assert cons[1].arg_ty is not None
+
+    def test_datatype_withtype(self):
+        d = parse1("datatype t = T of s withtype s = int")
+        assert len(d.withtypes) == 1
+
+    def test_datatype_replication(self):
+        d = parse1("datatype t = datatype A.u")
+        assert isinstance(d, ast.DatatypeReplDec)
+
+    def test_exception(self):
+        d = parse1("exception BadInput of string")
+        assert isinstance(d, ast.ExceptionDec)
+
+    def test_exception_alias(self):
+        d = parse1("exception E = A.Error")
+        assert d.bindings[0][2] == ("A", "Error")
+
+    def test_local(self):
+        d = parse1("local val x = 1 in val y = x end")
+        assert isinstance(d, ast.LocalDec)
+
+    def test_open(self):
+        d = parse1("open A B.C")
+        assert d.paths == [("A",), ("B", "C")]
+
+    def test_semicolons_are_optional(self):
+        decs = parse_program("val x = 1; val y = 2;; val z = 3")
+        assert len(decs) == 3
+
+
+class TestTypes:
+    def test_arrow_right_assoc(self):
+        d = parse1("val f : int -> int -> int = g")
+        ty = d.bindings[0][0].ty
+        assert isinstance(ty, ast.ArrowTy)
+        assert isinstance(ty.rng, ast.ArrowTy)
+
+    def test_tuple_type(self):
+        d = parse1("val p : int * string = q")
+        ty = d.bindings[0][0].ty
+        assert isinstance(ty, ast.TupleTy)
+
+    def test_postfix_constructor(self):
+        d = parse1("val xs : int list list = ys")
+        ty = d.bindings[0][0].ty
+        assert ty.path == ("list",)
+        assert ty.args[0].path == ("list",)
+
+    def test_multi_arg_constructor(self):
+        d = parse1("val m : (string, int) map = n")
+        ty = d.bindings[0][0].ty
+        assert ty.path == ("map",)
+        assert len(ty.args) == 2
+
+    def test_record_type(self):
+        d = parse1("val r : {name: string, age: int} = s")
+        ty = d.bindings[0][0].ty
+        assert isinstance(ty, ast.RecordTy)
+
+    def test_qualified_tycon(self):
+        d = parse1("val s : StringMap.t = m")
+        assert d.bindings[0][0].ty.path == ("StringMap", "t")
+
+
+class TestModules:
+    def test_structure(self):
+        d = parse1("structure S = struct val x = 1 end")
+        assert isinstance(d, ast.StructureDec)
+        assert isinstance(d.bindings[0].body, ast.StructStrExp)
+
+    def test_structure_path(self):
+        d = parse1("structure T = A.B")
+        assert isinstance(d.bindings[0].body, ast.VarStrExp)
+
+    def test_structure_transparent_constraint(self):
+        d = parse1("structure S : SIG = Impl")
+        b = d.bindings[0]
+        assert b.sig is not None
+        assert not b.opaque
+
+    def test_structure_opaque_constraint(self):
+        d = parse1("structure S :> SIG = Impl")
+        assert d.bindings[0].opaque
+
+    def test_functor_application(self):
+        d = parse1("structure FSort = TopSort(Factors)")
+        body = d.bindings[0].body
+        assert isinstance(body, ast.AppStrExp)
+        assert body.functor_path == ("TopSort",)
+
+    def test_qualified_functor_application(self):
+        d = parse1("structure S = Lib.Make(Arg)")
+        body = d.bindings[0].body
+        assert body.functor_path == ("Lib", "Make")
+
+    def test_functor_application_derived_form(self):
+        d = parse1("structure S = F(val x = 3)")
+        body = d.bindings[0].body
+        assert isinstance(body.arg, ast.StructStrExp)
+
+    def test_signature(self):
+        d = parse1("signature ORDER = sig type t val less : t * t -> bool end")
+        assert isinstance(d, ast.SignatureDec)
+        sig = d.bindings[0][1]
+        assert isinstance(sig, ast.SigSigExp)
+        assert len(sig.specs) == 2
+
+    def test_functor(self):
+        d = parse1(
+            "functor TopSort(P : ORDER) : SORT = struct type t = int end"
+        )
+        assert isinstance(d, ast.FunctorDec)
+        b = d.bindings[0]
+        assert b.param_name == "P"
+        assert b.result_sig is not None
+
+    def test_where_type(self):
+        d = parse1("structure S : SIG where type t = int = Impl")
+        assert isinstance(d.bindings[0].sig, ast.WhereTypeSigExp)
+
+    def test_datatype_spec(self):
+        d = parse1("signature S = sig datatype t = A | B end")
+        spec = d.bindings[0][1].specs[0]
+        assert isinstance(spec, ast.DatatypeSpec)
+
+    def test_sharing_spec(self):
+        d = parse1(
+            "signature S = sig structure A : T structure B : T "
+            "sharing type A.t = B.t end"
+        )
+        spec = d.bindings[0][1].specs[-1]
+        assert isinstance(spec, ast.SharingSpec)
+
+    def test_include_spec(self):
+        d = parse1("signature S = sig include BASE val extra : int end")
+        assert isinstance(d.bindings[0][1].specs[0], ast.IncludeSpec)
+
+    def test_eqtype_spec(self):
+        d = parse1("signature S = sig eqtype t end")
+        assert d.bindings[0][1].specs[0].equality
+
+    def test_type_spec_with_definition(self):
+        d = parse1("signature S = sig type t = int end")
+        spec = d.bindings[0][1].specs[0]
+        assert spec.bindings[0][2] is not None
+
+    def test_nested_structure(self):
+        d = parse1(
+            "structure A = struct structure B = struct val x = 1 end end"
+        )
+        inner = d.bindings[0].body.decs[0]
+        assert isinstance(inner, ast.StructureDec)
+
+
+class TestFigure1:
+    """The paper's Figure 1 must parse."""
+
+    SOURCE = """
+    signature PARTIAL_ORDER = sig
+      type elem
+      val less : elem * elem -> bool
+    end
+    signature SORT = sig
+      type t
+      val sort : t list -> t list
+    end
+    functor TopSort(P : PARTIAL_ORDER) : SORT = struct
+      type t = P.elem
+      fun sort l = l
+    end
+    structure Factors : PARTIAL_ORDER = struct
+      type elem = int
+      fun less (i, j) = (j mod i = 0)
+    end
+    structure FSort : SORT = TopSort(Factors)
+    """
+
+    def test_parses(self):
+        decs = parse_program(self.SOURCE)
+        assert len(decs) == 5
+        assert isinstance(decs[2], ast.FunctorDec)
+        assert isinstance(decs[4], ast.StructureDec)

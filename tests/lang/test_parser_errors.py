@@ -1,0 +1,106 @@
+"""Negative parser battery: malformed programs must fail cleanly (with a
+ParseError carrying a position), never crash or mis-parse."""
+
+import pytest
+
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expression, parse_program
+
+BAD_PROGRAMS = [
+    "val",                                  # binding missing
+    "val x",                                # no '='
+    "val x =",                              # no RHS
+    "val = 3",                              # no pattern
+    "fun",                                  # nothing
+    "fun f",                                # no args
+    "fun f = 3",                            # zero-arg fun
+    "fun f x",                              # no body
+    "fun f x = 1 | g y = 2",                # clause name mismatch
+    "structure",                            # nothing
+    "structure S",                          # no '='
+    "structure S = ",                       # no strexp
+    "structure S = struct",                 # unterminated
+    "signature S = sig val x : end",        # missing type
+    "functor F = struct end",               # no parameter
+    "functor F(X) = struct end",            # parameter without signature
+    "datatype t",                           # no '='
+    "datatype t = ",                        # no constructors
+    "datatype = A",                         # no name
+    "type t",                               # no definition
+    "exception",                            # no name
+    "local val x = 1 in",                   # unterminated
+    "open",                                 # no path
+    "infix",                                # no operators
+    "val x = (1, 2",                        # unclosed paren
+    "val x = [1, 2",                        # unclosed bracket
+    "val x = {a = 1",                       # unclosed brace
+    "val x = let val y = 1 in y",           # missing end
+    "val x = case 1 of",                    # no rules
+    "val x = if 1 then 2",                  # missing else
+    "val x = fn",                           # no match
+    "val x = 1 + ",                         # dangling operator
+    "val {1x = 2} = r",                     # bad label
+    "val x : = 1",                          # missing type after colon
+    "end",                                  # stray terminator
+    "val x = raise",                        # raise without exn
+]
+
+
+@pytest.mark.parametrize("source", BAD_PROGRAMS)
+def test_bad_program_raises_parse_error(source):
+    with pytest.raises(ParseError) as err:
+        parse_program(source)
+    assert err.value.line >= 1
+
+
+BAD_EXPRESSIONS = [
+    "",
+    "(",
+    ")",
+    "1 2 3 )",
+    "case of x => 1",
+    "#",                                   # selector without label
+    "op",                                  # op without ident
+]
+
+
+@pytest.mark.parametrize("source", BAD_EXPRESSIONS)
+def test_bad_expression_raises(source):
+    with pytest.raises(ParseError):
+        parse_expression(source)
+
+
+class TestPositions:
+    def test_error_position_points_at_problem(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("val x = 1\nval = 2")
+        assert err.value.line == 2
+
+    def test_multiline_struct_error(self):
+        src = "structure S = struct\n  val a = 1\n  val = 2\nend"
+        with pytest.raises(ParseError) as err:
+            parse_program(src)
+        assert err.value.line == 3
+
+
+class TestNearMisses:
+    """Things that LOOK like errors but are legal SML."""
+
+    def test_semicolon_spam(self):
+        assert parse_program(";;;val x = 1;;;") is not None
+
+    def test_nested_comments_with_code_chars(self):
+        parse_program('val x = 1 (* val y = " *) val z = 2')
+
+    def test_operator_named_function(self):
+        parse_program("fun f x = x val g = f")
+
+    def test_equals_in_expression(self):
+        parse_program("val b = 1 = 2")
+
+    def test_star_as_identifier(self):
+        parse_program("val prod = op* (3, 4)")
+
+    def test_keyword_prefix_identifiers(self):
+        # 'valx', 'fund', 'ende' are plain identifiers.
+        parse_program("val valx = 1 val fund = 2 val ende = 3")

@@ -1,0 +1,98 @@
+"""Type-safe linkage (§7): pid consistency checking."""
+
+import pytest
+
+from repro.linker import LinkError, Linker, check_consistency
+from repro.units import Session, compile_unit
+
+
+@pytest.fixture
+def session(basis):
+    return Session(basis)
+
+
+PROVIDER_V1 = "structure P = struct fun get () = 1 end"
+PROVIDER_V2 = "structure P = struct fun get () = (1, 1) end"  # new interface
+CLIENT = "structure C = struct val v = P.get () end"
+
+
+class TestConsistency:
+    def test_consistent_set_links(self, session):
+        p = compile_unit("p", PROVIDER_V1, [], session)
+        c = compile_unit("c", CLIENT, [p], session)
+        check_consistency([p, c])  # no error
+
+    def test_stale_import_rejected(self, session):
+        p1 = compile_unit("p", PROVIDER_V1, [], session)
+        c = compile_unit("c", CLIENT, [p1], session)
+        p2 = compile_unit("p", PROVIDER_V2, [], session)
+        # Linking the NEW provider with the OLD client: the paper's
+        # "makefile bug", caught at link time by pid mismatch.
+        with pytest.raises(LinkError, match="stale"):
+            check_consistency([p2, c])
+
+    def test_interface_preserving_recompile_links(self, session):
+        p1 = compile_unit("p", PROVIDER_V1, [], session)
+        c = compile_unit("c", CLIENT, [p1], session)
+        # Recompile the provider with a different body, same interface.
+        p1b = compile_unit(
+            "p", "structure P = struct fun get () = 2 - 1 end", [], session)
+        assert p1b.export_pid == p1.export_pid
+        check_consistency([p1b, c])  # pids match: safe to link
+
+    def test_missing_import_rejected(self, session):
+        p = compile_unit("p", PROVIDER_V1, [], session)
+        c = compile_unit("c", CLIENT, [p], session)
+        with pytest.raises(LinkError, match="not being linked"):
+            check_consistency([c])
+
+    def test_duplicate_unit_rejected(self, session):
+        p = compile_unit("p", PROVIDER_V1, [], session)
+        with pytest.raises(LinkError, match="duplicate"):
+            check_consistency([p, p])
+
+
+class TestLinkerExecution:
+    def test_link_and_execute(self, session):
+        p = compile_unit("p", PROVIDER_V1, [], session)
+        c = compile_unit("c", CLIENT, [p], session)
+        linker = Linker(session)
+        exports = linker.link([p, c])
+        assert exports["c"].structures["C"].values["v"] == 1
+
+    def test_out_of_order_execution_rejected(self, session):
+        p = compile_unit("p", PROVIDER_V1, [], session)
+        c = compile_unit("c", CLIENT, [p], session)
+        linker = Linker(session)
+        with pytest.raises(LinkError, match="before its import"):
+            linker.execute(c)
+
+    def test_verify_can_be_disabled(self, session):
+        # (For experiments that demonstrate what unsafe linking allows.)
+        p1 = compile_unit("p", PROVIDER_V1, [], session)
+        c = compile_unit("c", CLIENT, [p1], session)
+        p2 = compile_unit("p", PROVIDER_V2, [], session)
+        linker = Linker(session)
+        exports = linker.link([p2, c], verify=False)
+        # The stale client now computes a *wrongly-typed* value: v claims
+        # to be int but holds a tuple.  This is exactly the miscomputation
+        # the pid check prevents.
+        assert exports["c"].structures["C"].values["v"] == (1, 1)
+
+    def test_diamond_links_once(self, session):
+        base = compile_unit(
+            "base", "structure B = struct val v = ref 0 "
+            "val _ = v := !v + 1 end", [], session)
+        left = compile_unit(
+            "left", "structure L = struct val x = !B.v end", [base],
+            session)
+        right = compile_unit(
+            "right", "structure R = struct val y = !B.v end", [base],
+            session)
+        top = compile_unit(
+            "top", "structure T = struct val s = L.x + R.y end",
+            [left, right], session)
+        linker = Linker(session)
+        exports = linker.link([base, left, right, top])
+        # base executed once: both sides saw the same cell value 1.
+        assert exports["top"].structures["T"].values["s"] == 2

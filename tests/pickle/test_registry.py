@@ -1,0 +1,96 @@
+"""The pickle class registry: the bin-file format's stability contract.
+
+Class tags are positional, so the registry's order IS the format. This
+golden test fails loudly when someone reorders or removes entries --
+i.e. when old bin files would silently misparse.  (Adding new classes at
+the end is compatible; extend the golden list.)
+
+It also reports our equivalent of the paper's representation inventory:
+"36 different datatypes ... 115 variants ... 193 record fields".
+"""
+
+import pytest
+
+from repro.pickle.registry import (
+    CLASS_TO_TAG,
+    REGISTRY,
+    STAMPED_CLASSES,
+    TAG_TO_ENTRY,
+    prim_tycon_table,
+)
+
+#: The first (semantic-object) section of the registry, in tag order.
+GOLDEN_SEMANT_PREFIX = [
+    "ConType",
+    "RecordType",
+    "FunType",
+    "PolyType",
+    "BoundVar",
+    "DatatypeTycon",
+    "AbstractTycon",
+    "TypeFun",
+    "Constructor",
+    "OverloadScheme",
+    "ValueBinding",
+    "Env",
+    "Structure",
+    "Sig",
+    "Functor",
+]
+
+
+class TestStability:
+    def test_semantic_prefix_fixed(self):
+        names = [cls.__name__ for cls, _fields in REGISTRY]
+        assert names[: len(GOLDEN_SEMANT_PREFIX)] == GOLDEN_SEMANT_PREFIX
+
+    def test_tags_bijective(self):
+        assert len(CLASS_TO_TAG) == len(REGISTRY)
+        assert len(TAG_TO_ENTRY) == len(REGISTRY)
+        for cls, tag in CLASS_TO_TAG.items():
+            assert TAG_TO_ENTRY[tag][0] is cls
+
+    def test_every_ast_node_registered(self):
+        import dataclasses
+
+        from repro.lang import ast
+
+        for name in dir(ast):
+            cls = getattr(ast, name)
+            if (isinstance(cls, type) and dataclasses.is_dataclass(cls)
+                    and cls.__module__ == "repro.lang.ast"):
+                assert cls in CLASS_TO_TAG, name
+
+    def test_stamped_classes_registered(self):
+        for cls in STAMPED_CLASSES:
+            assert cls in CLASS_TO_TAG
+
+    def test_fields_match_slots_or_dataclass(self):
+        import dataclasses
+
+        for cls, fields in REGISTRY:
+            if dataclasses.is_dataclass(cls):
+                expected = tuple(f.name for f in dataclasses.fields(cls))
+            else:
+                expected = tuple(cls.__slots__)
+            assert fields == expected, cls.__name__
+
+    def test_prim_table_contents(self):
+        table = prim_tycon_table()
+        assert set(table) == {
+            "int", "word", "real", "string", "char", "exn", "ref",
+            "array", "vector",
+        }
+
+
+class TestInventoryScale:
+    """Our static-environment representation vs the paper's (§4)."""
+
+    def test_inventory_reported(self):
+        classes = len(REGISTRY)
+        fields = sum(len(f) for _cls, f in REGISTRY)
+        # The paper: 36 datatypes, 115 variants, 193 record fields.  Our
+        # graph is leaner but must be rich enough to be a real test of
+        # the pickler.
+        assert classes >= 50
+        assert fields >= 150

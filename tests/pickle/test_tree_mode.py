@@ -1,0 +1,78 @@
+"""Tree-mode (share=False) pickling: the A1 ablation must still be
+*correct* -- only bigger."""
+
+import pytest
+
+from repro.pickle.pickler import Pickler, Unpickler
+from repro.units import Session, compile_unit
+
+
+@pytest.fixture
+def session(basis):
+    return Session(basis)
+
+
+SRC = """
+structure Shared = struct
+  datatype t = K of int | Pair of t * t
+  structure L = struct val v = K 1 end
+  structure R = L
+end
+"""
+
+
+def _pickle(unit, session, share):
+    pickler = Pickler(local_stamp_ids=unit.owned_stamp_ids,
+                      extern=session.extern, share=share)
+    return pickler.run((unit.static_env, unit.code))
+
+
+class TestTreeMode:
+    def test_roundtrips(self, session):
+        unit = compile_unit("m", SRC, [], session)
+        data = _pickle(unit, session, share=False)
+        unpickler = Unpickler(data, resolve=session.resolve)
+        env, _code = unpickler.run()
+        shared = env.structures["Shared"]
+        assert "L" in shared.env.structures
+        assert "R" in shared.env.structures
+
+    def test_bigger_than_dag(self, session):
+        unit = compile_unit("m", SRC, [], session)
+        tree = _pickle(unit, session, share=False)
+        dag = _pickle(unit, session, share=True)
+        assert len(tree) > len(dag)
+
+    def test_identity_lost_in_tree_mode(self, session):
+        # The price of tree mode: the aliased structures' shared *env*
+        # decodes as two copies.
+        unit = compile_unit("m", SRC, [], session)
+        data = _pickle(unit, session, share=False)
+        env, _ = Unpickler(data, resolve=session.resolve).run()
+        shared = env.structures["Shared"]
+        left = shared.env.structures["L"]
+        right = shared.env.structures["R"]
+        assert left.env is not right.env
+
+    def test_identity_kept_in_dag_mode(self, session):
+        # `structure R = L` produces two Structure records (the binder
+        # renames) sharing one stamp and one env; DAG pickling preserves
+        # exactly that topology.
+        unit = compile_unit("m", SRC, [], session)
+        data = _pickle(unit, session, share=True)
+        env, _ = Unpickler(data, resolve=session.resolve).run()
+        shared = env.structures["Shared"]
+        left = shared.env.structures["L"]
+        right = shared.env.structures["R"]
+        assert left.env is right.env
+        assert left.stamp is right.stamp
+
+    def test_datatype_cycle_survives_tree_mode(self, session):
+        # Cycles go through datatypes, which stay memoized even in tree
+        # mode -- otherwise encoding would not terminate.
+        unit = compile_unit("m", SRC, [], session)
+        data = _pickle(unit, session, share=False)
+        env, _ = Unpickler(data, resolve=session.resolve).run()
+        tycon = env.structures["Shared"].env.tycons["t"]
+        pair = tycon.constructors[1]
+        assert pair.scheme.dom.fields[0][1].tycon is tycon

@@ -1,0 +1,177 @@
+"""Intrinsic pids: the properties §5 claims.
+
+The pid must be (a) independent of stamp numbering and session, (b)
+insensitive to comments and implementation details, (c) sensitive to any
+interface change, (d) dependent on imported interfaces exactly where
+they leak into the export.
+"""
+
+import pytest
+
+from repro.units import Session, compile_unit
+
+
+@pytest.fixture(scope="module")
+def session(basis):
+    return Session(basis)
+
+
+def pid_of(source, session, imports=(), name="unit"):
+    return compile_unit(name, source, list(imports), session).export_pid
+
+
+BASE = """
+signature SHOW = sig type t val show : t -> string end
+structure IntShow : SHOW = struct
+  type t = int
+  val show = Int.toString
+end
+fun describe x = IntShow.show x ^ "!"
+"""
+
+
+class TestInsensitivity:
+    def test_deterministic(self, session):
+        assert pid_of(BASE, session) == pid_of(BASE, session)
+
+    def test_comments_ignored(self, session):
+        commented = "(* A new leading comment *)\n" + BASE.replace(
+            "type t = int", "type t = int (* the key decision *)")
+        assert pid_of(commented, session) == pid_of(BASE, session)
+
+    def test_whitespace_ignored(self, session):
+        spaced = BASE.replace("\n", "\n\n").replace("  ", "      ")
+        assert pid_of(spaced, session) == pid_of(BASE, session)
+
+    def test_implementation_change_ignored(self, session):
+        # A different body with the same type.
+        changed = BASE.replace('IntShow.show x ^ "!"',
+                               '"[" ^ IntShow.show x ^ "]"')
+        assert pid_of(changed, session) == pid_of(BASE, session)
+
+    def test_fresh_session_same_pid(self, basis, session):
+        other = Session(basis)
+        # Different sessions mint different stamp numbers; alpha
+        # conversion must hide that.
+        assert pid_of(BASE, other) == pid_of(BASE, session)
+
+    def test_unrelated_prior_compilation_no_effect(self, basis):
+        # Stamp-counter offset: compile junk first in one session.
+        s1 = Session(basis)
+        s2 = Session(basis)
+        pid_of("structure Junk = struct datatype j = J of j list end", s1,
+               name="junk")
+        assert pid_of(BASE, s1) == pid_of(BASE, s2)
+
+
+class TestSensitivity:
+    def test_new_exported_value(self, session):
+        extended = BASE + "\nval another = 17\n"
+        assert pid_of(extended, session) != pid_of(BASE, session)
+
+    def test_changed_value_type(self, session):
+        changed = BASE.replace('IntShow.show x ^ "!"',
+                               'size (IntShow.show x)')
+        assert pid_of(changed, session) != pid_of(BASE, session)
+
+    def test_renamed_structure(self, session):
+        renamed = BASE.replace("IntShow", "IntegerShow")
+        assert pid_of(renamed, session) != pid_of(BASE, session)
+
+    def test_signature_member_added(self, session):
+        extended = BASE.replace(
+            "val show : t -> string end",
+            "val show : t -> string val arity : int end").replace(
+            "val show = Int.toString",
+            "val show = Int.toString val arity = 0")
+        assert pid_of(extended, session) != pid_of(BASE, session)
+
+    def test_datatype_constructor_added(self, session):
+        v1 = "structure D = struct datatype t = A | B end"
+        v2 = "structure D = struct datatype t = A | B | C end"
+        assert pid_of(v1, session) != pid_of(v2, session)
+
+    def test_opaque_vs_transparent_differ(self, session):
+        sig = "signature S = sig type t val mk : int -> t end\n"
+        body = "struct type t = int fun mk n = n end"
+        transparent = sig + f"structure X : S = {body}"
+        opaque = sig + f"structure X :> S = {body}"
+        assert pid_of(transparent, session) != pid_of(opaque, session)
+
+    def test_unit_name_is_mixed_in(self, session):
+        src = "structure D = struct datatype t = A end"
+        assert pid_of(src, session, name="one") != \
+            pid_of(src, session, name="two")
+
+
+class TestImportTracking:
+    BASE_A = ("signature ORD = sig type t val le : t * t -> bool end\n"
+              "structure IntOrd : ORD = struct type t = int "
+              "fun le (a, b) = a <= b end")
+    CLIENT = ("functor UseOrd(X : ORD) = struct\n"
+              "  fun sorted2 (a, b) = if X.le (a, b) then (a, b) else (b, a)\n"
+              "end")
+
+    def test_functor_closure_tracks_import_interface(self, basis):
+        s1 = Session(basis)
+        a1 = compile_unit("a", self.BASE_A, [], s1)
+        c1 = compile_unit("c", self.CLIENT, [a1], s1)
+
+        s2 = Session(basis)
+        changed = self.BASE_A + "\nval extra = 1"
+        a2 = compile_unit("a", changed, [], s2)
+        c2 = compile_unit("c", self.CLIENT, [a2], s2)
+        # The client's functor closes over ORD (changed unit a), so its
+        # own pid must change.
+        assert c1.export_pid != c2.export_pid
+
+    def test_non_leaking_client_pid_stable(self, basis):
+        client = ("structure Probe = struct\n"
+                  "  val zero = if IntOrd.le (0, 1) then 0 else 1\n"
+                  "end")
+        s1 = Session(basis)
+        a1 = compile_unit("a", self.BASE_A, [], s1)
+        c1 = compile_unit("c", client, [a1], s1)
+
+        s2 = Session(basis)
+        a2 = compile_unit("a", self.BASE_A + "\nval extra = 1", [], s2)
+        c2 = compile_unit("c", client, [a2], s2)
+        # The client's *interface* (val zero : int) does not mention
+        # anything of a; its pid is stable although a's changed.
+        assert a1.export_pid != a2.export_pid
+        assert c1.export_pid == c2.export_pid
+
+    def test_transparent_alias_does_not_leak_identity(self, basis):
+        # `type u = IntOrd.t` where IntOrd.t is *transparently* int does
+        # not tie the client to unit a at all: the alias expands to int.
+        client = ("structure Wrap = struct\n"
+                  "  type u = IntOrd.t\n"
+                  "  val le = IntOrd.le\n"
+                  "end")
+        s1 = Session(basis)
+        a1 = compile_unit("a", self.BASE_A, [], s1)
+        c1 = compile_unit("c", client, [a1], s1)
+
+        s2 = Session(basis)
+        a2 = compile_unit("a", self.BASE_A + "\nval extra = 1", [], s2)
+        c2 = compile_unit("c", client, [a2], s2)
+        assert c1.export_pid == c2.export_pid
+
+    DATA_A = ("structure Key = struct\n"
+              "  datatype t = K of int\n"
+              "  fun le (K a, K b) = a <= b\n"
+              "end")
+
+    def test_generative_type_leak_tracks_import(self, basis):
+        # Re-exporting a *generative* type of unit a ties the client's
+        # interface to a's pid through the (pid, index) stub.
+        client = "structure Wrap = struct val mk = Key.K end"
+        s1 = Session(basis)
+        a1 = compile_unit("a", self.DATA_A, [], s1)
+        c1 = compile_unit("c", client, [a1], s1)
+
+        s2 = Session(basis)
+        a2 = compile_unit("a", self.DATA_A + "\nval extra = 1", [], s2)
+        c2 = compile_unit("c", client, [a2], s2)
+        assert a1.export_pid != a2.export_pid
+        assert c1.export_pid != c2.export_pid

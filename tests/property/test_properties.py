@@ -1,0 +1,185 @@
+"""Property-based tests over the core invariants.
+
+- The pickler is a faithful injection: decode(encode(x)) == x for any
+  value built from the supported plain types.
+- Intrinsic pids are invariant under comment insertion, anywhere.
+- Incremental builds are *equivalent* to from-scratch builds: after any
+  sequence of edits, the cutoff builder's link result matches a clean
+  rebuild, and it never recompiles more than timestamp-make does.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cm import CutoffBuilder, Project, TimestampBuilder
+from repro.pickle import dehydrate, rehydrate
+from repro.units import Session, compile_unit
+from repro.workload import chain, generate_workload
+
+# -- pickler roundtrip -----------------------------------------------------
+
+plain_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2 ** 70), max_value=2 ** 70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.tuples(children, children)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestPicklerRoundtrip:
+    @given(plain_values)
+    @settings(max_examples=150)
+    def test_roundtrip_identity(self, value):
+        data, _ = dehydrate(value)
+        out, _ = rehydrate(data)
+        assert out == value
+
+    @given(plain_values)
+    @settings(max_examples=60)
+    def test_encoding_deterministic(self, value):
+        assert dehydrate(value)[0] == dehydrate(value)[0]
+
+
+# -- pid invariance under comments ------------------------------------------
+
+BASE_LINES = [
+    "signature Q = sig type t val get : t -> int end",
+    "structure S : Q = struct",
+    "  datatype t = T of int",
+    "  fun get (T n) = n",
+    "end",
+    "functor F(X : Q) = struct val probe = X.get end",
+]
+
+
+class TestPidCommentInvariance:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, len(BASE_LINES)),
+                      st.text(
+                          alphabet=st.characters(
+                              categories=("Lu", "Ll", "Nd"),
+                              include_characters=" "),
+                          max_size=30)),
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_comments_never_change_pid(self, basis, insertions):
+        session = Session(basis)
+        reference = compile_unit(
+            "m", "\n".join(BASE_LINES), [], session).export_pid
+        lines = list(BASE_LINES)
+        for position, text in insertions:
+            lines.insert(position, f"(* {text} *)")
+        pid = compile_unit("m", "\n".join(lines), [], session).export_pid
+        assert pid == reference
+
+
+# -- incremental == from-scratch ------------------------------------------
+
+edit_ops = st.lists(
+    st.tuples(st.sampled_from(["comment", "impl", "iface"]),
+              st.integers(0, 4)),
+    min_size=1, max_size=5,
+)
+
+
+class TestIncrementalEquivalence:
+    @given(edit_ops)
+    @settings(max_examples=20, deadline=None)
+    def test_cutoff_matches_clean_rebuild(self, edits):
+        w = generate_workload(chain(5), helpers_per_unit=1)
+        incremental = CutoffBuilder(w.project)
+        incremental.build()
+        for kind, index in edits:
+            name = f"u{index:03d}"
+            getattr(w, {"comment": "edit_comment", "impl":
+                        "edit_implementation",
+                        "iface": "edit_interface"}[kind])(name)
+        incremental.build()
+        inc_exports = incremental.link()
+
+        clean = CutoffBuilder(w.project)
+        clean.build()
+        clean_exports = clean.link()
+
+        for unit in w.names():
+            inc = inc_exports[unit].structures[f"M{unit[1:]}"]
+            cln = clean_exports[unit].structures[f"M{unit[1:]}"]
+            from repro.dynamic.evaluate import apply_value
+
+            made_inc = apply_value(inc.values["make"], 3)
+            made_cln = apply_value(cln.values["make"], 3)
+            assert (apply_value(inc.values["value"], made_inc)
+                    == apply_value(cln.values["value"], made_cln))
+
+    @given(edit_ops)
+    @settings(max_examples=15, deadline=None)
+    def test_recompilation_spectrum_ordering(self, edits):
+        """smart <= cutoff <= make on every edit sequence."""
+        from repro.cm import SmartBuilder
+
+        workloads = {
+            name: generate_workload(chain(5), helpers_per_unit=1)
+            for name in ("make", "cutoff", "smart")
+        }
+        builders = {
+            "make": TimestampBuilder(workloads["make"].project),
+            "cutoff": CutoffBuilder(workloads["cutoff"].project),
+            "smart": SmartBuilder(workloads["smart"].project),
+        }
+        for builder in builders.values():
+            builder.build()
+        for kind, index in edits:
+            name = f"u{index:03d}"
+            op = {"comment": "edit_comment", "impl": "edit_implementation",
+                  "iface": "edit_interface"}[kind]
+            for w in workloads.values():
+                getattr(w, op)(name)
+        counts = {
+            name: set(builder.build().compiled)
+            for name, builder in builders.items()
+        }
+        assert counts["cutoff"] <= counts["make"]
+        assert len(counts["smart"]) <= len(counts["cutoff"])
+
+
+# -- front-end totality -------------------------------------------------
+
+
+class TestFrontEndTotality:
+    """The lexer/parser never crash: any input either parses or raises a
+    positioned SourceError."""
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_lexer_total(self, text):
+        from repro.lang.errors import LexError
+        from repro.lang.lexer import tokenize
+
+        try:
+            toks = tokenize(text)
+            assert toks[-1].kind.name == "EOF"
+        except LexError as err:
+            assert err.line >= 1
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_total(self, text):
+        from repro.lang.errors import SourceError
+        from repro.lang.parser import parse_program
+
+        try:
+            decs = parse_program(text)
+            assert isinstance(decs, list)
+        except SourceError as err:
+            assert err.line >= 1
+        except RecursionError:
+            pass  # pathological nesting depth: acceptable rejection

@@ -1,0 +1,196 @@
+"""Semantic types: substitution, equality admission, pretty-printing."""
+
+import pytest
+
+from repro.semant import prim
+from repro.semant.format import format_type
+from repro.semant.stamps import Stamp, StampGenerator, fresh_stamp
+from repro.semant.types import (
+    AbstractTycon,
+    BoundVar,
+    ConType,
+    Constructor,
+    DatatypeTycon,
+    FunType,
+    PolyType,
+    RecordType,
+    TyVar,
+    TypeFun,
+    apply_typefun,
+    compute_datatype_equality,
+    force_equality,
+    instantiate,
+    prune,
+    subst_bound,
+    tuple_type,
+    unit_type,
+)
+
+
+class TestStamps:
+    def test_identity_not_value(self):
+        a, b = fresh_stamp(), fresh_stamp()
+        assert a != b
+        assert a == a
+        assert a.id != b.id
+
+    def test_generator_isolation(self):
+        gen = StampGenerator(start=500)
+        assert gen.fresh().id == 500
+        assert gen.fresh().id == 501
+
+    def test_hashable(self):
+        s = fresh_stamp()
+        assert {s: 1}[s] == 1
+
+
+class TestTypeConstruction:
+    def test_tuple_labels(self):
+        t = tuple_type([prim.int_type(), prim.string_type()])
+        assert t.labels() == ("1", "2")
+        assert t.is_tuple()
+
+    def test_record_sorted(self):
+        t = RecordType((("z", prim.int_type()), ("a", prim.int_type())))
+        assert t.labels() == ("a", "z")
+        assert not t.is_tuple()
+
+    def test_numeric_labels_sort_numerically(self):
+        t = RecordType(tuple(
+            (str(i), prim.int_type()) for i in (10, 2, 1)))
+        assert t.labels() == ("1", "2", "10")
+
+    def test_unit(self):
+        assert unit_type().fields == ()
+
+    def test_contype_arity_checked(self):
+        with pytest.raises(AssertionError):
+            ConType(prim.LIST, ())
+
+
+class TestSubstitution:
+    def test_subst_bound(self):
+        body = FunType(BoundVar(0), ConType(prim.LIST, (BoundVar(0),)))
+        out = subst_bound(body, (prim.int_type(),))
+        assert format_type(out) == "int -> int list"
+
+    def test_apply_typefun(self):
+        fun = TypeFun(2, tuple_type([BoundVar(1), BoundVar(0)]), "swap")
+        out = apply_typefun(fun, (prim.int_type(), prim.string_type()))
+        assert format_type(out) == "string * int"
+
+    def test_instantiate_fresh_vars(self):
+        scheme = PolyType(1, FunType(BoundVar(0), BoundVar(0)))
+        t1 = prune(instantiate(scheme, level=1))
+        t2 = prune(instantiate(scheme, level=1))
+        assert isinstance(t1, FunType) and isinstance(t2, FunType)
+        assert prune(t1.dom) is not prune(t2.dom)
+
+    def test_instantiate_monomorphic_identity(self):
+        t = prim.int_type()
+        assert instantiate(t, 0) is t
+
+
+class TestEqualityAdmission:
+    def test_int_admits(self):
+        assert force_equality(prim.int_type())
+
+    def test_real_does_not(self):
+        assert not force_equality(prim.real_type())
+
+    def test_function_does_not(self):
+        assert not force_equality(
+            FunType(prim.int_type(), prim.int_type()))
+
+    def test_ref_always(self):
+        inner = FunType(prim.int_type(), prim.int_type())
+        assert force_equality(prim.ref_type(inner))
+
+    def test_tyvar_coerced(self):
+        var = TyVar(level=1)
+        assert force_equality(var)
+        assert var.eq
+
+    def test_record_needs_all_fields(self):
+        good = tuple_type([prim.int_type(), prim.string_type()])
+        bad = tuple_type([prim.int_type(), prim.real_type()])
+        assert force_equality(good)
+        assert not force_equality(bad)
+
+    def test_datatype_fixpoint_simple(self):
+        gen = StampGenerator(start=9000)
+        tycon = DatatypeTycon(gen.fresh(), "t", 0)
+        con = Constructor("C", tycon,
+                          FunType(prim.int_type(), ConType(tycon, ())),
+                          True)
+        tycon.constructors.append(con)
+        compute_datatype_equality([tycon])
+        assert tycon.eq
+
+    def test_datatype_fixpoint_fn_arg_demotes(self):
+        gen = StampGenerator(start=9100)
+        tycon = DatatypeTycon(gen.fresh(), "t", 0)
+        fn_arg = FunType(prim.int_type(), prim.int_type())
+        con = Constructor("C", tycon,
+                          FunType(fn_arg, ConType(tycon, ())), True)
+        tycon.constructors.append(con)
+        compute_datatype_equality([tycon])
+        assert not tycon.eq
+
+    def test_mutual_recursion_demotes_both(self):
+        gen = StampGenerator(start=9200)
+        a = DatatypeTycon(gen.fresh(), "a", 0)
+        b = DatatypeTycon(gen.fresh(), "b", 0)
+        fn_arg = FunType(prim.int_type(), prim.int_type())
+        a.constructors.append(Constructor(
+            "A", a, FunType(ConType(b, ()), ConType(a, ())), True))
+        b.constructors.append(Constructor(
+            "B", b, FunType(fn_arg, ConType(b, ())), True))
+        compute_datatype_equality([a, b])
+        assert not a.eq and not b.eq
+
+
+class TestFormat:
+    def test_nested_arrows(self):
+        t = FunType(FunType(prim.int_type(), prim.int_type()),
+                    prim.int_type())
+        assert format_type(t) == "(int -> int) -> int"
+
+    def test_tuple_in_arrow(self):
+        t = FunType(tuple_type([prim.int_type(), prim.int_type()]),
+                    prim.bool_type())
+        assert format_type(t) == "int * int -> bool"
+
+    def test_tuple_of_tuples(self):
+        inner = tuple_type([prim.int_type(), prim.int_type()])
+        t = tuple_type([inner, prim.string_type()])
+        assert format_type(t) == "(int * int) * string"
+
+    def test_constructor_application(self):
+        t = ConType(prim.LIST, (ConType(prim.LIST, (prim.int_type(),)),))
+        assert format_type(t) == "int list list"
+
+    def test_multi_arg_tycon(self):
+        gen = StampGenerator(start=9300)
+        pair = AbstractTycon(gen.fresh(), "pair", 2)
+        t = ConType(pair, (prim.int_type(), prim.string_type()))
+        assert format_type(t) == "(int, string) pair"
+
+    def test_scheme_vars(self):
+        scheme = PolyType(
+            2, FunType(BoundVar(0), BoundVar(1)), (False, False))
+        assert format_type(scheme) == "'a -> 'b"
+
+    def test_equality_vars(self):
+        scheme = PolyType(
+            1, FunType(tuple_type([BoundVar(0), BoundVar(0)]),
+                       prim.bool_type()), (True,))
+        assert format_type(scheme) == "''a * ''a -> bool"
+
+    def test_unit_formats(self):
+        assert format_type(unit_type()) == "unit"
+
+    def test_record_format(self):
+        t = RecordType((("x", prim.int_type()),
+                        ("y", prim.string_type())))
+        assert format_type(t) == "{x: int, y: string}"

@@ -1,0 +1,62 @@
+"""Reproducible builds: bin payloads and pids are byte-identical across
+sessions and processes (the foundation under cross-session stub
+resolution)."""
+
+import pytest
+
+from repro.units import Session, compile_unit
+
+SRC_A = """
+signature S = sig type t val mk : int -> t end
+structure Impl :> S = struct
+  datatype t = T of int
+  fun mk n = T n
+end
+functor Wrap(X : S) = struct val make = X.mk end
+"""
+
+SRC_B = "structure Client = struct structure W = Wrap(Impl) end"
+
+
+class TestDeterminism:
+    def test_payload_bytes_identical_across_sessions(self, basis):
+        s1, s2 = Session(basis), Session(basis)
+        a1 = compile_unit("a", SRC_A, [], s1)
+        a2 = compile_unit("a", SRC_A, [], s2)
+        assert a1.payload == a2.payload
+
+    def test_payload_identical_with_stamp_skew(self, basis):
+        s1, s2 = Session(basis), Session(basis)
+        # Skew s2's stamp counter first.
+        compile_unit("junk", "structure J = struct datatype t = K end",
+                     [], s2)
+        a1 = compile_unit("a", SRC_A, [], s1)
+        a2 = compile_unit("a", SRC_A, [], s2)
+        assert a1.payload == a2.payload
+        assert a1.export_pid == a2.export_pid
+
+    def test_dependent_payload_identical(self, basis):
+        s1, s2 = Session(basis), Session(basis)
+        a1 = compile_unit("a", SRC_A, [], s1)
+        b1 = compile_unit("b", SRC_B, [a1], s1)
+        a2 = compile_unit("a", SRC_A, [], s2)
+        b2 = compile_unit("b", SRC_B, [a2], s2)
+        assert b1.payload == b2.payload
+        assert b1.export_pid == b2.export_pid
+
+    def test_different_sources_different_payloads(self, basis):
+        session = Session(basis)
+        a = compile_unit("a", SRC_A, [], session)
+        changed = compile_unit(
+            "a", SRC_A.replace("fun mk n = T n", "fun mk n = T (n + 0)"),
+            [], session)
+        assert a.payload != changed.payload  # code AST differs
+        assert a.export_pid == changed.export_pid  # interface does not
+
+    def test_export_index_order_stable(self, basis):
+        s1, s2 = Session(basis), Session(basis)
+        a1 = compile_unit("a", SRC_A, [], s1)
+        a2 = compile_unit("a", SRC_A, [], s2)
+        kinds1 = [type(o).__name__ for o in a1.export_index]
+        kinds2 = [type(o).__name__ for o in a2.export_index]
+        assert kinds1 == kinds2

@@ -1,0 +1,54 @@
+"""DynExport and PhaseTimes record semantics."""
+
+import pytest
+
+from repro.dynamic.values import DynEnv, VStruct
+from repro.units.unit import DynExport, PhaseTimes
+
+
+class TestDynExport:
+    def _frame(self):
+        frame = DynEnv()
+        frame.values["x"] = 1
+        frame.structures["S"] = VStruct("S", {"v": 2})
+        return frame
+
+    def test_snapshot_is_decoupled(self):
+        frame = self._frame()
+        export = DynExport("u", frame)
+        frame.values["x"] = 99
+        frame.values["later"] = 3
+        assert export.values["x"] == 1
+        assert "later" not in export.values
+
+    def test_splice_into(self):
+        export = DynExport("u", self._frame())
+        target = DynEnv()
+        export.splice_into(target)
+        assert target.values["x"] == 1
+        assert target.structures["S"].values["v"] == 2
+
+    def test_splice_overwrites(self):
+        export = DynExport("u", self._frame())
+        target = DynEnv()
+        target.values["x"] = 0
+        export.splice_into(target)
+        assert target.values["x"] == 1
+
+    def test_repr_counts(self):
+        export = DynExport("u", self._frame())
+        text = repr(export)
+        assert "1 values" in text and "1 structures" in text
+
+
+class TestPhaseTimes:
+    def test_totals(self):
+        times = PhaseTimes(parse=1.0, elaborate=2.0, hash=0.25,
+                           dehydrate=0.5, rehydrate=0.125)
+        assert times.compile_total() == 3.0
+        assert times.overhead_total() == 0.875
+
+    def test_defaults_zero(self):
+        times = PhaseTimes()
+        assert times.compile_total() == 0.0
+        assert times.overhead_total() == 0.0
