@@ -1,0 +1,9 @@
+(* The second binding makes the first dead in the unit's interface
+   (SC004: duplicate top-level binding). *)
+structure Dup = struct
+  val version = 1
+end
+
+structure Dup = struct
+  val version = 2
+end

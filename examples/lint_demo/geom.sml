@@ -1,0 +1,7 @@
+(* The project's base unit: every other unit reaches it, and it is
+   exported without a signature ascription, so its whole implementation
+   is interface (SC003) and it ranks as the hot interface (SC005). *)
+structure Geom = struct
+  val pi = 3
+  fun area r = pi * r * r
+end

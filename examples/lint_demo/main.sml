@@ -1,0 +1,4 @@
+structure Main = struct
+  val twelve = Shapes.disk 2
+  val described = Render.describe 2
+end

@@ -1,0 +1,8 @@
+(* The clean citizen: opaque ascription, qualified references. *)
+signature RENDER = sig
+  val describe : int -> int
+end
+
+structure Render :> RENDER = struct
+  fun describe r = Geom.area r
+end

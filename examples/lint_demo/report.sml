@@ -1,0 +1,10 @@
+(* The nested structure shadows the Geom *unit*'s export (SC004), so
+   every reference below is locally bound -- yet the conservative
+   dependency analyzer still charges this unit with an edge on geom
+   (SC001: a false edge; edits to geom recompile report for nothing). *)
+structure Report = struct
+  structure Geom = struct
+    val unit_area = 1
+  end
+  fun total n = n * Geom.unit_area
+end

@@ -1,0 +1,5 @@
+(* `open Geom` pulls in the provider's entire interface (SC002). *)
+structure Shapes = struct
+  open Geom
+  fun disk r = area r
+end

@@ -1,0 +1,56 @@
+"""Project-wide static analysis ("smlint") over the dependency DAG.
+
+The analyzer finds the *cascade amplifiers* the paper's recompilation
+model warns about -- spurious dependency edges, over-broad ``open``
+declarations, unascribed (fully transparent) exports, shadowed module
+bindings -- and computes cascade-risk metrics (transitive-dependent
+counts, per-binding fan-in) that rank the project's hot interfaces.
+
+Entry points::
+
+    python -m repro.analysis <srcdir|group.cm> [--strict] [--format json]
+    python -m repro.cm <srcdir> --analyze [--strict]
+
+or programmatically::
+
+    from repro.analysis import analyze_project
+    result = analyze_project(project)          # or graph=/cache= reuse
+    for diag in result.diagnostics:
+        print(diag.render_text())
+
+Diagnostic codes are stable (``SC001``...); see the README's
+"Static analysis" section for the table.
+"""
+
+from repro.analysis.cascade import CascadeReport, UnitRisk, cascade_report
+from repro.analysis.context import AnalysisConfig, AnalysisContext
+from repro.analysis.diagnostics import (SCHEMA, Diagnostic, Severity, Span,
+                                        render_json, render_text)
+from repro.analysis.registry import RULES, Rule, rule, run_rules
+from repro.analysis.runner import AnalysisResult, analyze_project
+from repro.analysis.scopes import (ModuleBind, ModuleRef, ScanResult,
+                                   scan_module_refs)
+
+__all__ = [
+    "SCHEMA",
+    "AnalysisConfig",
+    "AnalysisContext",
+    "AnalysisResult",
+    "CascadeReport",
+    "Diagnostic",
+    "ModuleBind",
+    "ModuleRef",
+    "RULES",
+    "Rule",
+    "ScanResult",
+    "Severity",
+    "Span",
+    "UnitRisk",
+    "analyze_project",
+    "cascade_report",
+    "render_json",
+    "render_text",
+    "rule",
+    "run_rules",
+    "scan_module_refs",
+]

@@ -1,0 +1,112 @@
+"""Command-line analyzer: ``python -m repro.analysis <srcdir|group.cm>``.
+
+Runs every registered rule over a directory of ``*.sml`` units or a
+``.cm`` group description (including its imports) and prints the
+diagnostics plus the cascade-risk ranking.
+
+Options:
+    --format {text,json}   output format (json is schema-stable, smlint/1)
+    --strict               exit 1 when diagnostics at/above --fail-on exist
+    --fail-on LEVEL        gating level for --strict (default warning)
+    --rules CODES          comma-separated rule subset (e.g. SC001,SC003)
+    --top N                rows in the cascade table (default 5)
+    --no-cascade           omit the cascade-risk report
+    --hot-min N            SC005: minimum transitive dependents (default 3)
+
+Exit codes: 0 clean (or not gated), 1 gated diagnostics or analysis
+failure, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.context import AnalysisConfig
+from repro.analysis.diagnostics import Severity, render_json, render_text
+from repro.analysis.runner import analyze_project
+from repro.cm.project import Project
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis over a project's dependency DAG: "
+                    "dependency lints and cascade-risk metrics.")
+    parser.add_argument("target",
+                        help="directory containing *.sml units, or a .cm "
+                             "group description file")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when gated diagnostics exist")
+    parser.add_argument("--fail-on", default="warning",
+                        choices=("info", "warning", "error"),
+                        help="minimum severity that gates --strict")
+    parser.add_argument("--rules", metavar="CODES",
+                        help="comma-separated rule codes to run")
+    parser.add_argument("--top", type=int, default=5,
+                        help="rows in the cascade-risk table")
+    parser.add_argument("--no-cascade", action="store_true")
+    parser.add_argument("--hot-min", type=int, default=3,
+                        help="SC005 minimum transitive-dependent count")
+    args = parser.parse_args(argv)
+
+    project = _load_target(args.target)
+    if project is None:
+        return 2
+
+    codes = None
+    if args.rules is not None:
+        codes = tuple(code.strip() for code in args.rules.split(",")
+                      if code.strip())
+        if not codes:
+            # A typo like --rules "," must not silently lint nothing.
+            print("error: --rules needs at least one code (e.g. SC001)",
+                  file=sys.stderr)
+            return 2
+    config = AnalysisConfig(hot_min_dependents=args.hot_min, codes=codes)
+    try:
+        result = analyze_project(project, config=config)
+    except ValueError as err:  # unknown rule code
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    cascade = None if args.no_cascade else result.cascade
+    if args.format == "json":
+        print(render_json(result.diagnostics, cascade,
+                          project=args.target))
+    else:
+        print(render_text(result.diagnostics, cascade, top=args.top))
+
+    if result.failed:
+        return 1
+    if args.strict and result.gate(Severity.parse(args.fail_on)):
+        return 1
+    return 0
+
+
+def _load_target(target: str) -> Project | None:
+    if os.path.isfile(target) and target.endswith(".cm"):
+        from repro.cm.descfile import DescFileError, load_group_file
+
+        try:
+            _group, project = load_group_file(target)
+        except DescFileError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return None
+        return project
+    if not os.path.isdir(target):
+        print(f"error: {target} is not a directory or .cm file",
+              file=sys.stderr)
+        return None
+    project = Project.from_directory(target)
+    if not len(project):
+        print(f"error: no .sml files in {target}", file=sys.stderr)
+        return None
+    return project
+
+
+if __name__ == "__main__":
+    sys.exit(main())

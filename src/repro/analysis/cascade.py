@@ -1,0 +1,100 @@
+"""Cascade-risk metrics over the dependency DAG.
+
+The paper's cost model (§2) is that an interface edit recompiles every
+transitive dependent unless a cutoff stops the cascade.  The exposure of
+a unit is therefore measured by (a) how many units its edits can reach
+-- its transitive-dependent count -- and (b) how concentrated the
+demand on its interface is: per-binding *fan-in*, counted from the
+dependency graph's per-name use map (:attr:`repro.cm.depend.DepGraph.uses`,
+the smart builder's data).  Units with high reach are "hot interfaces":
+the places where a missing ascription or a spurious edge hurts most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cm.depend import DepGraph
+
+
+@dataclass
+class UnitRisk:
+    """One unit's cascade exposure."""
+
+    unit: str
+    direct_dependents: int
+    transitive_dependents: int
+    #: "ns:name" -> number of distinct dependent units using that binding.
+    fan_in: dict[str, int]
+
+    def hottest(self) -> tuple[str, int] | None:
+        """The exported binding with the highest fan-in."""
+        if not self.fan_in:
+            return None
+        key = max(sorted(self.fan_in), key=lambda k: self.fan_in[k])
+        return key, self.fan_in[key]
+
+    def as_json(self) -> dict:
+        return {
+            "unit": self.unit,
+            "direct_dependents": self.direct_dependents,
+            "transitive_dependents": self.transitive_dependents,
+            "fan_in": {k: self.fan_in[k] for k in sorted(self.fan_in)},
+        }
+
+
+@dataclass
+class CascadeReport:
+    """Units ranked by transitive-dependent count (descending, then by
+    name) -- the order in which interface edits are most expensive."""
+
+    ranking: list[UnitRisk]
+
+    def risk_of(self, unit: str) -> UnitRisk | None:
+        for risk in self.ranking:
+            if risk.unit == unit:
+                return risk
+        return None
+
+    def render_text(self, top: int = 5) -> str:
+        total = len(self.ranking)
+        lines = [f"cascade risk (top {min(top, total)} of {total} units):"]
+        for risk in self.ranking[:top]:
+            line = (f"  {risk.unit:<16} {risk.transitive_dependents} "
+                    f"transitive / {risk.direct_dependents} direct "
+                    f"dependents")
+            hot = risk.hottest()
+            if hot is not None:
+                key, count = hot
+                line += f"; hottest binding {key} ({count} users)"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def as_json(self) -> dict:
+        return {"ranking": [risk.as_json() for risk in self.ranking]}
+
+
+def cascade_report(graph: DepGraph) -> CascadeReport:
+    """Compute the report from an already-built dependency graph.
+
+    ``transitive_dependents`` agrees with
+    :meth:`DepGraph.transitive_dependents` by construction (it calls it).
+    """
+    fan_in: dict[str, dict[str, int]] = {}
+    for _user, per_provider in graph.uses.items():
+        for provider, keys in per_provider.items():
+            counts = fan_in.setdefault(provider, {})
+            for key in keys:
+                counts[key] = counts.get(key, 0) + 1
+
+    risks = [
+        UnitRisk(
+            unit=unit,
+            direct_dependents=len(graph.dependents.get(unit, ())),
+            transitive_dependents=len(graph.transitive_dependents(unit)),
+            fan_in=fan_in.get(unit, {}),
+        )
+        for unit in graph.deps
+    ]
+    risks.sort(key=lambda r: (-r.transitive_dependents, r.unit))
+    return CascadeReport(risks)

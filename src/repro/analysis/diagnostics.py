@@ -1,0 +1,137 @@
+"""The diagnostic model of the static analyzer ("smlint").
+
+A :class:`Diagnostic` is one finding: a stable code (``SC001``...), a
+severity, the unit it was found in, a source span (1-based line/col,
+taken from the lexer's :class:`repro.lang.tokens.Token` positions), a
+message, and an optional fix suggestion.  Two renderers are provided:
+
+- :func:`render_text` -- compiler-style ``unit:line:col`` lines for
+  humans, plus the cascade-risk table and a summary;
+- :func:`render_json` -- a schema-stable JSON document (``smlint/1``)
+  for CI consumers; its key sets are locked by tests so downstream
+  parsers do not break silently.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+
+#: Version tag of the JSON output; bump only with a migration note.
+SCHEMA = "smlint/1"
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels (comparisons follow gravity)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}; expected one of "
+                             f"{[str(s) for s in cls]}") from None
+
+
+@dataclass(frozen=True)
+class Span:
+    """A 1-based source region; a zero-width span marks a single point."""
+
+    line: int = 1
+    col: int = 1
+    end_line: int = 0
+    end_col: int = 0
+
+    def __post_init__(self):
+        if self.end_line == 0:
+            object.__setattr__(self, "end_line", self.line)
+        if self.end_col == 0:
+            object.__setattr__(self, "end_col", self.col)
+
+    @classmethod
+    def of_token(cls, token) -> "Span":
+        return cls(token.line, token.col,
+                   token.line, token.col + len(token.text))
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    unit: str
+    span: Span
+    message: str
+    fix: str | None = None
+
+    def sort_key(self):
+        return (self.unit, self.span.line, self.span.col, self.code,
+                self.message)
+
+    def render_text(self) -> str:
+        head = (f"{self.unit}:{self.span.line}:{self.span.col}: "
+                f"{self.severity}[{self.code}]: {self.message}")
+        if self.fix:
+            head += f"\n    fix: {self.fix}"
+        return head
+
+    def as_json(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "unit": self.unit,
+            "line": self.span.line,
+            "col": self.span.col,
+            "end_line": self.span.end_line,
+            "end_col": self.span.end_col,
+            "message": self.message,
+            "fix": self.fix,
+        }
+
+
+def summarize(diagnostics) -> dict:
+    """Severity histogram (all levels always present -- schema stability)."""
+    counts = {str(sev): 0 for sev in sorted(Severity, reverse=True)}
+    for diag in diagnostics:
+        counts[str(diag.severity)] += 1
+    counts["total"] = len(diagnostics)
+    return counts
+
+
+def render_text(diagnostics, cascade=None, top: int = 5) -> str:
+    """Human-readable report: findings, cascade table, summary line."""
+    lines = [d.render_text() for d in sorted(diagnostics,
+                                             key=Diagnostic.sort_key)]
+    if cascade is not None and cascade.ranking:
+        lines.append("")
+        lines.append(cascade.render_text(top=top))
+    counts = summarize(diagnostics)
+    if counts["total"]:
+        lines.append(f"{counts['error']} error(s), "
+                     f"{counts['warning']} warning(s), "
+                     f"{counts['info']} info(s)")
+    else:
+        lines.append("no diagnostics")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics, cascade=None, project: str = "") -> str:
+    """Schema-stable JSON document (see :data:`SCHEMA`)."""
+    payload = {
+        "schema": SCHEMA,
+        "project": project,
+        "diagnostics": [d.as_json() for d in sorted(diagnostics,
+                                                    key=Diagnostic.sort_key)],
+        "summary": summarize(diagnostics),
+        "cascade": cascade.as_json() if cascade is not None else None,
+    }
+    return json.dumps(payload, indent=2)

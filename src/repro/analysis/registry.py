@@ -1,0 +1,57 @@
+"""Rule registry and runner.
+
+A rule is a function ``(AnalysisContext) -> iterable[Diagnostic]``
+registered under a stable code with the :func:`rule` decorator.  The
+runner executes rules in code order so output is deterministic; rules
+share the context's memoized parses, tokens and scope scans, so adding a
+rule never adds a parse pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    code: str
+    name: str
+    summary: str
+    severity: Severity
+    func: Callable = field(compare=False)
+
+
+#: code -> Rule; populated by importing :mod:`repro.analysis.rules`.
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str,
+         severity: Severity = Severity.WARNING):
+    """Register a rule function under ``code``."""
+
+    def register(func: Callable) -> Callable:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code, name, summary, severity, func)
+        return func
+
+    return register
+
+
+def run_rules(ctx, codes: Iterable[str] | None = None) -> list[Diagnostic]:
+    """Run the selected rules (all registered rules by default)."""
+    import repro.analysis.rules  # noqa: F401  (registers the built-ins)
+
+    selected = sorted(codes) if codes is not None else sorted(RULES)
+    unknown = [code for code in selected if code not in RULES]
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(unknown)}; "
+                         f"known: {', '.join(sorted(RULES))}")
+    out: list[Diagnostic] = []
+    for code in selected:
+        out.extend(RULES[code].func(ctx))
+    out.sort(key=Diagnostic.sort_key)
+    return out

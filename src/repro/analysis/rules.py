@@ -1,0 +1,215 @@
+"""The built-in rules (codes SC001-SC005).
+
+Every rule is grounded in the paper's cost model: transparent signature
+matching makes *all* of an implementation's details interface, so each
+spurious edge, over-broad import or unascribed export widens the set of
+units an edit recompiles.  The rules find exactly those cascade
+amplifiers.  SC000 (analysis failure) is emitted by the runner, not
+registered here.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity, Span
+from repro.analysis.registry import rule
+
+_SINGULAR = {"structures": "structure", "signatures": "signature",
+             "functors": "functor"}
+
+
+def _exported_decs(decs):
+    """Top-level declarations contributing to the unit's export,
+    looking through ``local ... in ... end``."""
+    from repro.lang import ast
+
+    for dec in decs:
+        if isinstance(dec, ast.LocalDec):
+            yield from _exported_decs(dec.public)
+        else:
+            yield dec
+
+
+@rule("SC001", "false-dependency-edge",
+      "a conservative mention induces a dependency edge although every "
+      "reference to the name is locally bound")
+def false_dependency_edges(ctx: AnalysisContext):
+    """The dependency analyzer is conservative (it only subtracts
+    top-level definitions), so a nested binding that happens to share a
+    provider's name manufactures an edge the program never exercises --
+    and with it, spurious recompilations of this unit on every provider
+    interface change."""
+    for unit in ctx.units:
+        scan = ctx.scan(unit)
+        escaping = scan.escaping()
+        for provider in sorted(ctx.graph.uses.get(unit, {})):
+            keys = ctx.graph.uses[unit][provider]
+            false_names = []
+            for key in sorted(keys):
+                ns, _, name = key.partition(":")
+                if (ns, name) not in escaping:
+                    false_names.append((ns, name))
+            whole_edge = len(false_names) == len(keys)
+            for ns, name in false_names:
+                ref = scan.first_ref(ns, name)
+                span = ctx.span_of(unit, name,
+                                   ref.line if ref else None)
+                message = (f"every reference to {_SINGULAR[ns]} "
+                           f"'{name}' is locally bound, yet the mention "
+                           f"creates a dependency edge on unit "
+                           f"'{provider}'")
+                if whole_edge:
+                    message += " (the whole edge is spurious)"
+                yield Diagnostic(
+                    "SC001", Severity.WARNING, unit, span, message,
+                    fix=f"rename the local '{name}' so the dependency "
+                        f"analyzer stops charging this unit for "
+                        f"'{provider}' edits")
+
+
+@rule("SC002", "over-broad-open",
+      "an `open` of another unit's structure imports its entire "
+      "interface")
+def over_broad_open(ctx: AnalysisContext):
+    """``open`` makes every binding of the provider part of this unit's
+    compilation environment, maximizing the surface through which an
+    interface edit can (appear to) matter."""
+    for unit in ctx.units:
+        for ref in ctx.scan(unit).refs:
+            if ref.kind != "open" or ref.resolved:
+                continue
+            provider = ctx.providers().get(("structures", ref.name))
+            if provider is None or provider == unit:
+                continue
+            span = ctx.span_of(unit, ref.name, ref.line)
+            yield Diagnostic(
+                "SC002", Severity.WARNING, unit, span,
+                f"'open {ref.name}' imports every binding of unit "
+                f"'{provider}', widening the recompilation surface to "
+                f"the provider's whole interface",
+                fix=f"use qualified names ({ref.name}.x) or open a "
+                    f"structure thinned by a signature ascription")
+
+
+@rule("SC003", "unascribed-export",
+      "a module is exported without a signature ascription, so its "
+      "full implementation is its interface")
+def unascribed_exports(ctx: AnalysisContext):
+    """The paper's motivating hazard: with transparent matching, an
+    unascribed export leaks every type identity and auxiliary binding
+    into dependents, so implementation-only edits still change the
+    interface pid and defeat the cutoff."""
+    from repro.lang import ast
+
+    for unit in ctx.units:
+        for dec in _exported_decs(ctx.decs(unit)):
+            if isinstance(dec, ast.StructureDec):
+                for binding in dec.bindings:
+                    span = ctx.span_of(unit, binding.name, binding.line)
+                    if binding.sig is None:
+                        yield Diagnostic(
+                            "SC003", Severity.WARNING, unit, span,
+                            f"structure '{binding.name}' is exported "
+                            f"without a signature ascription; its whole "
+                            f"implementation becomes interface, so any "
+                            f"edit recompiles every dependent",
+                            fix=f"ascribe an opaque signature: "
+                                f"structure {binding.name} :> SIG = ...")
+                    elif not binding.opaque:
+                        yield Diagnostic(
+                            "SC003", Severity.INFO, unit, span,
+                            f"structure '{binding.name}' uses transparent "
+                            f"ascription (:), which still leaks type "
+                            f"identities through the signature",
+                            fix="use opaque ascription (:>) for a "
+                                "cutoff-stable interface")
+            elif isinstance(dec, ast.FunctorDec):
+                for binding in dec.bindings:
+                    if binding.result_sig is not None:
+                        continue
+                    span = ctx.span_of(unit, binding.name, binding.line)
+                    yield Diagnostic(
+                        "SC003", Severity.WARNING, unit, span,
+                        f"functor '{binding.name}' has no result "
+                        f"signature; every application re-exports the "
+                        f"full body interface",
+                        fix=f"constrain the result: functor "
+                            f"{binding.name}(...) : SIG = ...")
+
+
+@rule("SC004", "duplicate-or-shadowed-binding",
+      "a module binding duplicates a top-level sibling or shadows "
+      "another unit's export")
+def duplicate_or_shadowed(ctx: AnalysisContext):
+    """A top-level rebinding makes the earlier binding dead in the
+    unit's interface; a nested binding that reuses an imported module's
+    name makes references resolve locally -- the direct source of SC001
+    false edges and of reader confusion about which module is meant."""
+    for unit in ctx.units:
+        seen_top: dict[tuple[str, str], int] = {}
+        for bind in ctx.scan(unit).binds:
+            key = (bind.ns, bind.name)
+            if bind.depth == 0 and bind.kind == "top":
+                if key in seen_top:
+                    span = ctx.span_of(unit, bind.name, bind.line)
+                    yield Diagnostic(
+                        "SC004", Severity.WARNING, unit, span,
+                        f"{_SINGULAR[bind.ns]} '{bind.name}' is bound "
+                        f"twice at the top level (first at line "
+                        f"{seen_top[key]}); the first binding is dead "
+                        f"in the unit's interface",
+                        fix="rename or remove one of the bindings")
+                seen_top[key] = bind.line
+            elif bind.kind in ("nested", "param"):
+                owner = ctx.providers().get(key)
+                if owner is not None and owner != unit:
+                    span = ctx.span_of(unit, bind.name, bind.line)
+                    role = ("functor parameter" if bind.kind == "param"
+                            else f"local {_SINGULAR[bind.ns]}")
+                    yield Diagnostic(
+                        "SC004", Severity.WARNING, unit, span,
+                        f"{role} '{bind.name}' shadows the "
+                        f"{_SINGULAR[bind.ns]} exported by unit "
+                        f"'{owner}'; references here resolve locally "
+                        f"while the dependency analyzer still sees a "
+                        f"mention of '{owner}'",
+                        fix=f"rename '{bind.name}' to keep inter-unit "
+                            f"references unambiguous")
+
+
+@rule("SC005", "hot-interface",
+      "editing this unit's interface recompiles a large share of the "
+      "project", Severity.INFO)
+def hot_interfaces(ctx: AnalysisContext):
+    """Rank units by transitive-dependent count (the cascade the paper
+    bounds with cutoffs) and flag those whose edits reach a large share
+    of the project; the per-binding fan-in from DepGraph.uses names the
+    hottest binding."""
+    report = ctx.cascade()
+    others = max(len(ctx.units) - 1, 1)
+    threshold = max(ctx.config.hot_min_dependents,
+                    ceil(ctx.config.hot_ratio * others))
+    for risk in report.ranking:
+        if risk.transitive_dependents < threshold:
+            break  # ranking is sorted by reach, descending
+        message = (f"editing unit '{risk.unit}' recompiles "
+                   f"{risk.transitive_dependents} of {others} other "
+                   f"units ({risk.direct_dependents} direct "
+                   f"dependents)")
+        span = Span()
+        hot = risk.hottest()
+        if hot is not None:
+            key, count = hot
+            ns, _, name = key.partition(":")
+            message += (f"; hottest binding is {_SINGULAR[ns]} "
+                        f"'{name}' ({count} direct users)")
+            for bind in ctx.scan(risk.unit).binds:
+                if bind.depth == 0 and (bind.ns, bind.name) == (ns, name):
+                    span = ctx.span_of(risk.unit, name, bind.line)
+                    break
+        yield Diagnostic(
+            "SC005", Severity.INFO, risk.unit, span, message,
+            fix="keep this interface ascribed and stable, or split "
+                "rarely-used bindings into a separate unit")

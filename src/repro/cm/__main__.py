@@ -10,6 +10,9 @@ Options:
     --print STRUCTURE.NAME          after linking, print this binding
     --no-link                       stop after building
     --stats                         per-phase timing summary
+    --analyze                       run the static analyzer after building
+                                    (reuses the build's dependency cache)
+    --strict                        with --analyze: exit 1 on warnings
 """
 
 from __future__ import annotations
@@ -48,6 +51,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="print a structure binding after linking")
     parser.add_argument("--no-link", action="store_true")
     parser.add_argument("--stats", action="store_true")
+    parser.add_argument("--analyze", action="store_true",
+                        help="run the static analyzer over the project "
+                             "after building (no extra parse pass)")
+    parser.add_argument("--strict", action="store_true",
+                        help="with --analyze: exit 1 when the analyzer "
+                             "reports warnings or errors")
     args = parser.parse_args(argv)
 
     if os.path.isfile(args.srcdir) and args.srcdir.endswith(".cm"):
@@ -87,6 +96,12 @@ def main(argv: list[str] | None = None) -> int:
               f"(compile {sum(t.compile_total() for _n, t in times):.3f}s, "
               f"hash+pickle {sum(t.overhead_total() for _n, t in times):.3f}s)")
 
+    if args.analyze:
+        rc = _run_analysis(project, builder.last_graph,
+                           builder._dep_cache, args.strict)
+        if rc:
+            return rc
+
     if args.no_link:
         return 0
 
@@ -114,6 +129,20 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _run_analysis(project, graph, cache, strict: bool) -> int:
+    """Run the static analyzer after a build, reusing the builder's
+    dependency graph and cache (no extra parse pass)."""
+    from repro.analysis import Severity, analyze_project, render_text
+
+    result = analyze_project(project, graph=graph, cache=cache)
+    print(render_text(result.diagnostics, result.cascade))
+    if result.failed:
+        return 1
+    if strict and result.gate(Severity.WARNING):
+        return 1
+    return 0
+
+
 def _build_group_file(args) -> int:
     from repro.cm.descfile import DescFileError, load_group_file
     from repro.cm.group import GroupBuilder
@@ -131,6 +160,10 @@ def _build_group_file(args) -> int:
         return 1
     for group_name, report in reports.items():
         print(f"group {group_name}: {report.summary()}")
+    if args.analyze:
+        rc = _run_analysis(project, None, None, args.strict)
+        if rc:
+            return rc
     if args.no_link:
         return 0
     try:
@@ -140,7 +173,11 @@ def _build_group_file(args) -> int:
         return 1
     print(f"linked {len(exports)} units")
     if args.print_path:
-        struct_name, member = args.print_path.split(".", 1)
+        try:
+            struct_name, member = args.print_path.split(".", 1)
+        except ValueError:
+            print("error: --print takes STRUCTURE.NAME", file=sys.stderr)
+            return 2
         for export in exports.values():
             struct = export.structures.get(struct_name)
             if struct is not None and member in struct.values:

@@ -15,14 +15,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.lang import ast
-from repro.lang.freevars import defined_module_names, module_level_mentions
+from repro.lang.freevars import (MODULE_NAMESPACES, defined_module_names,
+                                 module_level_mentions)
 from repro.lang.parser import parse_program
 from repro.cm.project import Project
 
 
 class DependencyError(Exception):
     """Unresolvable or cyclic inter-unit dependencies, or a unit that
-    violates the module-declarations-only rule."""
+    violates the module-declarations-only rule.
+
+    When the failure is a dependency cycle, ``cycle`` holds one concrete
+    closed path (``[A, B, A]``); otherwise it is None.
+    """
+
+    def __init__(self, message: str, cycle: list[str] | None = None):
+        super().__init__(message)
+        self.cycle = cycle
 
 
 #: Declarations allowed at the top level of a compilation unit.
@@ -128,10 +137,8 @@ def analyze(project: Project, restrict: list[str] | None = None,
         m = mentions[name]
         deps = set()
         uses: dict[str, set[str]] = {}
-        for ns, wanted in (("structures", m.structures),
-                           ("signatures", m.signatures),
-                           ("functors", m.functors)):
-            for module_name in wanted:
+        for ns in MODULE_NAMESPACES:
+            for module_name in getattr(m, ns):
                 provider = providers.get(module_name)
                 if provider is not None and provider != name:
                     deps.add(provider)
@@ -192,6 +199,35 @@ def _topo_order(names: list[str], deps: dict[str, list[str]]) -> list[str]:
         if newly:
             ready = sorted(ready + newly)
     if remaining:
+        cycle = find_cycle(remaining)
         raise DependencyError(
-            f"dependency cycle among units: {sorted(remaining)}")
+            f"dependency cycle among units: {format_cycle(cycle)}",
+            cycle=cycle)
     return order
+
+
+def find_cycle(deps: dict[str, "set[str] | list[str]"]) -> list[str]:
+    """One concrete closed dependency path in ``deps``.
+
+    ``deps`` maps node -> nodes it depends on; every node must have at
+    least one dependency inside ``deps`` (true for the stuck set of a
+    topological sort, where every remaining unit waits on a remaining
+    unit).  Returns ``[A, B, ..., A]``; deterministic (smallest names
+    first).
+    """
+    start = min(deps)
+    path = [start]
+    index = {start: 0}
+    node = start
+    while True:
+        node = min(d for d in deps[node] if d in deps)
+        if node in index:
+            return path[index[node]:] + [node]
+        index[node] = len(path)
+        path.append(node)
+
+
+def format_cycle(cycle: list[str]) -> str:
+    """Render a closed path the way every cycle report should:
+    ``A -> B -> A``."""
+    return " -> ".join(cycle)

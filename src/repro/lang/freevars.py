@@ -24,6 +24,11 @@ from dataclasses import dataclass, field
 
 from repro.lang import ast
 
+#: The namespaces that matter for inter-unit dependencies (footnote 4:
+#: separately compiled units hold structures, signatures and functors).
+#: Shared by the dependency analyzer and the static analyzer.
+MODULE_NAMESPACES = ("structures", "signatures", "functors")
+
 
 @dataclass
 class Mentions:
@@ -41,6 +46,11 @@ class Mentions:
         self.structures |= other.structures
         self.signatures |= other.signatures
         self.functors |= other.functors
+
+    def module_names(self) -> dict[str, set[str]]:
+        """The module-namespace slices as a dict (see
+        :data:`MODULE_NAMESPACES`)."""
+        return {ns: getattr(self, ns) for ns in MODULE_NAMESPACES}
 
 
 def _mention_path(out: Mentions, path: ast.Path, namespace: str) -> None:

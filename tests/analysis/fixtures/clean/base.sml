@@ -1,0 +1,7 @@
+signature BASE = sig
+  val double : int -> int
+end
+
+structure Base :> BASE = struct
+  fun double x = 2 * x
+end

@@ -1,0 +1,7 @@
+signature USE = sig
+  val four : int
+end
+
+structure Use :> USE = struct
+  val four = Base.double 2
+end

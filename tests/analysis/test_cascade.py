@@ -1,0 +1,64 @@
+"""Cascade-risk metrics: agreement with the dependency graph."""
+
+from repro.analysis.cascade import cascade_report
+from repro.cm import Project, analyze
+from repro.workload import diamond, generate_workload, layered
+
+
+class TestAgreementWithDepGraph:
+    def check(self, graph):
+        report = cascade_report(graph)
+        assert sorted(r.unit for r in report.ranking) == sorted(graph.deps)
+        for risk in report.ranking:
+            assert risk.transitive_dependents == len(
+                graph.transitive_dependents(risk.unit))
+            assert risk.direct_dependents == len(
+                graph.dependents.get(risk.unit, []))
+
+    def test_diamond_workload(self):
+        workload = generate_workload(diamond(3, 2))
+        self.check(analyze(workload.project))
+
+    def test_layered_workload(self):
+        workload = generate_workload(layered([3, 2, 2]))
+        self.check(analyze(workload.project))
+
+    def test_ranking_is_descending_by_reach(self):
+        workload = generate_workload(diamond(4, 3))
+        report = cascade_report(analyze(workload.project))
+        reaches = [r.transitive_dependents for r in report.ranking]
+        assert reaches == sorted(reaches, reverse=True)
+
+
+class TestFanIn:
+    def test_fan_in_counts_distinct_users(self):
+        project = Project.from_sources({
+            "base": """structure Base = struct val v = 1 end
+structure Extra = struct val w = 2 end""",
+            "a": "structure A = struct val x = Base.v end",
+            "b": "structure B = struct val y = Base.v + Extra.w end",
+        })
+        report = cascade_report(analyze(project))
+        base = report.risk_of("base")
+        assert base.fan_in == {"structures:Base": 2, "structures:Extra": 1}
+        assert base.hottest() == ("structures:Base", 2)
+
+    def test_leaf_has_empty_fan_in(self):
+        project = Project.from_sources({
+            "base": "structure Base = struct val v = 1 end",
+            "a": "structure A = struct val x = Base.v end",
+        })
+        report = cascade_report(analyze(project))
+        assert report.risk_of("a").fan_in == {}
+        assert report.risk_of("a").hottest() is None
+
+    def test_json_shape(self):
+        project = Project.from_sources({
+            "base": "structure Base = struct val v = 1 end",
+            "a": "structure A = struct val x = Base.v end",
+        })
+        payload = cascade_report(analyze(project)).as_json()
+        assert set(payload) == {"ranking"}
+        entry = payload["ranking"][0]
+        assert set(entry) == {"unit", "direct_dependents",
+                              "transitive_dependents", "fan_in"}

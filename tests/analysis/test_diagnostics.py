@@ -1,0 +1,75 @@
+"""The diagnostic model and its renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (SCHEMA, Diagnostic, Severity, Span,
+                                        render_json, render_text, summarize)
+
+
+def diag(code="SC003", sev=Severity.WARNING, unit="u", line=3, col=7,
+         message="m", fix=None):
+    return Diagnostic(code, sev, unit, Span(line, col), message, fix)
+
+
+class TestSeverity:
+    def test_ordering_follows_gravity(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase(self):
+        assert str(Severity.WARNING) == "warning"
+
+    def test_parse_roundtrip(self):
+        for sev in Severity:
+            assert Severity.parse(str(sev)) is sev
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestSpan:
+    def test_point_span_defaults_end_to_start(self):
+        span = Span(4, 9)
+        assert (span.end_line, span.end_col) == (4, 9)
+
+    def test_of_token_covers_the_token_text(self):
+        from repro.lang.lexer import tokenize
+
+        token = tokenize("structure Geom = struct end")[1]
+        span = Span.of_token(token)
+        assert (span.line, span.col) == (1, 11)
+        assert span.end_col == 11 + len("Geom")
+
+
+class TestRendering:
+    def test_text_line_format(self):
+        text = diag(fix="do better").render_text()
+        assert text.startswith("u:3:7: warning[SC003]: m")
+        assert "fix: do better" in text
+
+    def test_text_sorted_by_unit_then_position(self):
+        out = render_text([diag(unit="z", line=1), diag(unit="a", line=9),
+                           diag(unit="a", line=2)])
+        lines = [ln for ln in out.splitlines() if "[SC003]" in ln]
+        assert [ln.split(":")[0] for ln in lines] == ["a", "a", "z"]
+
+    def test_text_summary_lines(self):
+        assert "no diagnostics" in render_text([])
+        out = render_text([diag(), diag(sev=Severity.ERROR, code="SC000")])
+        assert "1 error(s), 1 warning(s), 0 info(s)" in out
+
+    def test_summarize_always_has_every_level(self):
+        assert summarize([]) == {"error": 0, "warning": 0, "info": 0,
+                                 "total": 0}
+
+    def test_json_document_shape(self):
+        payload = json.loads(render_json([diag()], project="p"))
+        assert payload["schema"] == SCHEMA
+        assert payload["project"] == "p"
+        assert payload["cascade"] is None
+        [entry] = payload["diagnostics"]
+        assert entry["code"] == "SC003"
+        assert entry["severity"] == "warning"
+        assert (entry["line"], entry["col"]) == (3, 7)

@@ -1,0 +1,177 @@
+"""The built-in rules, one by one, on minimal in-memory projects."""
+
+from repro.analysis import AnalysisConfig, AnalysisContext, run_rules
+from repro.cm import Project, analyze
+
+
+def run(sources, codes=None, config=None):
+    project = Project.from_sources(sources)
+    graph = analyze(project)
+    ctx = AnalysisContext(project, graph, config or AnalysisConfig())
+    return run_rules(ctx, codes)
+
+
+def codes_of(diags):
+    return sorted({d.code for d in diags})
+
+
+class TestSC001FalseDependency:
+    SOURCES = {
+        "util": "structure Util = struct val v = 1 end",
+        "app": """structure App = struct
+  structure Util = struct val v = 2 end
+  val x = Util.v
+end""",
+    }
+
+    def test_shadowed_edge_is_flagged(self):
+        [diag] = run(self.SOURCES, codes=["SC001"])
+        assert diag.unit == "app"
+        assert "'util'" in diag.message
+        assert "spurious" in diag.message
+        assert diag.span.line == 3
+        assert diag.fix
+
+    def test_real_edge_is_not_flagged(self):
+        diags = run({
+            "util": "structure Util = struct val v = 1 end",
+            "app": "structure App = struct val x = Util.v end",
+        }, codes=["SC001"])
+        assert diags == []
+
+    def test_edge_is_still_in_the_graph(self):
+        # The rule reports what the conservative analyzer *charges*,
+        # so the flagged edge must really exist in the graph.
+        project = Project.from_sources(self.SOURCES)
+        graph = analyze(project)
+        assert graph.deps["app"] == ["util"]
+
+
+class TestSC002OverBroadOpen:
+    def test_open_of_import_is_flagged(self):
+        [diag] = run({
+            "base": "structure Base = struct val v = 1 end",
+            "app": "structure App = struct open Base val x = v end",
+        }, codes=["SC002"])
+        assert diag.unit == "app"
+        assert "open Base" in diag.message
+        assert "'base'" in diag.message
+
+    def test_open_of_local_structure_is_fine(self):
+        diags = run({
+            "app": """structure Lib = struct val v = 1 end
+structure App = struct open Lib val x = v end""",
+        }, codes=["SC002"])
+        assert diags == []
+
+
+class TestSC003UnascribedExport:
+    def test_bare_structure_warns(self):
+        [diag] = run({"u": "structure S = struct val v = 1 end"},
+                     codes=["SC003"])
+        assert diag.severity.name == "WARNING"
+        assert "without a signature ascription" in diag.message
+
+    def test_transparent_ascription_is_info(self):
+        [diag] = run({"u": """signature SIG = sig val v : int end
+structure S : SIG = struct val v = 1 end"""}, codes=["SC003"])
+        assert diag.severity.name == "INFO"
+        assert "transparent" in diag.message
+
+    def test_opaque_ascription_is_clean(self):
+        diags = run({"u": """signature SIG = sig val v : int end
+structure S :> SIG = struct val v = 1 end"""}, codes=["SC003"])
+        assert diags == []
+
+    def test_functor_without_result_sig_warns(self):
+        [diag] = run({"u": """functor F(X : sig val v : int end) = struct
+  val w = X.v
+end"""}, codes=["SC003"])
+        assert "functor 'F'" in diag.message
+
+    def test_local_public_exports_are_checked(self):
+        [diag] = run({"u": """local
+  structure Help = struct val v = 1 end
+in
+  structure S = struct val x = Help.v end
+end"""}, codes=["SC003"])
+        assert "'S'" in diag.message
+
+
+class TestSC004DuplicateOrShadowed:
+    def test_duplicate_toplevel_binding(self):
+        [diag] = run({"u": """structure S = struct val v = 1 end
+structure S = struct val v = 2 end"""}, codes=["SC004"])
+        assert "bound twice" in diag.message
+        assert "first at line 1" in diag.message
+        assert diag.span.line == 2
+
+    def test_nested_shadow_of_import(self):
+        [diag] = run({
+            "base": "structure Base = struct val v = 1 end",
+            "app": """structure App = struct
+  structure Base = struct val v = 2 end
+  val x = Base.v
+end""",
+        }, codes=["SC004"])
+        assert "shadows" in diag.message
+        assert "'base'" in diag.message
+
+    def test_functor_param_shadow_of_import(self):
+        [diag] = run({
+            "base": "structure Base = struct val v = 1 end",
+            "app": """functor F(Base : sig val v : int end) = struct
+  val x = Base.v
+end""",
+        }, codes=["SC004"])
+        assert "functor parameter 'Base'" in diag.message
+
+    def test_unrelated_local_structures_are_fine(self):
+        diags = run({
+            "base": "structure Base = struct val v = 1 end",
+            "app": """structure App = struct
+  structure Helper = struct val v = 2 end
+  val x = Base.v + Helper.v
+end""",
+        }, codes=["SC004"])
+        assert diags == []
+
+
+class TestSC005HotInterface:
+    @staticmethod
+    def star(n_dependents):
+        sources = {"base": "structure Base = struct val v = 1 end"}
+        for i in range(n_dependents):
+            sources[f"user{i}"] = (
+                f"structure User{i} = struct val x = Base.v end")
+        return sources
+
+    def test_hot_unit_is_flagged(self):
+        diags = run(self.star(4), codes=["SC005"])
+        [diag] = diags
+        assert diag.unit == "base"
+        assert "recompiles 4 of 4 other units" in diag.message
+        assert "structure 'Base' (4 direct users)" in diag.message
+
+    def test_small_fanout_is_quiet(self):
+        assert run(self.star(2), codes=["SC005"]) == []
+
+    def test_threshold_is_configurable(self):
+        config = AnalysisConfig(hot_min_dependents=1, hot_ratio=0.0)
+        diags = run(self.star(1), codes=["SC005"], config=config)
+        assert [d.unit for d in diags] == ["base"]
+
+
+class TestRegistry:
+    def test_all_five_codes_registered(self):
+        from repro.analysis.registry import RULES
+        import repro.analysis.rules  # noqa: F401
+
+        assert {"SC001", "SC002", "SC003", "SC004",
+                "SC005"} <= set(RULES)
+
+    def test_unknown_code_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown rule code"):
+            run({"u": "structure S = struct end"}, codes=["SC999"])

@@ -1,0 +1,117 @@
+"""The scope-aware module-reference scanner."""
+
+from repro.analysis.scopes import scan_module_refs
+from repro.lang.parser import parse_program
+
+
+def scan(src):
+    return scan_module_refs(parse_program(src))
+
+
+class TestResolution:
+    def test_external_qualified_reference_escapes(self):
+        result = scan("structure A = struct val x = Util.help 1 end")
+        assert ("structures", "Util") in result.escaping()
+
+    def test_toplevel_sibling_reference_is_resolved(self):
+        result = scan("""
+            structure Util = struct val help = 1 end
+            structure A = struct val x = Util.help end
+        """)
+        assert result.escaping() == set()
+
+    def test_nested_binding_shadows_external_name(self):
+        result = scan("""
+            structure A = struct
+              structure Util = struct val help = 1 end
+              val x = Util.help
+            end
+        """)
+        assert result.escaping() == set()
+        nested = [b for b in result.binds if b.kind == "nested"]
+        assert [(b.ns, b.name) for b in nested] == [("structures", "Util")]
+
+    def test_nested_binding_does_not_leak_to_siblings(self):
+        result = scan("""
+            structure A = struct
+              structure Util = struct val help = 1 end
+            end
+            structure B = struct val x = Util.help end
+        """)
+        assert ("structures", "Util") in result.escaping()
+
+    def test_functor_parameter_shadows(self):
+        result = scan("""
+            signature S = sig val v : int end
+            functor F(X : S) = struct val y = X.v end
+        """)
+        assert result.escaping() == set()
+        assert any(b.kind == "param" and b.name == "X"
+                   for b in result.binds)
+
+    def test_functor_body_sees_externals(self):
+        result = scan("functor F(X : EXT_SIG) = struct val y = Ext.v end")
+        assert ("signatures", "EXT_SIG") in result.escaping()
+        assert ("structures", "Ext") in result.escaping()
+
+    def test_local_private_binding_scopes_over_public(self):
+        result = scan("""
+            local
+              structure Help = struct val v = 1 end
+            in
+              structure A = struct val x = Help.v end
+            end
+        """)
+        assert result.escaping() == set()
+
+    def test_local_public_binding_visible_after_end(self):
+        result = scan("""
+            local
+              structure Hidden = struct val v = 1 end
+            in
+              structure Pub = struct val v = Hidden.v end
+            end
+            structure B = struct val y = Pub.v end
+        """)
+        assert result.escaping() == set()
+
+    def test_local_private_binding_not_visible_after_end(self):
+        result = scan("""
+            local
+              structure Hidden = struct val v = 1 end
+            in
+              structure Pub = struct val v = 2 end
+            end
+            structure B = struct val y = Hidden.v end
+        """)
+        assert ("structures", "Hidden") in result.escaping()
+
+
+class TestReferenceKinds:
+    def test_open_kind(self):
+        result = scan("structure A = struct open Ext fun f x = x end")
+        [ref] = [r for r in result.refs if r.kind == "open"]
+        assert (ref.ns, ref.name, ref.resolved) == ("structures", "Ext",
+                                                    False)
+
+    def test_functor_application(self):
+        result = scan("structure A = MakeThing(struct val v = 1 end)")
+        assert ("functors", "MakeThing") in result.escaping()
+
+    def test_signature_reference(self):
+        result = scan("structure A : EXT = struct end")
+        assert ("signatures", "EXT") in result.escaping()
+
+    def test_type_position_head(self):
+        result = scan("structure A = struct type t = Ext.ty end")
+        assert ("structures", "Ext") in result.escaping()
+
+    def test_binding_events_carry_depth(self):
+        result = scan("""
+            structure Top = struct
+              structure Inner = struct val v = 1 end
+            end
+        """)
+        depths = {b.name: b.depth for b in result.binds}
+        assert depths["Top"] == 0
+        assert depths["Inner"] > 0

@@ -114,3 +114,26 @@ class TestCmFiles:
         assert main([srcdir, "--print", "Main.answer"]) == 0
         out = capsys.readouterr().out
         assert "Main.answer = 42" in out
+
+
+class TestGroupPrintArgument:
+    @staticmethod
+    def make_group(tmp_path):
+        (tmp_path / "s.sml").write_text(
+            "structure S = struct val v = 7 end")
+        desc = tmp_path / "g.cm"
+        desc.write_text("group g\nmembers\n  s.sml\n")
+        return str(desc)
+
+    def test_malformed_print_is_a_usage_error_not_a_crash(self, tmp_path,
+                                                          capsys):
+        # Used to die with an unhandled ValueError: the directory path
+        # validated STRUCTURE.NAME, the group path did not.
+        desc = self.make_group(tmp_path)
+        assert main([desc, "--print", "NoDotHere"]) == 2
+        assert "STRUCTURE.NAME" in capsys.readouterr().err
+
+    def test_wellformed_print_still_works(self, tmp_path, capsys):
+        desc = self.make_group(tmp_path)
+        assert main([desc, "--print", "S.v"]) == 0
+        assert "S.v = 7" in capsys.readouterr().out

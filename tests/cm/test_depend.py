@@ -134,3 +134,46 @@ class TestErrors:
         )
         graph = analyze(p, restrict=["a"])
         assert graph.order == ["a"]
+
+
+class TestCyclePaths:
+    def test_error_reports_one_concrete_cycle(self):
+        p = project(
+            a="structure A = struct val v = B.w end",
+            b="structure B = struct val w = A.v end",
+        )
+        with pytest.raises(DependencyError,
+                           match="dependency cycle among units: "
+                                 "a -> b -> a"):
+            analyze(p)
+
+    def test_error_carries_the_cycle_path(self):
+        p = project(
+            a="structure A = struct val v = C.x end",
+            b="structure B = struct val w = A.v end",
+            c="structure C = struct val x = B.w end",
+        )
+        with pytest.raises(DependencyError) as exc:
+            analyze(p)
+        cycle = exc.value.cycle
+        assert cycle[0] == cycle[-1]
+        assert sorted(cycle[:-1]) == ["a", "b", "c"]
+
+    def test_downstream_waiter_is_not_reported_as_the_cycle(self):
+        # d only waits on the a<->b cycle; the concrete path must not
+        # include it (the old message listed every stuck unit).
+        p = project(
+            a="structure A = struct val v = B.w end",
+            b="structure B = struct val w = A.v end",
+            d="structure D = struct val y = A.v end",
+        )
+        with pytest.raises(DependencyError) as exc:
+            analyze(p)
+        assert "d" not in exc.value.cycle
+
+    def test_find_cycle_is_deterministic(self):
+        from repro.cm.depend import find_cycle, format_cycle
+
+        deps = {"x": {"y"}, "y": {"x"}, "z": {"x"}}
+        assert find_cycle(deps) == find_cycle(deps)
+        assert format_cycle(["a", "b", "a"]) == "a -> b -> a"

@@ -1,0 +1,106 @@
+"""Property tests: the free-name analysis is *conservative*.
+
+Programs are generated with reference positions planted by construction
+(qualified uses, opens, structure aliases, functor applications,
+signature ascriptions, type projections).  The invariants:
+
+- every planted reference shows up in ``mentioned_names``' namespace
+  sets -- an identifier token in reference position is never missed
+  (under-approximation would make dependency analysis unsound);
+- the precise scope-aware scanner never reports an escaping reference
+  the conservative analysis missed (precise ⊆ conservative -- the
+  relation the SC001 false-edge rule relies on);
+- ``module_level_mentions`` subtracts only locally *defined* names, so
+  external mentions always survive to the dependency analyzer.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.scopes import scan_module_refs
+from repro.lang.freevars import (MODULE_NAMESPACES, mentioned_names,
+                                 module_level_mentions)
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+from repro.lang.tokens import TokKind
+
+EXTERNAL_STRUCTS = ("Alpha", "Beta", "Gamma")
+EXTERNAL_SIGS = ("SIG_A", "SIG_B")
+EXTERNAL_FCTS = ("MkThing", "MkOther")
+PLANTED = set(EXTERNAL_STRUCTS + EXTERNAL_SIGS + EXTERNAL_FCTS)
+
+
+@st.composite
+def fragment(draw, index):
+    """One top-level declaration plus the (ns, name) reference it
+    plants."""
+    kind = draw(st.sampled_from(
+        ("qualified", "open", "alias", "app", "sig", "type", "nested")))
+    if kind in ("qualified", "open", "alias", "type", "nested"):
+        name = draw(st.sampled_from(EXTERNAL_STRUCTS))
+        ref = ("structures", name)
+        body = {
+            "qualified": f"struct val x = {name}.item end",
+            "open": f"struct open {name} end",
+            "alias": name,
+            "type": f"struct type t = {name}.t end",
+            "nested": f"struct structure Inner = {name} end",
+        }[kind]
+        return f"structure U{index} = {body}", ref
+    if kind == "app":
+        name = draw(st.sampled_from(EXTERNAL_FCTS))
+        return (f"structure U{index} = {name}(struct val v = {index} end)",
+                ("functors", name))
+    name = draw(st.sampled_from(EXTERNAL_SIGS))
+    return f"structure U{index} : {name} = struct end", ("signatures", name)
+
+
+@st.composite
+def program(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    lines, planted = [], []
+    for i in range(count):
+        line, ref = draw(fragment(i))
+        lines.append(line)
+        planted.append(ref)
+    return "\n".join(lines), planted
+
+
+@given(program())
+@settings(max_examples=60)
+def test_every_planted_reference_is_mentioned(prog):
+    source, planted = prog
+    mentions = mentioned_names(parse_program(source))
+    for ns, name in planted:
+        assert name in getattr(mentions, ns)
+
+
+@given(program())
+@settings(max_examples=60)
+def test_reference_position_tokens_land_in_some_namespace(prog):
+    source, _planted = prog
+    mentions = mentioned_names(parse_program(source))
+    everything = set()
+    for ns in ("values", "tycons", *MODULE_NAMESPACES):
+        everything |= getattr(mentions, ns)
+    for token in tokenize(source):
+        if token.kind is TokKind.ID and token.text in PLANTED:
+            assert token.text in everything
+
+
+@given(program())
+@settings(max_examples=60)
+def test_precise_scan_is_subset_of_conservative(prog):
+    source, _planted = prog
+    decs = parse_program(source)
+    mentions = mentioned_names(decs)
+    for ns, name in scan_module_refs(decs).escaping():
+        assert name in getattr(mentions, ns)
+
+
+@given(program())
+@settings(max_examples=60)
+def test_external_mentions_survive_to_dependency_analysis(prog):
+    source, planted = prog
+    module_mentions = module_level_mentions(parse_program(source))
+    for ns, name in planted:
+        assert name in getattr(module_mentions, ns)
