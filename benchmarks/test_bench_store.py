@@ -1,0 +1,130 @@
+"""Experiment S1 -- the cost of store integrity (crash-safety PR).
+
+The hardened bin store checksums every payload (CRC-128), digests every
+record, writes through tmp+rename behind a lock file, and keeps a
+manifest.  This experiment measures what all that costs against the work
+it protects, and how much the incremental (dirty-only) save path saves
+over a full rewrite.
+
+Expected shape: integrity adds single-digit ms per record on save/load
+-- noise next to compilation -- and a one-unit edit rewrites one record,
+not N.
+"""
+
+import os
+import time
+
+from repro.cm import BinStore, CutoffBuilder
+from repro.workload import generate_workload, random_dag
+
+from .conftest import print_table
+
+
+def _built_store(n_units: int):
+    w = generate_workload(random_dag(n_units, 3, seed=23),
+                          helpers_per_unit=10)
+    builder = CutoffBuilder(w.project)
+    builder.build()
+    return w, builder
+
+
+def test_save_load_integrity_cost(benchmark, tmp_path):
+    """Per-record cost of checksummed save + verified load."""
+    rows = []
+
+    def run():
+        results = []
+        for size in (25, 50):
+            _w, builder = _built_store(size)
+            dest = str(tmp_path / f"s{size}")
+
+            t0 = time.perf_counter()
+            stats = builder.store.save_directory(dest)
+            save_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            loaded = BinStore.load_directory(dest)
+            load_s = time.perf_counter() - t0
+            assert loaded.health.ok
+            assert len(loaded.names()) == size
+
+            t0 = time.perf_counter()
+            report = BinStore.fsck(dest)
+            fsck_s = time.perf_counter() - t0
+            assert report.ok
+
+            results.append(
+                (size, save_s, load_s, fsck_s, stats.bytes_written))
+        return results
+
+    for size, save_s, load_s, fsck_s, nbytes in benchmark.pedantic(
+            run, rounds=1, iterations=1):
+        save_ms = 1000 * save_s / size
+        load_ms = 1000 * load_s / size
+        fsck_ms = 1000 * fsck_s / size
+        rows.append([size, f"{save_ms:.2f}", f"{load_ms:.2f}",
+                     f"{fsck_ms:.2f}", nbytes // size])
+        # Integrity must stay noise next to ~10 ms/unit compilation.
+        assert save_ms < 50, f"save {save_ms:.1f} ms/record"
+        assert load_ms < 50, f"load {load_ms:.1f} ms/record"
+
+    print_table(
+        "S1a: checksummed store, per-record costs (ms/record)",
+        ["records", "save", "load+verify", "fsck", "bytes/record"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+
+def test_incremental_save_vs_full_rewrite(benchmark, tmp_path):
+    """A one-unit edit should rewrite ~1 record, not all N."""
+    size = 40
+    rows = []
+
+    def run():
+        w, builder = _built_store(size)
+        dest = str(tmp_path / "inc")
+        full = builder.store.save_directory(dest)
+
+        # Null save: nothing dirty, nothing written.
+        null = builder.store.save_directory(dest)
+
+        # Edit one leaf unit, rebuild (cutoff limits recompiles), save.
+        name = w.project.names()[-1]
+        w.project.edit(name, w.project.source(name) + "\n(* touch *)")
+        store = BinStore.load_directory(dest)
+        rebuilt = CutoffBuilder(w.project, store=store)
+        rebuilt.build()
+        t0 = time.perf_counter()
+        incr = store.save_directory(dest)
+        incr_s = time.perf_counter() - t0
+
+        # The same store forced into a full rewrite (fresh directory).
+        t0 = time.perf_counter()
+        fullre = store.save_directory(str(tmp_path / "fullre"))
+        fullre_s = time.perf_counter() - t0
+        return full, null, incr, incr_s, fullre, fullre_s
+
+    full, null, incr, incr_s, fullre, fullre_s = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    assert full.records_written == size
+    assert null.records_written == 0 and null.bytes_written == 0
+    assert 1 <= incr.records_written < size // 2
+    assert fullre.records_written == size
+    assert incr.bytes_written < fullre.bytes_written
+
+    rows = [
+        ["initial full", full.records_written, full.bytes_written, "-"],
+        ["null (no edits)", null.records_written, null.bytes_written, "-"],
+        ["incremental (1 edit)", incr.records_written,
+         incr.bytes_written, f"{1000 * incr_s:.1f}"],
+        ["forced full rewrite", fullre.records_written,
+         fullre.bytes_written, f"{1000 * fullre_s:.1f}"],
+    ]
+    print_table(
+        f"S1b: incremental vs full save ({size} records)",
+        ["save", "records written", "bytes written", "ms"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows

@@ -20,14 +20,22 @@ Three builders implement the recompilation spectrum the paper discusses:
 
 from repro.cm.project import Project
 from repro.cm.depend import DependencyError, DepGraph, analyze
-from repro.cm.store import BinRecord, BinStore
+from repro.cm.store import (
+    BinRecord,
+    BinStore,
+    CorruptRecord,
+    SaveStats,
+    StoreError,
+    StoreHealthReport,
+    StoreLockedError,
+)
 from repro.cm.report import BuildReport, UnitOutcome
 from repro.cm.make import TimestampBuilder
 from repro.cm.manager import CutoffBuilder
 from repro.cm.smart import SmartBuilder
 from repro.cm.group import Group, GroupBuilder
 from repro.cm.descfile import DescFileError, load_group_file
-from repro.cm.stable import parse_archive, stabilize
+from repro.cm.stable import StableArchiveError, parse_archive, stabilize
 
 __all__ = [
     "Project",
@@ -36,6 +44,11 @@ __all__ = [
     "analyze",
     "BinRecord",
     "BinStore",
+    "CorruptRecord",
+    "SaveStats",
+    "StoreError",
+    "StoreHealthReport",
+    "StoreLockedError",
     "BuildReport",
     "UnitOutcome",
     "TimestampBuilder",
@@ -45,6 +58,7 @@ __all__ = [
     "GroupBuilder",
     "DescFileError",
     "load_group_file",
+    "StableArchiveError",
     "stabilize",
     "parse_archive",
 ]

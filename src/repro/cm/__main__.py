@@ -13,6 +13,9 @@ Options:
     --analyze                       run the static analyzer after building
                                     (reuses the build's dependency cache)
     --strict                        with --analyze: exit 1 on warnings
+    --fsck                          check the bin store's health instead of
+                                    building: exit 0 healthy, 1 damaged
+    --json                          with --fsck: machine-readable report
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.cm import (
     CutoffBuilder,
     Project,
     SmartBuilder,
+    StoreLockedError,
     TimestampBuilder,
 )
 from repro.dynamic.values import format_value
@@ -57,7 +61,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="with --analyze: exit 1 when the analyzer "
                              "reports warnings or errors")
+    parser.add_argument("--fsck", action="store_true",
+                        help="check the bin store's health instead of "
+                             "building (exit 0 healthy, 1 damaged)")
+    parser.add_argument("--json", action="store_true",
+                        help="with --fsck: print the health report as "
+                             "JSON")
     args = parser.parse_args(argv)
+
+    if args.fsck:
+        return _run_fsck(args)
 
     if os.path.isfile(args.srcdir) and args.srcdir.endswith(".cm"):
         return _build_group_file(args)
@@ -69,6 +82,12 @@ def main(argv: list[str] | None = None) -> int:
     bin_dir = os.path.join(args.srcdir, ".bin")
     store = (BinStore.load_directory(bin_dir)
              if os.path.isdir(bin_dir) else BinStore())
+    if not store.health.ok:
+        damaged = store.health.quarantined()
+        print(f"warning: quarantined {len(store.health.corrupt)} damaged "
+              f"bin record(s)"
+              + (f" ({', '.join(sorted(damaged))})" if damaged else "")
+              + "; they will be recompiled", file=sys.stderr)
 
     project = Project.from_directory(args.srcdir)
     if not len(project):
@@ -86,7 +105,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  [{outcome.action:>8}] {outcome.name}"
               + (f"  ({outcome.reason})" if outcome.reason else ""))
     print(report.summary())
-    store.save_directory(bin_dir)
+    try:
+        store.save_directory(bin_dir)
+    except StoreLockedError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
 
     if args.stats:
         times = [(o.name, o.times) for o in report.outcomes]
@@ -127,6 +150,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {args.print_path} not found", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_fsck(args) -> int:
+    """Check the bin store's health; exit 0 healthy, 1 damaged.
+
+    Never raises: any unexpected failure is itself reported as a
+    diagnostic with a non-zero exit."""
+    import json as json_mod
+
+    try:
+        target = args.srcdir
+        if os.path.basename(os.path.normpath(target)) == ".bin":
+            bin_dir = target
+        else:
+            bin_dir = os.path.join(target, ".bin")
+        report = BinStore.fsck(bin_dir)
+        if args.json:
+            print(json_mod.dumps(report.to_json(), indent=1))
+        else:
+            print(report.render_text())
+        return 0 if report.ok else 1
+    except Exception as err:
+        print(f"fsck error: {type(err).__name__}: {err}", file=sys.stderr)
+        return 1
 
 
 def _run_analysis(project, graph, cache, strict: bool) -> int:

@@ -29,6 +29,10 @@ class BaseBuilder:
                  visible: dict[str, set[str]] | None = None):
         self.project = project
         self.store = store if store is not None else BinStore()
+        #: Damage found loading the store plus anything quarantined
+        #: while building (unreadable bin payloads, damaged stable
+        #: archives).  Shared with the store's own report.
+        self.health = self.store.health
         self.session = session if session is not None else Session()
         self.units: dict[str, CompiledUnit] = {}
         self.last_graph: DepGraph | None = None
@@ -73,15 +77,51 @@ class BaseBuilder:
         self._stable_pending.append(blob)
 
     def _load_pending_stables(self, report: BuildReport) -> None:
-        from repro.cm.stable import parse_archive
+        """Rehydrate pending stable archives, quarantining damage.
+
+        A damaged archive (or a single unreadable unit inside one) never
+        aborts the build: the failure is recorded in :attr:`health`, the
+        affected units are skipped, and -- because they then register no
+        providers -- the build falls back to compiling them from sources
+        when the project has them.
+        """
+        from repro.cm.stable import StableArchiveError, parse_archive
+        from repro.pickle import UnpickleError
         from repro.units.pipeline import load_unit
 
         for blob in self._stable_pending:
-            for stable in parse_archive(blob):
+            try:
+                stables = parse_archive(blob)
+            except StableArchiveError as err:
+                self.health.add("", "stable-archive", detail=str(err))
+                report.add(UnitOutcome("(stable-archive)", "skipped",
+                                       f"damaged stable archive: {err}"))
+                continue
+            failed: set[str] = set()
+            for stable in stables:
+                if any(i_name in failed or i_name not in self.units
+                       for i_name, _pid in stable.imports):
+                    failed.add(stable.name)
+                    self.health.add(stable.name, "stable-unit-skipped",
+                                    detail="an imported stable unit "
+                                           "failed to load")
+                    report.add(UnitOutcome(stable.name, "skipped",
+                                           "stable import unavailable"))
+                    continue
                 imports = [self.units[i_name]
                            for i_name, _pid in stable.imports]
-                unit = load_unit(stable.name, stable.export_pid, imports,
-                                 stable.payload, self.session)
+                try:
+                    unit = load_unit(stable.name, stable.export_pid,
+                                     imports, stable.payload, self.session)
+                except UnpickleError as err:
+                    failed.add(stable.name)
+                    self.health.add(stable.name,
+                                    "stable-rehydrate-failed",
+                                    detail=str(err))
+                    report.add(UnitOutcome(stable.name, "skipped",
+                                           f"stable unit unreadable: "
+                                           f"{err}"))
+                    continue
                 self.units[stable.name] = unit
                 self.stable_names.add(stable.name)
                 self._stable_order.append(stable.name)
@@ -126,9 +166,11 @@ class BaseBuilder:
             unit = load_unit(name, record.export_pid, imports,
                              record.payload, self.session,
                              record.source_digest)
-        except UnpickleError:
+        except UnpickleError as err:
             # A stale-format or corrupt bin file is a cache miss, not a
-            # build failure.
+            # build failure -- but it is damage the checksums should
+            # have caught earlier, so put it on the health report too.
+            self.health.add(name, "rehydrate-failed", detail=str(err))
             return self.compile(name, imports, "bin file unreadable")
         self.units[name] = unit
         return UnitOutcome(name, "loaded", "bin file current", False,

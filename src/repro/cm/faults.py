@@ -1,0 +1,252 @@
+"""Fault injection for the bin-file store.
+
+The store never touches the OS directly; every disk access goes through
+a :class:`FileSystem` seam.  Production code uses :data:`REAL_FS`; the
+fault-injection tests swap in a :class:`FaultyFS` driven by a
+deterministic :class:`FaultPlan` that simulates a process dying at an
+exact point of a save -- crash *before* the N-th mutating call,
+optionally tearing that write in half first.  Once "dead", every later
+filesystem call raises :class:`InjectedCrash` and the lock file is left
+behind, exactly as a killed process would leave it.
+
+For damage *at rest* (a disk that lies, an editor that truncated a
+file), the module also provides post-hoc corruptors -- truncate,
+bit-flip, delete, garbage-header -- plus helpers to locate a named
+record's files inside a store directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+
+class InjectedCrash(Exception):
+    """Simulated process death during a filesystem operation."""
+
+
+class FileSystem:
+    """The store's I/O seam; this implementation is the real filesystem."""
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as f:
+            return f.read()
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        with open(path, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def isdir(self, path: str) -> bool:
+        return os.path.isdir(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def remove(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def create_exclusive(self, path: str, data: bytes) -> bool:
+        """Create ``path`` holding ``data`` iff it does not already
+        exist; the creation itself is atomic (O_CREAT | O_EXCL)."""
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        return True
+
+    def release_lock(self, path: str) -> None:
+        self.remove(path)
+
+    def pid_alive(self, pid: int) -> bool:
+        """Is a process with this pid running?  Non-positive and
+        out-of-range pids are never alive (and never signalled)."""
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True
+        except (OverflowError, ValueError):
+            return False
+        return True
+
+
+REAL_FS = FileSystem()
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic description of how a session's filesystem fails.
+
+    ``crash_at_mutation=N`` kills the process immediately *before* its
+    N-th mutating call (0-based over writes, renames, removes and lock
+    creations), so sweeping N over ``0..total`` exercises every possible
+    crash point of a save.  With ``torn=True`` the fatal call, when it is
+    a plain write, first leaves half of its bytes on disk -- a torn
+    write.  ``lock_pid`` substitutes the pid recorded in lock files, so a
+    test can simulate a lock abandoned by a dead process."""
+
+    crash_at_mutation: int | None = None
+    torn: bool = False
+    lock_pid: int | None = None
+
+
+class FaultyFS(FileSystem):
+    """A filesystem that fails according to a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan | None = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        #: Mutating calls completed so far.
+        self.mutations = 0
+        #: Set once the planned crash fires; all later calls fail.
+        self.dead = False
+
+    def _check_alive(self) -> None:
+        if self.dead:
+            raise InjectedCrash("filesystem call after simulated crash")
+
+    def _mutation(self) -> bool:
+        """Account one mutating call; returns True when this call is the
+        fatal one (caller decides whether to tear first)."""
+        self._check_alive()
+        plan = self.plan
+        if (plan.crash_at_mutation is not None
+                and self.mutations >= plan.crash_at_mutation):
+            self.dead = True
+            return True
+        self.mutations += 1
+        return False
+
+    # -- reads (a dead process cannot read either) -----------------------
+
+    def read_bytes(self, path: str) -> bytes:
+        self._check_alive()
+        return super().read_bytes(path)
+
+    def listdir(self, path: str) -> list[str]:
+        self._check_alive()
+        return super().listdir(path)
+
+    # -- mutations -------------------------------------------------------
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        if self._mutation():
+            if self.plan.torn and data:
+                super().write_bytes(path, data[:max(1, len(data) // 2)])
+            raise InjectedCrash(f"crash during write of {path}")
+        super().write_bytes(path, data)
+
+    def replace(self, src: str, dst: str) -> None:
+        if self._mutation():
+            raise InjectedCrash(f"crash before rename of {src}")
+        super().replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        if self._mutation():
+            raise InjectedCrash(f"crash before remove of {path}")
+        super().remove(path)
+
+    def makedirs(self, path: str) -> None:
+        self._check_alive()
+        super().makedirs(path)
+
+    def create_exclusive(self, path: str, data: bytes) -> bool:
+        if self._mutation():
+            raise InjectedCrash(f"crash before lock creation at {path}")
+        if self.plan.lock_pid is not None:
+            try:
+                payload = json.loads(data)
+                payload["pid"] = self.plan.lock_pid
+                data = json.dumps(payload).encode()
+            except ValueError:
+                pass
+        return super().create_exclusive(path, data)
+
+    def release_lock(self, path: str) -> None:
+        if self.dead:
+            return  # a dead process never cleans up its lock
+        super().release_lock(path)
+
+
+# -- post-hoc corruptors (damage at rest) --------------------------------
+
+
+def truncate_file(path: str, keep: int | None = None) -> None:
+    """Cut a file down to ``keep`` bytes (default: half)."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if keep is None:
+        keep = len(data) // 2
+    with open(path, "wb") as f:
+        f.write(data[:keep])
+
+
+def bit_flip(path: str, offset: int = 0, mask: int = 0x01) -> None:
+    """Flip bits at ``offset`` (negative counts from the end)."""
+    with open(path, "rb") as f:
+        data = bytearray(f.read())
+    if not data:
+        return
+    data[offset] ^= mask
+    with open(path, "wb") as f:
+        f.write(bytes(data))
+
+
+def delete_file(path: str) -> None:
+    try:
+        os.remove(path)
+    except FileNotFoundError:
+        pass
+
+
+def garbage_header(path: str, data: bytes = b'{"format": 3, "nam') -> None:
+    """Overwrite a header with syntactically invalid JSON."""
+    with open(path, "wb") as f:
+        f.write(data)
+
+
+def plant_stale_lock(store_dir: str, pid: int = -1,
+                     garbage: bool = False) -> str:
+    """Leave a lock file behind as a dead (or torn) locker would."""
+    from repro.cm.store import LOCK_NAME
+
+    path = os.path.join(store_dir, LOCK_NAME)
+    with open(path, "wb") as f:
+        f.write(b"\x00torn lock" if garbage
+                else json.dumps({"pid": pid}).encode())
+    return path
+
+
+def header_path(store_dir: str, name: str) -> str:
+    """The on-disk header file of the record named ``name``."""
+    from repro.cm.store import HEADER_SUFFIX, escape_name
+
+    return os.path.join(store_dir, escape_name(name) + HEADER_SUFFIX)
+
+
+def payload_path(store_dir: str, name: str) -> str:
+    """The on-disk payload file of the record named ``name``."""
+    from repro.cm.store import PAYLOAD_SUFFIX, escape_name
+
+    return os.path.join(store_dir, escape_name(name) + PAYLOAD_SUFFIX)

@@ -29,7 +29,12 @@ class CutoffBuilder(BaseBuilder):
                 imports: list[CompiledUnit]) -> UnitOutcome:
         record = self.store.get(name)
         if record is None:
-            return self.compile(name, imports, "no bin file")
+            # Distinguish a unit that never had a bin file from one
+            # whose bin file was quarantined as damaged at store load.
+            kinds = self.health.kinds_for(name)
+            reason = (f"bin file quarantined ({kinds[0]})" if kinds
+                      else "no bin file")
+            return self.compile(name, imports, reason)
         if not self.source_current(name, record):
             return self.compile(name, imports, "source changed")
         if not self.imports_current(record, imports):

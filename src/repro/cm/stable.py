@@ -19,7 +19,19 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.pids.crc128 import crc128_hex
+
 MAGIC = b"SMLSTABLE1\n"
+
+#: Archive format version.  Version 2 added per-unit payload checksums
+#: and a trailing whole-archive digest; other versions are rejected with
+#: a typed error (clients recompile from sources when they have them).
+ARCHIVE_VERSION = 2
+
+
+class StableArchiveError(ValueError):
+    """A stable archive is damaged (bad magic, truncation, checksum or
+    digest mismatch, unsupported version, unparsable header)."""
 
 
 @dataclass
@@ -65,38 +77,83 @@ def stabilize(builder, names: list[str]) -> bytes:
             "imports": unit.imports,
             "provides": provides,
             "payload_len": len(unit.payload),
+            "payload_crc": crc128_hex(unit.payload),
         })
         payloads.append(unit.payload)
-    header = json.dumps({"version": 1, "units": entries}).encode()
+    header = json.dumps(
+        {"version": ARCHIVE_VERSION, "units": entries}).encode()
     out = bytearray(MAGIC)
     out.extend(len(header).to_bytes(8, "big"))
     out.extend(header)
     for payload in payloads:
         out.extend(payload)
+    # Whole-archive digest: anyone truncating or flipping a byte
+    # anywhere in the file is caught even if the damage lands between
+    # the per-unit checksums.
+    out.extend(bytes.fromhex(crc128_hex(bytes(out))))
     return bytes(out)
 
 
 def parse_archive(blob: bytes) -> list[StableUnit]:
+    """Parse and verify a stable archive.
+
+    Raises :class:`StableArchiveError` -- never anything rawer -- on any
+    damage: bad magic, truncation at any offset, unparsable header,
+    unsupported version, per-unit checksum or whole-archive digest
+    mismatch, trailing bytes.
+    """
     if not blob.startswith(MAGIC):
-        raise ValueError("not a stable archive")
+        raise StableArchiveError("not a stable archive")
+    if len(blob) < len(MAGIC) + 8 + 16:
+        raise StableArchiveError("truncated stable archive (no header)")
+    digest = blob[-16:].hex()
+    body = blob[:-16]
+    if crc128_hex(body) != digest:
+        raise StableArchiveError(
+            "stable-archive digest mismatch (truncated or corrupted)")
     offset = len(MAGIC)
-    header_len = int.from_bytes(blob[offset:offset + 8], "big")
+    header_len = int.from_bytes(body[offset:offset + 8], "big")
     offset += 8
-    header = json.loads(blob[offset:offset + header_len])
+    if offset + header_len > len(body):
+        raise StableArchiveError("truncated stable archive (header)")
+    try:
+        header = json.loads(body[offset:offset + header_len])
+    except (ValueError, UnicodeDecodeError) as err:
+        raise StableArchiveError(
+            f"corrupt stable-archive header: {err}") from None
     offset += header_len
-    if header.get("version") != 1:
-        raise ValueError("unsupported stable-archive version")
+    if not isinstance(header, dict) or \
+            header.get("version") != ARCHIVE_VERSION:
+        raise StableArchiveError("unsupported stable-archive version")
     units = []
-    for entry in header["units"]:
-        payload = blob[offset:offset + entry["payload_len"]]
-        offset += entry["payload_len"]
-        units.append(StableUnit(
-            name=entry["name"],
-            export_pid=entry["export_pid"],
-            imports=[tuple(pair) for pair in entry["imports"]],
-            provides=list(entry["provides"]),
-            payload=payload,
-        ))
-    if offset != len(blob):
-        raise ValueError("trailing bytes in stable archive")
+    try:
+        entries = header["units"]
+        for entry in entries:
+            length = entry["payload_len"]
+            if not isinstance(length, int) or length < 0 or \
+                    offset + length > len(body):
+                raise StableArchiveError(
+                    f"truncated stable archive (payload of "
+                    f"{entry.get('name', '?')!r})")
+            payload = body[offset:offset + length]
+            offset += length
+            if crc128_hex(payload) != entry["payload_crc"]:
+                raise StableArchiveError(
+                    f"checksum mismatch in stable unit "
+                    f"{entry.get('name', '?')!r}")
+            units.append(StableUnit(
+                name=entry["name"],
+                export_pid=entry["export_pid"],
+                imports=[tuple(pair) for pair in entry["imports"]],
+                provides=list(entry["provides"]),
+                payload=payload,
+            ))
+    except StableArchiveError:
+        raise
+    except (KeyError, TypeError, ValueError) as err:
+        raise StableArchiveError(
+            f"malformed stable-archive header: "
+            f"{type(err).__name__}: {err}") from None
+    if offset != len(body):
+        raise StableArchiveError("trailing bytes in stable archive")
     return units

@@ -6,20 +6,292 @@ the dehydrated payload.  :class:`BinStore` is the ``.bin`` directory; it
 survives "sessions" (builder instances), which is the whole point --
 cross-session reuse is what dehydration buys.
 
-``save_directory``/``load_directory`` give the on-disk form used by the
-examples (header as JSON, payload as raw bytes).
+The on-disk form is engineered so that *no* damage can cost more than a
+recompile, and every kind of damage is detected and named:
+
+- **Integrity.** Every header carries a CRC-128 of its payload plus a
+  whole-record digest over the canonical header and the payload (the
+  same CRC machinery that produces pids, ``repro.pids.crc128``).  A load
+  verifies both; any mismatch, torn write, orphaned header/payload or
+  unparsable JSON becomes a typed :class:`CorruptRecord` in the store's
+  :class:`StoreHealthReport` and the unit silently degrades to a cache
+  miss.  ``load_directory`` never raises on damage.
+- **Atomicity.** Records are written payload-first via tmp-file +
+  ``os.replace`` under a pid-stamped lock file (stale locks -- dead
+  owner or torn content -- are detected and broken).  A crash between
+  the two renames leaves a checksum mismatch, never a half-parsed record.
+- **Manifest.**  ``MANIFEST.json`` lists the live records; records on
+  disk but not in the manifest (a crash after a record write) are
+  ignored, records in the manifest but missing on disk are reported.
+- **Incremental saves.** Only records dirtied since the last save/load
+  are rewritten; on-disk records whose units were removed are pruned.
+  :meth:`BinStore.save_directory` returns a :class:`SaveStats` saying
+  exactly what was written.
+- **Safe names.** Record filenames are percent-escaped (a unit named
+  ``../x`` cannot escape the store directory); the real name rides in
+  the header and is round-tripped on load.
+
+All disk access goes through the :class:`repro.cm.faults.FileSystem`
+seam, so the fault-injection harness can kill a save at every possible
+point and prove recovery.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
+
+from repro.cm.faults import REAL_FS, FileSystem
+from repro.pids.crc128 import CRC128, crc128_hex
 
 #: On-disk header format version; bump when the pickle registry or the
 #: record layout changes incompatibly.  Mismatched records are skipped at
 #: load (treated as cache misses).
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+
+HEADER_SUFFIX = ".bin.json"
+PAYLOAD_SUFFIX = ".bin"
+TMP_SUFFIX = ".tmp"
+MANIFEST_NAME = "MANIFEST.json"
+LOCK_NAME = "store.lock"
+
+#: Header fields a loadable record must carry.
+_REQUIRED_FIELDS = ("name", "source_digest", "export_pid", "imports",
+                    "built_at", "payload_crc", "record_digest")
+
+
+class StoreError(Exception):
+    """Base class for bin-store failures."""
+
+
+class StoreLockedError(StoreError):
+    """The store's lock file is held by a live process."""
+
+
+# -- record filenames ----------------------------------------------------
+
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def escape_name(name: str) -> str:
+    """Escape a unit name into a safe filename stem.
+
+    Injective: anything outside ``[A-Za-z0-9._-]`` (including ``%`` and
+    path separators) is percent-encoded byte-wise, a leading dot is
+    escaped (no hidden/relative filenames), and the empty name maps to
+    the otherwise-unreachable stem ``"%"``.
+    """
+    out: list[str] = []
+    for ch in name:
+        if ch in _SAFE_CHARS:
+            out.append(ch)
+        else:
+            out.extend("%%%02X" % b for b in ch.encode("utf-8"))
+    escaped = "".join(out)
+    if not escaped:
+        return "%"
+    if escaped[0] == ".":
+        escaped = "%2E" + escaped[1:]
+    return escaped
+
+
+def unescape_name(stem: str) -> str:
+    """Best-effort inverse of :func:`escape_name` (for labelling damage
+    whose header is unreadable; healthy names come from the header)."""
+    if stem == "%":
+        return ""
+    out = bytearray()
+    i = 0
+    while i < len(stem):
+        ch = stem[i]
+        if ch == "%" and i + 3 <= len(stem):
+            try:
+                out.append(int(stem[i + 1:i + 3], 16))
+                i += 3
+                continue
+            except ValueError:
+                pass
+        out.extend(ch.encode("utf-8"))
+        i += 1
+    try:
+        return out.decode("utf-8")
+    except UnicodeDecodeError:
+        return stem
+
+
+# -- health reporting ----------------------------------------------------
+
+
+@dataclass
+class CorruptRecord:
+    """One piece of quarantined damage.
+
+    ``kind`` is the failure taxonomy: ``bad-header-json``,
+    ``malformed-header``, ``name-mismatch``, ``orphaned-header``,
+    ``orphaned-payload``, ``payload-checksum-mismatch``,
+    ``record-digest-mismatch``, ``missing-record``, ``bad-manifest``,
+    ``io-error``, ``unreadable``, ``rehydrate-failed``,
+    ``stable-archive``, ``stable-rehydrate-failed``,
+    ``stable-unit-skipped``.
+    """
+
+    name: str
+    kind: str
+    path: str = ""
+    detail: str = ""
+
+
+@dataclass
+class StoreHealthReport:
+    """What a load (or fsck) found: healthy records, quarantined damage,
+    version-skipped records, and informational notes (broken stale
+    locks, ignored temp files)."""
+
+    path: str = ""
+    scanned: int = 0
+    loaded: list[str] = field(default_factory=list)
+    corrupt: list[CorruptRecord] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt
+
+    def add(self, name: str, kind: str, path: str = "",
+            detail: str = "") -> None:
+        self.corrupt.append(CorruptRecord(name, kind, path, detail))
+
+    def quarantined(self) -> set[str]:
+        """Unit names with at least one corrupt entry."""
+        return {c.name for c in self.corrupt if c.name}
+
+    def kinds_for(self, name: str) -> list[str]:
+        return [c.kind for c in self.corrupt if c.name == name]
+
+    def summary(self) -> str:
+        if self.ok:
+            extra = (f", {len(self.stale)} stale-format skipped"
+                     if self.stale else "")
+            return (f"store healthy: {len(self.loaded)} record(s)"
+                    f"{extra}")
+        return (f"store damaged: {len(self.corrupt)} problem(s), "
+                f"{len(self.loaded)} healthy record(s)")
+
+    def render_text(self) -> str:
+        lines = [f"bin store {self.path or '(unsaved)'}: "
+                 + ("HEALTHY" if self.ok else "DAMAGED")]
+        lines.append(f"  records: {len(self.loaded)} healthy, "
+                     f"{len(self.corrupt)} corrupt, "
+                     f"{len(self.stale)} stale-format")
+        for c in self.corrupt:
+            label = c.name if c.name else "?"
+            where = f"  {c.path}" if c.path else ""
+            why = f": {c.detail}" if c.detail else ""
+            lines.append(f"  corrupt [{c.kind}] {label}{where}{why}")
+        for name in self.stale:
+            lines.append(f"  stale-format (skipped): {name}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "scanned": self.scanned,
+            "loaded": list(self.loaded),
+            "stale": list(self.stale),
+            "corrupt": [
+                {"name": c.name, "kind": c.kind, "path": c.path,
+                 "detail": c.detail}
+                for c in self.corrupt
+            ],
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class SaveStats:
+    """What one :meth:`BinStore.save_directory` actually did."""
+
+    records_written: int = 0
+    records_skipped: int = 0
+    bytes_written: int = 0
+    pruned: list[str] = field(default_factory=list)
+
+
+# -- the store lock ------------------------------------------------------
+
+
+class StoreLock:
+    """A pid-stamped lock file guarding a store directory.
+
+    Stale locks (owner dead, or content torn beyond parsing) are broken
+    and noted.  A lock held by a live process blocks until ``timeout``;
+    then ``acquire(required=True)`` raises :class:`StoreLockedError`
+    while ``required=False`` (read paths) proceeds without the lock and
+    records a note.
+    """
+
+    def __init__(self, dir_path: str, fs: FileSystem | None = None,
+                 timeout: float = 5.0, poll: float = 0.02):
+        self.fs = fs if fs is not None else REAL_FS
+        self.lock_path = os.path.join(dir_path, LOCK_NAME)
+        self.timeout = timeout
+        self.poll = poll
+        self.notes: list[str] = []
+        self.held = False
+
+    def acquire(self, required: bool = True) -> bool:
+        fs = self.fs
+        content = json.dumps({"pid": os.getpid()}).encode()
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if fs.create_exclusive(self.lock_path, content):
+                self.held = True
+                return True
+            owner = self._owner()
+            if owner is None or not fs.pid_alive(owner):
+                self.notes.append(
+                    f"broke stale store lock (owner pid {owner})")
+                fs.remove(self.lock_path)
+                continue
+            if time.monotonic() >= deadline:
+                if required:
+                    raise StoreLockedError(
+                        f"store is locked by live pid {owner} "
+                        f"({self.lock_path})")
+                self.notes.append(
+                    f"store locked by live pid {owner}; "
+                    f"reading without the lock")
+                return False
+            time.sleep(self.poll)
+
+    def _owner(self) -> int | None:
+        try:
+            data = json.loads(self.fs.read_bytes(self.lock_path))
+            return int(data["pid"])
+        except Exception:
+            return None  # unreadable/torn lock: treated as stale
+
+    def release(self) -> None:
+        if self.held:
+            self.fs.release_lock(self.lock_path)
+            self.held = False
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+# -- records -------------------------------------------------------------
 
 
 @dataclass
@@ -33,12 +305,33 @@ class BinRecord:
     extra: dict = field(default_factory=dict)
 
 
+def _record_digest(header: dict, payload: bytes) -> str:
+    """The whole-record digest: CRC-128 over the canonical JSON of the
+    header (minus the digest fields themselves) plus the payload."""
+    core = {k: v for k, v in header.items()
+            if k not in ("payload_crc", "record_digest")}
+    canon = json.dumps(core, sort_keys=True,
+                       separators=(",", ":")).encode("utf-8")
+    return CRC128().update(canon).update(payload).hexdigest()
+
+
 class BinStore:
     """A collection of bin records, keyed by unit name."""
 
-    def __init__(self):
+    def __init__(self, fs: FileSystem | None = None):
+        self.fs = fs if fs is not None else REAL_FS
         self._records: dict[str, BinRecord] = {}
-        #: Cumulative bytes written, for benchmark reporting.
+        #: Records changed since the last save/load (save rewrites only
+        #: these).
+        self._dirty: set[str] = set()
+        #: Unit names removed since the last save (their on-disk files
+        #: are pruned at the next save).
+        self._removed: set[str] = set()
+        #: Directory this store's clean records mirror, if any.
+        self._loaded_from: str | None = None
+        #: What the last load found; trivially healthy for a fresh store.
+        self.health = StoreHealthReport()
+        #: Cumulative payload bytes accepted, for benchmark reporting.
         self.bytes_written = 0
 
     def get(self, name: str) -> BinRecord | None:
@@ -46,16 +339,25 @@ class BinStore:
 
     def put(self, record: BinRecord) -> None:
         self._records[record.name] = record
+        self._dirty.add(record.name)
+        self._removed.discard(record.name)
         self.bytes_written += len(record.payload)
 
     def remove(self, name: str) -> None:
-        self._records.pop(name, None)
+        if self._records.pop(name, None) is not None:
+            self._removed.add(name)
+        self._dirty.discard(name)
 
     def names(self) -> list[str]:
         return sorted(self._records)
 
+    def dirty_names(self) -> list[str]:
+        return sorted(self._dirty)
+
     def clear(self) -> None:
+        self._removed.update(self._records)
         self._records.clear()
+        self._dirty.clear()
 
     def total_payload_bytes(self) -> int:
         return sum(len(r.payload) for r in self._records.values())
@@ -68,44 +370,290 @@ class BinStore:
 
     # -- disk persistence ---------------------------------------------------
 
-    def save_directory(self, path: str) -> None:
-        os.makedirs(path, exist_ok=True)
-        for record in self._records.values():
-            base = os.path.join(path, record.name)
-            header = {
-                "format": FORMAT_VERSION,
-                "name": record.name,
-                "source_digest": record.source_digest,
-                "export_pid": record.export_pid,
-                "imports": record.imports,
-                "built_at": record.built_at,
-                "extra": record.extra,
-            }
-            with open(base + ".bin.json", "w") as f:
-                json.dump(header, f, indent=1)
-            with open(base + ".bin", "wb") as f:
-                f.write(record.payload)
+    def _header_for(self, record: BinRecord) -> dict:
+        header = {
+            "format": FORMAT_VERSION,
+            "name": record.name,
+            "source_digest": record.source_digest,
+            "export_pid": record.export_pid,
+            "imports": record.imports,
+            "built_at": record.built_at,
+            "extra": record.extra,
+            "payload_crc": crc128_hex(record.payload),
+        }
+        header["record_digest"] = _record_digest(header, record.payload)
+        return header
+
+    def save_directory(self, path: str,
+                       lock_timeout: float = 5.0) -> SaveStats:
+        """Write the store to ``path`` atomically and incrementally.
+
+        Only dirty records are rewritten (payload first, header second,
+        each via tmp-file + atomic rename); removed units' files and
+        unknown record debris are pruned; the manifest is refreshed.
+        The whole save runs under the store lock.  Returns what was
+        actually written.
+        """
+        fs = self.fs
+        fs.makedirs(path)
+        target = os.path.abspath(path)
+        stats = SaveStats()
+        lock = StoreLock(path, fs=fs, timeout=lock_timeout)
+        lock.acquire(required=True)
+        try:
+            dirty = (set(self._records) if target != self._loaded_from
+                     else set(self._dirty))
+            changed = bool(dirty or self._removed
+                           or target != self._loaded_from)
+            for name in sorted(dirty):
+                record = self._records[name]
+                stem = escape_name(name)
+                header_bytes = json.dumps(
+                    self._header_for(record), indent=1).encode("utf-8")
+                payload_file = os.path.join(path, stem + PAYLOAD_SUFFIX)
+                fs.write_bytes(payload_file + TMP_SUFFIX, record.payload)
+                fs.replace(payload_file + TMP_SUFFIX, payload_file)
+                header_file = os.path.join(path, stem + HEADER_SUFFIX)
+                fs.write_bytes(header_file + TMP_SUFFIX, header_bytes)
+                fs.replace(header_file + TMP_SUFFIX, header_file)
+                stats.records_written += 1
+                stats.bytes_written += len(record.payload) + len(header_bytes)
+            stats.records_skipped = len(self._records) - len(dirty)
+
+            if changed:
+                manifest = {
+                    "format": FORMAT_VERSION,
+                    "records": {escape_name(n): n for n in self._records},
+                }
+                manifest_bytes = json.dumps(
+                    manifest, indent=1, sort_keys=True).encode("utf-8")
+                manifest_file = os.path.join(path, MANIFEST_NAME)
+                fs.write_bytes(manifest_file + TMP_SUFFIX, manifest_bytes)
+                fs.replace(manifest_file + TMP_SUFFIX, manifest_file)
+                stats.bytes_written += len(manifest_bytes)
+
+            live = {escape_name(n) for n in self._records}
+            for entry in fs.listdir(path):
+                if entry in (MANIFEST_NAME, LOCK_NAME):
+                    continue
+                stem = _record_stem(entry)
+                if stem is None:
+                    continue  # not a store-managed file: leave it alone
+                if entry.endswith(TMP_SUFFIX) or stem not in live:
+                    fs.remove(os.path.join(path, entry))
+                    stats.pruned.append(entry)
+
+            self._dirty.clear()
+            self._removed.clear()
+            self._loaded_from = target
+            return stats
+        finally:
+            lock.release()
 
     @classmethod
-    def load_directory(cls, path: str) -> "BinStore":
-        store = cls()
-        for entry in sorted(os.listdir(path)):
-            if not entry.endswith(".bin.json"):
-                continue
-            with open(os.path.join(path, entry)) as f:
-                header = json.load(f)
-            if header.get("format") != FORMAT_VERSION:
-                continue  # stale format: recompile from source
-            with open(os.path.join(path, header["name"] + ".bin"), "rb") as f:
-                payload = f.read()
-            store.put(BinRecord(
-                name=header["name"],
-                source_digest=header["source_digest"],
-                export_pid=header["export_pid"],
-                imports=[tuple(pair) for pair in header["imports"]],
-                payload=payload,
-                built_at=header["built_at"],
-                extra=header.get("extra", {}),
-            ))
-        store.bytes_written = 0
-        return store
+    def load_directory(cls, path: str, fs: FileSystem | None = None,
+                       lock_timeout: float = 5.0) -> "BinStore":
+        """Load a store directory, quarantining every kind of damage.
+
+        Never raises on damage: a corrupt, torn, orphaned or unreadable
+        record becomes a :class:`CorruptRecord` in ``store.health`` and
+        the affected unit is simply absent (a cache miss).
+        """
+        fs = fs if fs is not None else REAL_FS
+        store = cls(fs=fs)
+        report = store.health
+        report.path = path
+        if not fs.isdir(path):
+            report.notes.append(f"no store directory at {path}")
+            return store
+
+        lock = StoreLock(path, fs=fs, timeout=lock_timeout)
+        got = lock.acquire(required=False)
+        report.notes.extend(lock.notes)
+        try:
+            try:
+                entries = fs.listdir(path)
+            except OSError as err:
+                report.add("", "io-error", path, str(err))
+                return store
+
+            manifest = _read_manifest(fs, path, entries, report)
+
+            header_stems: set[str] = set()
+            payload_stems: set[str] = set()
+            for entry in entries:
+                if entry in (MANIFEST_NAME, LOCK_NAME):
+                    continue
+                if entry.endswith(TMP_SUFFIX):
+                    report.notes.append(
+                        f"ignoring leftover temp file {entry}")
+                    continue
+                if entry.endswith(HEADER_SUFFIX):
+                    header_stems.add(entry[:-len(HEADER_SUFFIX)])
+                elif entry.endswith(PAYLOAD_SUFFIX):
+                    payload_stems.add(entry[:-len(PAYLOAD_SUFFIX)])
+                else:
+                    report.notes.append(
+                        f"ignoring unrecognized file {entry}")
+
+            report.scanned = len(header_stems)
+            loaded_stems: dict[str, str] = {}  # stem -> unit name
+            for stem in sorted(header_stems):
+                try:
+                    name = store._load_record(path, stem, report)
+                except Exception as err:  # absolute no-raise guarantee
+                    report.add(unescape_name(stem), "unreadable",
+                               os.path.join(path, stem + HEADER_SUFFIX),
+                               f"{type(err).__name__}: {err}")
+                    name = None
+                if name is not None:
+                    loaded_stems[stem] = name
+
+            for stem in sorted(payload_stems - header_stems):
+                report.add(unescape_name(stem), "orphaned-payload",
+                           os.path.join(path, stem + PAYLOAD_SUFFIX),
+                           "payload file has no header")
+
+            if manifest is not None:
+                known = {c.name for c in report.corrupt}
+                for stem, name in sorted(manifest.items()):
+                    if stem not in header_stems and \
+                            stem not in payload_stems and \
+                            name not in known:
+                        report.add(name, "missing-record",
+                                   os.path.join(path, stem + HEADER_SUFFIX),
+                                   "listed in manifest but not on disk")
+                for stem, name in sorted(loaded_stems.items()):
+                    if stem not in manifest:
+                        # A crash left a record the manifest never saw;
+                        # drop it (a later save prunes the files).
+                        store._records.pop(name, None)
+                        report.notes.append(
+                            f"ignoring unmanifested record {name!r} "
+                            f"(crash leftover)")
+
+            report.loaded = sorted(store._records)
+            store._loaded_from = os.path.abspath(path)
+            store.bytes_written = 0
+            return store
+        finally:
+            if got:
+                lock.release()
+
+    def _load_record(self, path: str, stem: str,
+                     report: StoreHealthReport) -> str | None:
+        """Verify and load one record; returns its unit name when
+        healthy, otherwise records the damage and returns None."""
+        fs = self.fs
+        header_file = os.path.join(path, stem + HEADER_SUFFIX)
+        display = unescape_name(stem)
+        try:
+            raw = fs.read_bytes(header_file)
+        except OSError as err:
+            report.add(display, "io-error", header_file, str(err))
+            return None
+        try:
+            header = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as err:
+            report.add(display, "bad-header-json", header_file, str(err))
+            return None
+        if not isinstance(header, dict):
+            report.add(display, "bad-header-json", header_file,
+                       "header is not a JSON object")
+            return None
+        if header.get("format") != FORMAT_VERSION:
+            report.stale.append(display)
+            return None
+        missing = [f for f in _REQUIRED_FIELDS if f not in header]
+        if missing:
+            report.add(display, "malformed-header", header_file,
+                       f"missing field(s): {', '.join(missing)}")
+            return None
+        name = header["name"]
+        if not isinstance(name, str) or escape_name(name) != stem:
+            report.add(display, "name-mismatch", header_file,
+                       f"header names {name!r}, which does not belong "
+                       f"in file {stem + HEADER_SUFFIX!r}")
+            return None
+
+        payload_file = os.path.join(path, stem + PAYLOAD_SUFFIX)
+        if not fs.exists(payload_file):
+            report.add(name, "orphaned-header", header_file,
+                       "payload file missing")
+            return None
+        try:
+            payload = fs.read_bytes(payload_file)
+        except OSError as err:
+            report.add(name, "io-error", payload_file, str(err))
+            return None
+        if crc128_hex(payload) != header["payload_crc"]:
+            report.add(name, "payload-checksum-mismatch", payload_file,
+                       "payload bytes do not match the header's checksum")
+            return None
+        if _record_digest(header, payload) != header["record_digest"]:
+            report.add(name, "record-digest-mismatch", header_file,
+                       "whole-record digest mismatch (header tampered "
+                       "or torn)")
+            return None
+        imports = header["imports"]
+        if not (isinstance(imports, list)
+                and all(isinstance(p, list) and len(p) == 2
+                        and all(isinstance(x, str) for x in p)
+                        for p in imports)):
+            report.add(name, "malformed-header", header_file,
+                       "imports is not a list of (name, pid) pairs")
+            return None
+
+        self._records[name] = BinRecord(
+            name=name,
+            source_digest=header["source_digest"],
+            export_pid=header["export_pid"],
+            imports=[tuple(pair) for pair in imports],
+            payload=payload,
+            built_at=header["built_at"],
+            extra=header.get("extra", {}),
+        )
+        return name
+
+    @classmethod
+    def fsck(cls, path: str, fs: FileSystem | None = None,
+             lock_timeout: float = 5.0) -> StoreHealthReport:
+        """Check a store directory's health without building anything."""
+        return cls.load_directory(path, fs=fs,
+                                  lock_timeout=lock_timeout).health
+
+
+def _record_stem(entry: str) -> str | None:
+    """The record stem of a store-managed filename, or None if the file
+    is not one of ours."""
+    if entry.endswith(TMP_SUFFIX):
+        entry = entry[:-len(TMP_SUFFIX)]
+    if entry.endswith(HEADER_SUFFIX):
+        return entry[:-len(HEADER_SUFFIX)]
+    if entry.endswith(PAYLOAD_SUFFIX):
+        return entry[:-len(PAYLOAD_SUFFIX)]
+    return None
+
+
+def _read_manifest(fs: FileSystem, path: str, entries: list[str],
+                   report: StoreHealthReport) -> dict[str, str] | None:
+    """Parse MANIFEST.json into {stem: unit name}; damage is reported
+    and treated as 'no manifest' (every healthy record then loads)."""
+    if MANIFEST_NAME not in entries:
+        return None
+    manifest_file = os.path.join(path, MANIFEST_NAME)
+    try:
+        data = json.loads(fs.read_bytes(manifest_file).decode("utf-8"))
+        records = data["records"]
+        if data["format"] != FORMAT_VERSION:
+            report.notes.append("stale-format manifest ignored")
+            return None
+        if not (isinstance(records, dict)
+                and all(isinstance(k, str) and isinstance(v, str)
+                        for k, v in records.items())):
+            raise ValueError("records is not a name table")
+        return records
+    except Exception as err:
+        report.add("", "bad-manifest", manifest_file,
+                   f"{type(err).__name__}: {err}")
+        return None

@@ -56,6 +56,11 @@ _T_STAMP = 14
 _T_BYTES = 15
 _T_STRREF = 16
 
+#: Ceiling on a decoded varint's width.  Generous -- 64 Kibit covers any
+#: value a real program pickles -- while keeping a corrupt stream of
+#: continuation bytes from accumulating a multi-megabit bigint.
+_MAX_VARINT_BITS = 1 << 16
+
 
 def _must_memoize(obj) -> bool:
     """In the tree-mode (share=False) ablation, only the objects that can
@@ -310,7 +315,18 @@ class Unpickler:
         self.export_index: list[object] = []
 
     def run(self):
-        value = self._decode()
+        try:
+            value = self._decode()
+        except UnpickleError:
+            raise
+        except (IndexError, KeyError, TypeError, ValueError, struct.error,
+                OverflowError, MemoryError, RecursionError) as err:
+            # A corrupt stream must surface as UnpickleError, never as a
+            # raw decoding exception: callers treat UnpickleError as a
+            # cache miss, anything else as a bug.
+            raise UnpickleError(
+                f"corrupt bin stream ({type(err).__name__}: {err}) "
+                f"at byte {self._pos} of {len(self._data)}") from err
         if self._pos != len(self._data):
             raise UnpickleError(
                 f"trailing bytes in bin stream ({len(self._data) - self._pos})")
@@ -318,9 +334,13 @@ class Unpickler:
 
     # -- decoding ---------------------------------------------------------
 
+    def _fail(self, message: str):
+        raise UnpickleError(
+            f"{message} (at byte {self._pos} of {len(self._data)})")
+
     def _read_byte(self) -> int:
         if self._pos >= len(self._data):
-            raise UnpickleError("truncated bin stream")
+            self._fail("truncated bin stream")
         byte = self._data[self._pos]
         self._pos += 1
         return byte
@@ -334,10 +354,16 @@ class Unpickler:
             if not byte & 0x80:
                 return value
             shift += 7
+            # SML ints are arbitrary precision, so varints have no fixed
+            # width -- but a continuation run this long is garbage, and
+            # without a cap the accumulating bigint makes decoding a
+            # corrupt megabyte stream quadratic.
+            if shift > _MAX_VARINT_BITS:
+                self._fail("varint too long; corrupt bin stream")
 
     def _read_bytes(self, count: int) -> bytes:
         if self._pos + count > len(self._data):
-            raise UnpickleError("truncated bin stream")
+            self._fail("truncated bin stream")
         data = self._data[self._pos:self._pos + count]
         self._pos += count
         return data
@@ -359,11 +385,17 @@ class Unpickler:
             self._strings.append(text)
             return text
         if tag == _T_STRREF:
-            return self._strings[self._read_varint()]
+            index = self._read_varint()
+            if index >= len(self._strings):
+                self._fail(f"string back-reference #{index} out of range")
+            return self._strings[index]
         if tag == _T_BYTES:
             return self._read_bytes(self._read_varint())
         if tag == _T_REF:
-            return self._memo[self._read_varint()]
+            index = self._read_varint()
+            if index >= len(self._memo):
+                self._fail(f"back-reference #{index} out of range")
+            return self._memo[index]
         if tag == _T_TUPLE:
             return tuple(
                 self._decode() for _ in range(self._read_varint()))
@@ -380,7 +412,7 @@ class Unpickler:
             name = self._decode()
             table = prim_tycon_table()
             if name not in table:
-                raise UnpickleError(f"unknown primitive tycon {name}")
+                self._fail(f"unknown primitive tycon {name}")
             return table[name]
         if tag == _T_STAMP:
             stamp = self._stamps.fresh()
@@ -390,13 +422,13 @@ class Unpickler:
             return self._decode_stub()
         if tag == _T_CONTEXT:
             if self._context_env is None:
-                raise UnpickleError(
+                self._fail(
                     "bin stream references its compilation context but "
                     "none was provided")
             return self._context_env
         if tag == _T_OBJ:
             return self._decode_object()
-        raise UnpickleError(f"unknown tag {tag}")
+        self._fail(f"unknown tag {tag}")
 
     def _decode_stub(self):
         memo_slot = len(self._memo)
@@ -404,15 +436,15 @@ class Unpickler:
         pid = self._decode()
         index = self._read_varint()
         if self._resolve is None:
-            raise UnpickleError(
+            self._fail(
                 f"bin stream has external reference ({pid}, {index}) but "
                 f"no resolver was provided")
         try:
             obj = self._resolve(pid, index)
         except KeyError:
-            raise UnpickleError(
+            self._fail(
                 f"unresolved external reference: unit {pid} export "
-                f"#{index} is not in the context") from None
+                f"#{index} is not in the context")
         self._memo[memo_slot] = obj
         return obj
 
@@ -420,7 +452,7 @@ class Unpickler:
         class_tag = self._read_varint()
         entry = TAG_TO_ENTRY.get(class_tag)
         if entry is None:
-            raise UnpickleError(f"unknown class tag {class_tag}")
+            self._fail(f"unknown class tag {class_tag}")
         cls, fields = entry
         shell = cls.__new__(cls)
         self._memo.append(shell)

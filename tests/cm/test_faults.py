@@ -1,0 +1,255 @@
+"""The fault-injection matrix (tier 1).
+
+The contract under test: **no damage may cost more than a recompile.**
+For every fault -- a process killed before/during every single mutating
+filesystem call of a save (optionally tearing the fatal write), plus
+every kind of damage at rest -- a fresh session must (a) load the store
+without raising, (b) report the damage in its ``StoreHealthReport``, and
+(c) converge to byte-identical export pids and the same program results
+as a clean from-scratch build.
+"""
+
+import pytest
+
+from repro.cm import BinStore, CutoffBuilder, Project
+from repro.cm.faults import (
+    FaultPlan,
+    FaultyFS,
+    InjectedCrash,
+    bit_flip,
+    delete_file,
+    garbage_header,
+    header_path,
+    payload_path,
+    plant_stale_lock,
+    truncate_file,
+)
+
+SOURCES = {
+    "base": "structure Base = struct fun triple x = 3 * x end",
+    "mid": "structure Mid = struct fun six x = Base.triple (2 * x) end",
+    "app": "structure App = struct val answer = Mid.six 7 end",
+}
+
+ANSWER = 42
+
+
+@pytest.fixture(scope="module")
+def clean_pids():
+    """Export pids of a pristine from-scratch build (the convergence
+    target every faulted session must reproduce)."""
+    builder = CutoffBuilder(Project.from_sources(SOURCES))
+    builder.build()
+    return {name: unit.export_pid for name, unit in builder.units.items()}
+
+
+def fresh_session(bin_dir, clean_pids, edit=None):
+    """A brand-new session over whatever the fault left on disk: must
+    not raise, must converge to the clean build's pids and answer."""
+    project = Project.from_sources(SOURCES)
+    if edit:
+        project.edit(*edit)
+    store = BinStore.load_directory(bin_dir)  # never raises
+    builder = CutoffBuilder(project, store=store)
+    builder.build()  # never raises either
+    exports = builder.link()
+    assert exports["app"].structures["App"].values["answer"] == ANSWER
+    for name, pid in clean_pids.items():
+        assert builder.units[name].export_pid == pid, name
+    return builder
+
+
+def saved_store(bin_dir):
+    builder = CutoffBuilder(Project.from_sources(SOURCES))
+    builder.build()
+    builder.store.save_directory(bin_dir)
+    return builder
+
+
+class TestCrashSweep:
+    """Kill the saving process before its N-th filesystem mutation, for
+    every N a save performs, torn and clean."""
+
+    def count_mutations(self, run_save) -> int:
+        fs = FaultyFS(FaultPlan())
+        run_save(fs)
+        return fs.mutations
+
+    @pytest.mark.parametrize("torn", [False, True],
+                             ids=["clean-cut", "torn-write"])
+    def test_crash_at_every_point_of_initial_save(self, tmp_path, torn,
+                                                  clean_pids):
+        builder = CutoffBuilder(Project.from_sources(SOURCES))
+        builder.build()
+
+        def save_with(fs, dest):
+            store = BinStore(fs=fs)
+            for name in builder.store.names():
+                store.put(builder.store.get(name))
+            store.save_directory(dest)
+
+        total = self.count_mutations(
+            lambda fs: save_with(fs, str(tmp_path / "dry")))
+        assert total > 6  # lock + 2 files x 3 records + manifest, at least
+
+        for crash_at in range(total):
+            dest = str(tmp_path / f"crash{int(torn)}_{crash_at}")
+            fs = FaultyFS(FaultPlan(crash_at_mutation=crash_at, torn=torn,
+                                    lock_pid=-1))
+            with pytest.raises(InjectedCrash):
+                save_with(fs, dest)
+            fresh_session(dest, clean_pids)
+
+    @pytest.mark.parametrize("torn", [False, True],
+                             ids=["clean-cut", "torn-write"])
+    def test_crash_at_every_point_of_incremental_save(self, tmp_path,
+                                                      torn, clean_pids):
+        """The nastier case: the crash interrupts an *update* of an
+        existing store, so old and new record generations mix."""
+        edit = ("base", SOURCES["base"].replace("3 * x", "x * 3"))
+
+        def updated_store(dest, fs=None):
+            saved_store(dest)
+            project = Project.from_sources(SOURCES)
+            project.edit(*edit)
+            store = BinStore.load_directory(dest)
+            if fs is not None:
+                store.fs = fs
+            builder = CutoffBuilder(project, store=store)
+            builder.build()
+            store.save_directory(dest)
+
+        counter = FaultyFS(FaultPlan())
+        updated_store(str(tmp_path / "dry"), fs=counter)
+        total = counter.mutations
+        assert total > 0
+
+        edited_pids = None
+        for crash_at in range(total):
+            dest = str(tmp_path / f"crash{int(torn)}_{crash_at}")
+            fs = FaultyFS(FaultPlan(crash_at_mutation=crash_at, torn=torn,
+                                    lock_pid=-1))
+            with pytest.raises(InjectedCrash):
+                updated_store(dest, fs=fs)
+            builder = fresh_session(dest, clean_pids, edit=edit)
+            if edited_pids is None:
+                edited_pids = {n: u.export_pid
+                               for n, u in builder.units.items()}
+            else:
+                got = {n: u.export_pid for n, u in builder.units.items()}
+                assert got == edited_pids  # deterministic across faults
+
+
+def fault_truncate_payload(bin_dir):
+    truncate_file(payload_path(bin_dir, "mid"))
+
+
+def fault_truncate_header(bin_dir):
+    truncate_file(header_path(bin_dir, "mid"))
+
+
+def fault_bit_flip_payload(bin_dir):
+    bit_flip(payload_path(bin_dir, "mid"), offset=-1, mask=0x80)
+
+
+def fault_bit_flip_header(bin_dir):
+    bit_flip(header_path(bin_dir, "mid"), offset=-2, mask=0x40)
+
+
+def fault_orphan_header(bin_dir):
+    delete_file(payload_path(bin_dir, "mid"))
+
+
+def fault_orphan_payload(bin_dir):
+    delete_file(header_path(bin_dir, "mid"))
+
+
+def fault_delete_record(bin_dir):
+    delete_file(header_path(bin_dir, "mid"))
+    delete_file(payload_path(bin_dir, "mid"))
+
+
+def fault_garbage_header(bin_dir):
+    garbage_header(header_path(bin_dir, "mid"))
+
+
+def fault_empty_payload(bin_dir):
+    truncate_file(payload_path(bin_dir, "mid"), keep=0)
+
+
+def fault_stale_lock_dead_pid(bin_dir):
+    plant_stale_lock(bin_dir, pid=-1)
+
+
+def fault_stale_lock_torn(bin_dir):
+    plant_stale_lock(bin_dir, garbage=True)
+
+
+DAMAGING_FAULTS = [
+    fault_truncate_payload,
+    fault_truncate_header,
+    fault_bit_flip_payload,
+    fault_bit_flip_header,
+    fault_orphan_header,
+    fault_orphan_payload,
+    fault_delete_record,
+    fault_garbage_header,
+    fault_empty_payload,
+]
+
+BENIGN_FAULTS = [
+    fault_stale_lock_dead_pid,
+    fault_stale_lock_torn,
+]
+
+
+class TestDamageAtRest:
+    @pytest.mark.parametrize(
+        "fault", DAMAGING_FAULTS, ids=lambda f: f.__name__[6:])
+    def test_damage_quarantined_and_rebuilt(self, tmp_path, fault,
+                                            clean_pids):
+        bin_dir = str(tmp_path / "bins")
+        saved_store(bin_dir)
+        fault(bin_dir)
+        builder = fresh_session(bin_dir, clean_pids)
+        assert not builder.health.ok
+        assert "mid" in {c.name for c in builder.health.corrupt}
+        # The damaged unit was recompiled, not loaded.
+        assert builder.store.get("mid") is not None
+
+    @pytest.mark.parametrize(
+        "fault", BENIGN_FAULTS, ids=lambda f: f.__name__[6:])
+    def test_stale_locks_broken_silently(self, tmp_path, fault,
+                                         clean_pids):
+        bin_dir = str(tmp_path / "bins")
+        saved_store(bin_dir)
+        fault(bin_dir)
+        builder = fresh_session(bin_dir, clean_pids)
+        assert builder.health.ok  # a stale lock is not damage
+        assert any("stale" in note for note in builder.health.notes)
+
+    @pytest.mark.parametrize(
+        "fault", DAMAGING_FAULTS, ids=lambda f: f.__name__[6:])
+    def test_store_self_heals_after_resave(self, tmp_path, fault,
+                                           clean_pids):
+        """Session 2 rebuilds over the damage and saves; session 3 must
+        find a fully healthy store again."""
+        bin_dir = str(tmp_path / "bins")
+        saved_store(bin_dir)
+        fault(bin_dir)
+        builder = fresh_session(bin_dir, clean_pids)
+        builder.store.save_directory(bin_dir)
+        report = BinStore.fsck(bin_dir)
+        assert report.ok, report.render_text()
+        assert report.loaded == ["app", "base", "mid"]
+
+    def test_everything_at_once(self, tmp_path, clean_pids):
+        """All the damage, one store, one session."""
+        bin_dir = str(tmp_path / "bins")
+        saved_store(bin_dir)
+        bit_flip(payload_path(bin_dir, "base"), offset=0)
+        garbage_header(header_path(bin_dir, "mid"))
+        delete_file(payload_path(bin_dir, "app"))
+        plant_stale_lock(bin_dir, garbage=True)
+        builder = fresh_session(bin_dir, clean_pids)
+        assert builder.health.quarantined() == {"base", "mid", "app"}

@@ -1,0 +1,74 @@
+"""``python -m repro.cm <dir> --fsck``: health checking from the CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cm.__main__ import main
+from repro.cm.faults import bit_flip, delete_file, payload_path
+
+
+@pytest.fixture
+def srcdir(tmp_path):
+    d = tmp_path / "proj"
+    d.mkdir()
+    (d / "base.sml").write_text(
+        "structure Base = struct fun triple x = 3 * x end\n")
+    (d / "main.sml").write_text(
+        "structure Main = struct val answer = Base.triple 14 end\n")
+    return str(d)
+
+
+@pytest.fixture
+def built(srcdir, capsys):
+    assert main([srcdir, "--no-link"]) == 0
+    capsys.readouterr()
+    return srcdir
+
+
+class TestFsckCli:
+    def test_healthy_store_exits_zero(self, built, capsys):
+        assert main([built, "--fsck"]) == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out
+
+    def test_damaged_store_exits_nonzero_with_listing(self, built, capsys):
+        bin_dir = os.path.join(built, ".bin")
+        bit_flip(payload_path(bin_dir, "base"), offset=2)
+        assert main([built, "--fsck"]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out
+        assert "base" in out and "payload-checksum-mismatch" in out
+
+    def test_json_report(self, built, capsys):
+        bin_dir = os.path.join(built, ".bin")
+        delete_file(payload_path(bin_dir, "main"))
+        assert main([built, "--fsck", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert data["corrupt"][0]["kind"] == "orphaned-header"
+        assert data["corrupt"][0]["name"] == "main"
+
+    def test_bin_dir_direct_target(self, built, capsys):
+        assert main([os.path.join(built, ".bin"), "--fsck"]) == 0
+
+    def test_missing_store_is_trivially_healthy(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(empty), "--fsck"]) == 0
+
+    def test_nonexistent_path_never_raises(self, capsys):
+        assert main(["/nonexistent/dir", "--fsck"]) == 0
+        assert "no store directory" in capsys.readouterr().out
+
+    def test_build_warns_on_quarantine_then_fsck_clean(self, built,
+                                                       capsys):
+        bin_dir = os.path.join(built, ".bin")
+        bit_flip(payload_path(bin_dir, "base"), offset=2)
+        assert main([built, "--no-link"]) == 0
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.err
+        assert "base" in captured.err
+        # The rebuild + save healed the store.
+        assert main([built, "--fsck"]) == 0

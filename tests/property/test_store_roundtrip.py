@@ -1,0 +1,98 @@
+"""Property tests for the bin store's on-disk form.
+
+Whatever names, payloads and extras a builder produces, a save/load
+round trip must reproduce them exactly, stay inside the store directory,
+and report a healthy store.
+"""
+
+import os
+import shutil
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cm import BinRecord, BinStore
+from repro.cm.store import escape_name, unescape_name
+
+# Unit names: printable unicode including path-hostile characters.
+names = st.text(
+    st.characters(blacklist_categories=("Cs",)), min_size=0, max_size=24)
+hostile = st.sampled_from(
+    ["../x", "..", ".", "", "a/b", "a\\b", ".hidden", "%2E", "%",
+     "store.lock", "MANIFEST.json", "x.bin", "c:\\evil"])
+any_name = st.one_of(names, hostile)
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2**40, max_value=2**40),
+    st.text(max_size=12))
+extras = st.dictionaries(st.text(max_size=8), json_scalars, max_size=4)
+
+records = st.builds(
+    BinRecord,
+    name=any_name,
+    source_digest=st.text("0123456789abcdef", min_size=4, max_size=32),
+    export_pid=st.text("0123456789abcdef", min_size=4, max_size=32),
+    imports=st.lists(
+        st.tuples(st.text(max_size=8), st.text("0123456789abcdef",
+                                               min_size=4, max_size=8)),
+        max_size=3),
+    payload=st.binary(max_size=256),
+    built_at=st.integers(min_value=0, max_value=2**31),
+    extra=extras,
+)
+
+
+@given(st.lists(records, max_size=6,
+                unique_by=lambda r: r.name))
+@settings(max_examples=60, deadline=None)
+def test_save_load_roundtrip(record_list):
+    base = tempfile.mkdtemp(prefix="binstore-prop-")
+    try:
+        store_dir = os.path.join(base, "store")
+        store = BinStore()
+        for record in record_list:
+            store.put(record)
+        stats = store.save_directory(store_dir)
+        assert stats.records_written == len(record_list)
+
+        # Nothing escaped the store directory.
+        assert set(os.listdir(base)) == {"store"}
+
+        loaded = BinStore.load_directory(store_dir)
+        assert loaded.health.ok, loaded.health.render_text()
+        assert loaded.names() == store.names()
+        for record in record_list:
+            got = loaded.get(record.name)
+            assert got is not None
+            assert got.name == record.name
+            assert got.source_digest == record.source_digest
+            assert got.export_pid == record.export_pid
+            assert got.imports == [tuple(p) for p in record.imports]
+            assert got.payload == record.payload
+            assert got.built_at == record.built_at
+            assert got.extra == record.extra
+
+        # A second, untouched save writes nothing (incremental).
+        again = loaded.save_directory(store_dir)
+        assert again.records_written == 0
+        assert again.bytes_written == 0
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
+@given(any_name)
+@settings(max_examples=200, deadline=None)
+def test_escape_name_is_safe_and_invertible(name):
+    stem = escape_name(name)
+    assert stem  # never empty
+    assert "/" not in stem and "\\" not in stem
+    assert not stem.startswith(".")
+    assert os.path.basename(stem) == stem
+    assert unescape_name(stem) == name
+
+
+@given(st.lists(any_name, max_size=20, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_escape_name_is_injective(name_list):
+    stems = [escape_name(n) for n in name_list]
+    assert len(set(stems)) == len(stems)
