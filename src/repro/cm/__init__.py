@@ -33,6 +33,12 @@ from repro.cm.report import BuildReport, UnitOutcome
 from repro.cm.make import TimestampBuilder
 from repro.cm.manager import CutoffBuilder
 from repro.cm.smart import SmartBuilder
+from repro.cm.parallel import (
+    ParallelBuildError,
+    WorkerFaults,
+    parallel_build,
+    wavefronts,
+)
 from repro.cm.group import Group, GroupBuilder
 from repro.cm.descfile import DescFileError, load_group_file
 from repro.cm.stable import StableArchiveError, parse_archive, stabilize
@@ -54,6 +60,10 @@ __all__ = [
     "TimestampBuilder",
     "CutoffBuilder",
     "SmartBuilder",
+    "ParallelBuildError",
+    "WorkerFaults",
+    "parallel_build",
+    "wavefronts",
     "Group",
     "GroupBuilder",
     "DescFileError",

@@ -51,6 +51,15 @@ def main(argv: list[str] | None = None) -> int:
                              "group description file")
     parser.add_argument("--manager", choices=sorted(MANAGERS),
                         default="cutoff")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="compile up to N independent units "
+                             "concurrently (DAG wavefronts; results are "
+                             "byte-identical to a serial build)")
+    parser.add_argument("--pool", choices=["process", "thread"],
+                        default="process",
+                        help="worker pool kind for --jobs > 1 (process "
+                             "pools degrade to threads where "
+                             "unavailable)")
     parser.add_argument("--print", dest="print_path", metavar="S.NAME",
                         help="print a structure binding after linking")
     parser.add_argument("--no-link", action="store_true")
@@ -96,7 +105,7 @@ def main(argv: list[str] | None = None) -> int:
     builder = MANAGERS[args.manager](project, store=store)
 
     try:
-        report = builder.build()
+        report = builder.build(jobs=max(1, args.jobs), pool=args.pool)
     except Exception as err:  # ElabError, DependencyError, ParseError...
         print(f"error: {err}", file=sys.stderr)
         return 1
@@ -104,6 +113,8 @@ def main(argv: list[str] | None = None) -> int:
     for outcome in report.outcomes:
         print(f"  [{outcome.action:>8}] {outcome.name}"
               + (f"  ({outcome.reason})" if outcome.reason else ""))
+    if report.jobs > 1:
+        print(f"parallel build: {report.jobs} jobs ({report.pool} pool)")
     print(report.summary())
     try:
         store.save_directory(bin_dir)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from repro.cm.base import BaseBuilder
 from repro.cm.depend import DepGraph
-from repro.cm.report import UnitOutcome
 from repro.cm.store import BinRecord
 from repro.units.unit import CompiledUnit
 
@@ -30,18 +29,17 @@ class SourceDigestBuilder(BaseBuilder):
         ]
         return record
 
-    def process(self, name: str, graph: DepGraph,
-                imports: list[CompiledUnit]) -> UnitOutcome:
-        record = self.store.get(name)
+    def decide(self, name: str, graph: DepGraph,
+               imports: list[CompiledUnit],
+               record: BinRecord | None) -> tuple[str, str]:
         if record is None:
-            return self.compile(name, imports, "no bin file")
+            return "compile", "no bin file"
         if not self.source_current(name, record):
-            return self.compile(name, imports, "source changed")
+            return "compile", "source changed"
         recorded = record.extra.get("import_source_digests", [])
         current = [(u.name, u.source_digest) for u in imports]
         if recorded != current:
-            return self.compile(
-                name, imports, "an imported *source* changed")
+            return "compile", "an imported *source* changed"
         if self.is_live_and_current(name, record):
-            return UnitOutcome(name, "cached", "up to date")
-        return self.load(name, record, imports)
+            return "cached", ""
+        return "load", ""

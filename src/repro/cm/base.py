@@ -50,10 +50,21 @@ class BaseBuilder:
 
     # -- the build loop -----------------------------------------------------
 
-    def build(self) -> BuildReport:
-        """Bring every unit up to date; returns what was done."""
+    def build(self, jobs: int = 1, pool: str = "process") -> BuildReport:
+        """Bring every unit up to date; returns what was done.
+
+        With ``jobs > 1`` the dependency DAG is partitioned into
+        wavefronts (antichains) and ready units are compiled on a worker
+        pool (:mod:`repro.cm.parallel`); the resulting statenv, bin
+        store contents and export pids are byte-identical to a serial
+        build.
+        """
+        if jobs != 1:
+            from repro.cm.parallel import parallel_build
+            return parallel_build(self, jobs=jobs, pool=pool)
         t0 = time.perf_counter()
         report = BuildReport()
+        self._begin_build()
         self._load_pending_stables(report)
         graph = self.analyze()
         for name in graph.order:
@@ -132,9 +143,44 @@ class BaseBuilder:
                                        unit.times))
         self._stable_pending.clear()
 
+    # -- the decision seam -----------------------------------------------
+    #
+    # ``process`` drives one unit through decide -> act -> hook.  Builders
+    # implement :meth:`decide` (a pure judgement over the record, the live
+    # import pids and the builder's own bookkeeping) and optionally
+    # :meth:`on_compiled` / :meth:`_begin_build`.  Splitting the decision
+    # from the action is what lets the parallel scheduler reuse every
+    # builder's recompilation policy unchanged: it asks ``decide`` in
+    # wavefront order and runs the compiles on a worker pool.
+
     def process(self, name: str, graph: DepGraph,
                 imports: list[CompiledUnit]) -> UnitOutcome:
+        record = self.store.get(name)
+        action, reason = self.decide(name, graph, imports, record)
+        if action == "cached":
+            return UnitOutcome(name, "cached", "up to date")
+        if action == "load":
+            outcome = self.load(name, record, imports)
+        else:
+            outcome = self.compile(name, imports, reason)
+        if outcome.action == "compiled":
+            self.on_compiled(name, graph)
+        return outcome
+
+    def decide(self, name: str, graph: DepGraph,
+               imports: list[CompiledUnit],
+               record: BinRecord | None) -> tuple[str, str]:
+        """What should happen to ``name``: ``("compile", reason)``,
+        ``("load", "")`` or ``("cached", "")``.  Must not mutate builder
+        state (the scheduler may call it ahead of the actions)."""
         raise NotImplementedError
+
+    def on_compiled(self, name: str, graph: DepGraph) -> None:
+        """Hook run after ``name`` was (re)compiled -- serially or on a
+        worker -- with the unit live and its record in the store."""
+
+    def _begin_build(self) -> None:
+        """Hook run at the start of every build pass."""
 
     # -- shared actions --------------------------------------------------
 

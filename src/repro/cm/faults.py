@@ -9,6 +9,17 @@ optionally tearing that write in half first.  Once "dead", every later
 filesystem call raises :class:`InjectedCrash` and the lock file is left
 behind, exactly as a killed process would leave it.
 
+Two further fault modes ride the same seam:
+
+- :class:`SlowFS` injects *latency*: calls stall, then succeed.  Slow
+  is not dead -- the stale-lock breaker must leave a slow-but-live
+  writer's lock alone, and lock-timeout tuning happens against this.
+- :class:`TwoWriterInterleaver` serializes every filesystem call of two
+  concurrent writers according to an explicit schedule string
+  (``"ABAB..."``), making concurrent-writer races *deterministic*: each
+  schedule is one reproducible interleaving of, say, two merge-saves
+  racing on one store.
+
 For damage *at rest* (a disk that lies, an editor that truncated a
 file), the module also provides post-hoc corruptors -- truncate,
 bit-flip, delete, garbage-header -- plus helpers to locate a named
@@ -19,6 +30,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from dataclasses import dataclass
 
 
@@ -187,6 +200,219 @@ class FaultyFS(FileSystem):
         if self.dead:
             return  # a dead process never cleans up its lock
         super().release_lock(path)
+
+
+# -- latency injection ---------------------------------------------------
+
+
+class SlowFS(FileSystem):
+    """A filesystem whose calls stall, then succeed (slow-IO, not
+    failure).
+
+    Wraps any base filesystem (so it stacks under/over :class:`FaultyFS`
+    if needed).  ``write_delay`` stalls every mutating call --
+    ``write_bytes``, ``replace``, ``remove``, ``create_exclusive`` --
+    and ``read_delay`` every read.  ``op_log`` records the stalled calls
+    so tests can assert *where* time went.
+    """
+
+    def __init__(self, base: FileSystem | None = None,
+                 write_delay: float = 0.0, read_delay: float = 0.0,
+                 sleep=time.sleep):
+        self.base = base if base is not None else REAL_FS
+        self.write_delay = write_delay
+        self.read_delay = read_delay
+        self._sleep = sleep
+        self.op_log: list[str] = []
+
+    def _stall(self, delay: float, op: str, path: str) -> None:
+        if delay > 0:
+            self.op_log.append(f"{op} {os.path.basename(path)}")
+            self._sleep(delay)
+
+    def read_bytes(self, path: str) -> bytes:
+        self._stall(self.read_delay, "read_bytes", path)
+        return self.base.read_bytes(path)
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        self._stall(self.write_delay, "write_bytes", path)
+        self.base.write_bytes(path, data)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._stall(self.write_delay, "replace", dst)
+        self.base.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        self._stall(self.write_delay, "remove", path)
+        self.base.remove(path)
+
+    def create_exclusive(self, path: str, data: bytes) -> bool:
+        self._stall(self.write_delay, "create_exclusive", path)
+        return self.base.create_exclusive(path, data)
+
+    def release_lock(self, path: str) -> None:
+        self.base.release_lock(path)
+
+    def exists(self, path: str) -> bool:
+        return self.base.exists(path)
+
+    def isdir(self, path: str) -> bool:
+        return self.base.isdir(path)
+
+    def listdir(self, path: str) -> list[str]:
+        self._stall(self.read_delay, "listdir", path)
+        return self.base.listdir(path)
+
+    def makedirs(self, path: str) -> None:
+        self.base.makedirs(path)
+
+    def pid_alive(self, pid: int) -> bool:
+        return self.base.pid_alive(pid)
+
+
+# -- deterministic two-writer interleaving -------------------------------
+
+
+class InterleavedFS(FileSystem):
+    """One writer's view of a shared store under an interleaver: every
+    call first waits for that writer's turn in the schedule."""
+
+    def __init__(self, driver: "TwoWriterInterleaver", label: str,
+                 base: FileSystem):
+        self._driver = driver
+        self._label = label
+        self._base = base
+
+    def read_bytes(self, path: str) -> bytes:
+        return self._driver._gated(self._label, self._base.read_bytes,
+                                   path)
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        return self._driver._gated(self._label, self._base.write_bytes,
+                                   path, data)
+
+    def replace(self, src: str, dst: str) -> None:
+        return self._driver._gated(self._label, self._base.replace,
+                                   src, dst)
+
+    def exists(self, path: str) -> bool:
+        return self._driver._gated(self._label, self._base.exists, path)
+
+    def isdir(self, path: str) -> bool:
+        return self._driver._gated(self._label, self._base.isdir, path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self._driver._gated(self._label, self._base.listdir, path)
+
+    def remove(self, path: str) -> None:
+        return self._driver._gated(self._label, self._base.remove, path)
+
+    def makedirs(self, path: str) -> None:
+        return self._driver._gated(self._label, self._base.makedirs,
+                                   path)
+
+    def create_exclusive(self, path: str, data: bytes) -> bool:
+        return self._driver._gated(self._label,
+                                   self._base.create_exclusive,
+                                   path, data)
+
+    def release_lock(self, path: str) -> None:
+        return self._driver._gated(self._label, self._base.release_lock,
+                                   path)
+
+    def pid_alive(self, pid: int) -> bool:
+        return self._base.pid_alive(pid)
+
+
+class TwoWriterInterleaver:
+    """Drive two writers' filesystem calls in an exact order.
+
+    ``schedule`` is a string over the writer labels (``"ABABAB"``,
+    ``"AABB..."``): the k-th granted filesystem call must come from the
+    writer the k-th character names.  Entries for a writer that already
+    finished are skipped; when the schedule is exhausted (or a writer
+    stalls past ``step_timeout`` -- e.g. it is blocked on the other's
+    store lock while the schedule still names it) the gate falls open
+    and both writers free-run to completion.  Given a schedule and two
+    deterministic writers, the resulting on-disk interleaving is fully
+    reproducible.
+
+    Use :meth:`fs` to get each writer's gated filesystem, then
+    :meth:`run` to execute both concurrently.
+    """
+
+    def __init__(self, schedule: str, base: FileSystem | None = None,
+                 step_timeout: float = 10.0):
+        self.schedule = schedule
+        self.base = base if base is not None else REAL_FS
+        self.step_timeout = step_timeout
+        self._pos = 0
+        self._done: set[str] = set()
+        self._free = False
+        self._cond = threading.Condition()
+        #: Granted calls, in order -- the realized interleaving.
+        self.trace: list[str] = []
+
+    def fs(self, label: str) -> InterleavedFS:
+        return InterleavedFS(self, label, self.base)
+
+    def _is_turn(self, label: str) -> bool:
+        if self._free:
+            return True
+        while (self._pos < len(self.schedule)
+               and self.schedule[self._pos] in self._done):
+            self._pos += 1
+        if self._pos >= len(self.schedule):
+            self._free = True
+            return True
+        return self.schedule[self._pos] == label
+
+    def _gated(self, label: str, fn, *args):
+        deadline = time.monotonic() + self.step_timeout
+        with self._cond:
+            while not self._is_turn(label):
+                if time.monotonic() >= deadline:
+                    self._free = True  # fail open: a test never deadlocks
+                    break
+                self._cond.wait(0.005)
+        try:
+            return fn(*args)
+        finally:
+            with self._cond:
+                if (not self._free and self._pos < len(self.schedule)
+                        and self.schedule[self._pos] == label):
+                    self._pos += 1
+                self.trace.append(label)
+                self._cond.notify_all()
+
+    def run(self, writer_a, writer_b) -> tuple[object, object]:
+        """Run both writers concurrently under the schedule; re-raises
+        the first writer failure (A's before B's)."""
+        results: dict[str, object] = {}
+        errors: dict[str, BaseException] = {}
+
+        def runner(label: str, fn) -> None:
+            try:
+                results[label] = fn()
+            except BaseException as err:
+                errors[label] = err
+            finally:
+                with self._cond:
+                    self._done.add(label)
+                    self._cond.notify_all()
+
+        threads = [
+            threading.Thread(target=runner, args=("A", writer_a)),
+            threading.Thread(target=runner, args=("B", writer_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for label in ("A", "B"):
+            if label in errors:
+                raise errors[label]
+        return results.get("A"), results.get("B")
 
 
 # -- post-hoc corruptors (damage at rest) --------------------------------

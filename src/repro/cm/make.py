@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.cm.base import BaseBuilder
 from repro.cm.depend import DepGraph
-from repro.cm.report import UnitOutcome
+from repro.cm.store import BinRecord
 from repro.units.unit import CompiledUnit
 
 
@@ -24,23 +24,22 @@ class TimestampBuilder(BaseBuilder):
         super().__init__(*args, **kwargs)
         self._rebuilt_this_pass: set[str] = set()
 
-    def build(self):
+    def _begin_build(self) -> None:
         self._rebuilt_this_pass = set()
-        return super().build()
 
-    def process(self, name: str, graph: DepGraph,
-                imports: list[CompiledUnit]) -> UnitOutcome:
-        record = self.store.get(name)
+    def decide(self, name: str, graph: DepGraph,
+               imports: list[CompiledUnit],
+               record: BinRecord | None) -> tuple[str, str]:
         if record is None:
-            outcome = self.compile(name, imports, "no bin file")
-        elif self.project.version(name) > record.built_at:
-            outcome = self.compile(name, imports, "source newer than bin")
-        elif any(dep in self._rebuilt_this_pass
-                 for dep in graph.deps[name]):
-            outcome = self.compile(name, imports, "a dependency was rebuilt")
-        elif self.is_live_and_current(name, record):
-            return UnitOutcome(name, "cached", "up to date")
-        else:
-            return self.load(name, record, imports)
+            return "compile", "no bin file"
+        if self.project.version(name) > record.built_at:
+            return "compile", "source newer than bin"
+        if any(dep in self._rebuilt_this_pass
+               for dep in graph.deps[name]):
+            return "compile", "a dependency was rebuilt"
+        if self.is_live_and_current(name, record):
+            return "cached", ""
+        return "load", ""
+
+    def on_compiled(self, name: str, graph: DepGraph) -> None:
         self._rebuilt_this_pass.add(name)
-        return outcome

@@ -18,28 +18,27 @@ from __future__ import annotations
 
 from repro.cm.base import BaseBuilder
 from repro.cm.depend import DepGraph
-from repro.cm.report import UnitOutcome
+from repro.cm.store import BinRecord
 from repro.units.unit import CompiledUnit
 
 
 class CutoffBuilder(BaseBuilder):
     """The Incremental Recompilation Manager's cutoff algorithm."""
 
-    def process(self, name: str, graph: DepGraph,
-                imports: list[CompiledUnit]) -> UnitOutcome:
-        record = self.store.get(name)
+    def decide(self, name: str, graph: DepGraph,
+               imports: list[CompiledUnit],
+               record: BinRecord | None) -> tuple[str, str]:
         if record is None:
             # Distinguish a unit that never had a bin file from one
             # whose bin file was quarantined as damaged at store load.
             kinds = self.health.kinds_for(name)
             reason = (f"bin file quarantined ({kinds[0]})" if kinds
                       else "no bin file")
-            return self.compile(name, imports, reason)
+            return "compile", reason
         if not self.source_current(name, record):
-            return self.compile(name, imports, "source changed")
+            return "compile", "source changed"
         if not self.imports_current(record, imports):
-            return self.compile(name, imports, "an imported interface "
-                                "(pid) changed")
+            return "compile", "an imported interface (pid) changed"
         if self.is_live_and_current(name, record):
-            return UnitOutcome(name, "cached", "up to date")
-        return self.load(name, record, imports)
+            return "cached", ""
+        return "load", ""

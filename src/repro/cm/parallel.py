@@ -1,0 +1,355 @@
+"""Wavefront-parallel builds.
+
+The cutoff model makes units independent once the pids of their imports
+are fixed (§5): a unit's compilation reads only its source text and the
+statenvs of the units it imports.  Every *antichain* of the dependency
+DAG can therefore compile concurrently, and the build becomes a sequence
+of **wavefronts** -- wave *k* holds the units whose longest import chain
+has length *k*, so all of a unit's imports live in strictly earlier
+waves.
+
+Determinism proof sketch (why ``--jobs N`` is byte-identical to serial):
+
+1. A worker compiles a unit *hermetically*: it builds a fresh session,
+   rehydrates the unit's transitive imports from their dehydrated
+   payloads (in dependency order), and runs the same
+   :func:`~repro.units.pipeline.compile_unit` the serial builder runs.
+2. Export pids are *intrinsic*: stamps are alpha-converted and extern
+   references are named by ``(pid, export index)``, so neither the pid
+   nor the payload bytes depend on session history, process identity,
+   or the order in which other units were compiled.
+3. The parent applies each wave's results in sorted unit order --
+   rehydrating the worker's payload into its own session, writing the
+   same :class:`~repro.cm.store.BinRecord` a serial compile would write.
+
+Hence statenv, store contents and export pids are equal for every jobs
+count and every scheduling interleaving; the differential determinism
+matrix in ``tests/cm/test_parallel_determinism.py`` checks this
+byte-for-byte, under fault injection.
+
+Scheduling machinery: :func:`wavefronts` partitions a
+:class:`~repro.cm.depend.DepGraph`; :func:`parallel_build` drives any
+:class:`~repro.cm.base.BaseBuilder` (its ``decide`` seam supplies the
+recompilation policy) over a :class:`ProcessPoolExecutor`, falling back
+to threads where process pools are unavailable.  :class:`WorkerFaults`
+is the deterministic fault seam used by the crash-mid-wave tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cm.depend import DepGraph
+from repro.cm.report import BuildReport, UnitOutcome
+from repro.units.pipeline import compile_unit, load_unit
+from repro.units.unit import PhaseTimes
+
+
+class ParallelBuildError(Exception):
+    """A worker failed compiling a unit.
+
+    Worker exceptions are shipped back as (type name, message) rather
+    than pickled exception objects, so a compile error on a process pool
+    surfaces identically to one on a thread pool.
+    """
+
+    def __init__(self, name: str, exc_type: str, message: str):
+        super().__init__(f"{name}: {exc_type}: {message}")
+        self.name = name
+        self.exc_type = exc_type
+        self.message = message
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """Deterministic fault plan for parallel builds (test seam).
+
+    A worker compiling a unit in ``crash_units`` dies with
+    :class:`~repro.cm.faults.InjectedCrash`; one compiling a unit in
+    ``slow_units`` stalls for ``delay`` seconds first (slow-IO shape:
+    the work completes late, it does not fail).
+    """
+
+    crash_units: frozenset = frozenset()
+    slow_units: frozenset = frozenset()
+    delay: float = 0.0
+
+
+# -- wavefront schedule --------------------------------------------------
+
+
+def wavefronts(graph: DepGraph) -> list[list[str]]:
+    """Partition ``graph.order`` into antichains.
+
+    ``wave(u) = 1 + max(wave(d) for in-graph imports d)``; imports
+    outside the graph (stable-library units, already live) do not gate.
+    Each wave is sorted, every unit's imports land in strictly earlier
+    waves, and every unit in wave k > 0 has an import in wave k-1 (the
+    partition is tight: no unit could run earlier).
+    """
+    index: dict[str, int] = {}
+    waves: list[list[str]] = []
+    for name in graph.order:
+        wave = 0
+        for dep in graph.deps.get(name, ()):
+            if dep in index:
+                wave = max(wave, index[dep] + 1)
+        index[name] = wave
+        if wave == len(waves):
+            waves.append([])
+        waves[wave].append(name)
+    return [sorted(wave) for wave in waves]
+
+
+# -- the worker ----------------------------------------------------------
+#
+# Workers are hermetic: each carries its own Session and a cache of
+# rehydrated units keyed by (name, pid), so repeated waves do not re-pay
+# rehydration.  State is thread-local, which covers both pool kinds: a
+# process-pool worker is a single thread, a thread-pool worker must not
+# share a session (stamp registries are not thread-safe) with siblings.
+
+
+@dataclass(frozen=True)
+class ClosureUnit:
+    """One transitive import shipped to a worker: enough to rehydrate."""
+
+    name: str
+    pid: str
+    deps: tuple[str, ...]  # direct import names, dependency order
+    payload: bytes
+    source_digest: str
+
+
+@dataclass(frozen=True)
+class CompileTask:
+    name: str
+    source: str
+    imports: tuple[str, ...]  # direct import names, dependency order
+    closure: tuple[ClosureUnit, ...]  # transitive imports, topo order
+    faults: WorkerFaults | None = None
+
+
+@dataclass
+class CompileResult:
+    name: str
+    export_pid: str = ""
+    payload: bytes = b""
+    source_digest: str = ""
+    times: PhaseTimes = field(default_factory=PhaseTimes)
+    error: tuple[str, str] | None = None  # (exception type, message)
+
+
+_tls = threading.local()
+
+
+def _worker_state():
+    if getattr(_tls, "session", None) is None:
+        from repro.units.session import Session
+
+        _tls.session = Session()
+        _tls.units = {}
+    return _tls.session, _tls.units
+
+
+def compile_task(task: CompileTask) -> CompileResult:
+    """Compile one unit in a hermetic worker session.
+
+    Never raises: failures (including injected ones) come back as
+    ``result.error`` so a process pool and a thread pool report them
+    the same way.
+    """
+    try:
+        if task.faults is not None:
+            if task.name in task.faults.slow_units:
+                time.sleep(task.faults.delay)
+            if task.name in task.faults.crash_units:
+                from repro.cm.faults import InjectedCrash
+
+                raise InjectedCrash(
+                    f"worker killed compiling {task.name}")
+        session, cache = _worker_state()
+        live = {}
+        for dep in task.closure:
+            unit = cache.get((dep.name, dep.pid))
+            if unit is None:
+                unit = load_unit(dep.name, dep.pid,
+                                 [live[d] for d in dep.deps],
+                                 dep.payload, session, dep.source_digest)
+                cache[(dep.name, dep.pid)] = unit
+            live[dep.name] = unit
+        imports = [live[d] for d in task.imports]
+        unit = compile_unit(task.name, task.source, imports, session)
+        return CompileResult(task.name, unit.export_pid, unit.payload,
+                             unit.source_digest, unit.times)
+    except Exception as err:
+        return CompileResult(task.name,
+                             error=(type(err).__name__, str(err)))
+
+
+def _probe() -> int:
+    return 42
+
+
+# -- executors -----------------------------------------------------------
+
+
+def make_executor(jobs: int, pool: str = "process"):
+    """An executor for ``jobs`` workers, or ``(None, "inline")``.
+
+    ``pool`` is ``"process"`` (the default; probed, because process
+    pools fail on platforms without working semaphores or fork/spawn),
+    ``"thread"``, or ``"inline"`` (run tasks synchronously in the
+    caller -- the jobs=1 path through the worker code).  Process-pool
+    failure degrades to threads, never to an error.
+    """
+    if pool == "inline" or jobs <= 1:
+        return None, "inline"
+    if pool == "process":
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            executor = ProcessPoolExecutor(max_workers=jobs)
+            executor.submit(_probe).result(timeout=60)
+            return executor, "process"
+        except Exception:
+            pool = "thread"
+    if pool == "thread":
+        return ThreadPoolExecutor(max_workers=jobs), "thread"
+    raise ValueError(f"unknown pool kind {pool!r}")
+
+
+# -- the parallel build loop ----------------------------------------------
+
+
+def parallel_build(builder, jobs: int = 2, pool: str = "process",
+                   faults: WorkerFaults | None = None) -> BuildReport:
+    """Bring ``builder``'s project up to date, compiling each wavefront
+    on a worker pool.
+
+    Per wave: ask the builder's ``decide`` seam what each unit needs
+    (cached / load / compile), rehydrate loads in the parent (cheap),
+    dispatch compiles to the pool, then apply results in sorted unit
+    order -- so the store the build leaves behind is byte-identical to a
+    serial build's regardless of jobs count or completion order.
+
+    A worker failure raises :class:`ParallelBuildError` after the
+    preceding waves were fully applied; the in-memory store then holds
+    exactly a valid prefix of the build, and saving it degrades to the
+    store's ordinary crash-safety guarantees.
+    """
+    t0 = time.perf_counter()
+    report = BuildReport(jobs=jobs)
+    builder._begin_build()
+    builder._load_pending_stables(report)
+    graph = builder.analyze()
+    executor, using = make_executor(jobs, pool)
+    report.pool = using
+    try:
+        for wave in wavefronts(graph):
+            pending: list[tuple[str, str]] = []
+            for name in wave:
+                record = builder.store.get(name)
+                imports = [builder.units[d] for d in graph.deps[name]]
+                action, reason = builder.decide(name, graph, imports,
+                                                record)
+                if action == "cached":
+                    report.add(UnitOutcome(name, "cached", "up to date"))
+                elif action == "load":
+                    outcome = builder.load(name, record, imports)
+                    if outcome.action == "compiled":
+                        builder.on_compiled(name, graph)
+                    report.add(outcome)
+                else:
+                    pending.append((name, reason))
+            if not pending:
+                continue
+            results: dict[str, CompileResult] = {}
+            if executor is None:
+                for name, _reason in pending:
+                    results[name] = compile_task(
+                        _make_task(builder, graph, name, faults))
+            else:
+                futures = {
+                    name: executor.submit(
+                        compile_task,
+                        _make_task(builder, graph, name, faults))
+                    for name, _reason in pending
+                }
+                for name, future in futures.items():
+                    results[name] = future.result()
+            for name, reason in pending:  # wave is sorted: deterministic
+                result = results[name]
+                if result.error is not None:
+                    raise ParallelBuildError(name, *result.error)
+                report.add(_apply_result(builder, graph, name, reason,
+                                         result))
+        report.wall_seconds = time.perf_counter() - t0
+        return report
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _make_task(builder, graph: DepGraph, name: str,
+               faults: WorkerFaults | None) -> CompileTask:
+    """Package one unit's compile: its source plus the dehydrated
+    transitive import closure (stable-library units included)."""
+    closure_names = _import_closure(builder, graph.deps[name])
+    closure = tuple(
+        ClosureUnit(
+            name=dep,
+            pid=builder.units[dep].export_pid,
+            deps=tuple(n for n, _pid in builder.units[dep].imports),
+            payload=builder.units[dep].payload,
+            source_digest=builder.units[dep].source_digest,
+        )
+        for dep in closure_names
+    )
+    return CompileTask(name=name, source=builder.project.source(name),
+                       imports=tuple(graph.deps[name]), closure=closure,
+                       faults=faults)
+
+
+def _import_closure(builder, roots: list[str]) -> list[str]:
+    """Transitive imports of ``roots`` in dependency order (imports
+    before importers), walking the live units' recorded import lists --
+    which, unlike the project graph, also cover stable-library units."""
+    order: list[str] = []
+    seen: set[str] = set()
+    stack: list[tuple[str, bool]] = [(r, False) for r in reversed(roots)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        for dep_name, _pid in reversed(builder.units[node].imports):
+            if dep_name not in seen:
+                stack.append((dep_name, False))
+    return order
+
+
+def _apply_result(builder, graph: DepGraph, name: str, reason: str,
+                  result: CompileResult) -> UnitOutcome:
+    """Land a worker's compile in the parent, exactly as a serial
+    compile would have: rehydrate the payload into the parent session,
+    write the record, run the builder's post-compile hook."""
+    imports = [builder.units[d] for d in graph.deps[name]]
+    unit = load_unit(name, result.export_pid, imports, result.payload,
+                     builder.session, result.source_digest)
+    unit.times = result.times  # report the worker's compile timings
+    previous = builder.store.get(name)
+    pid_changed = (previous is None
+                   or previous.export_pid != result.export_pid)
+    builder.units[name] = unit
+    builder.store.put(builder.make_record(name, unit))
+    builder.on_compiled(name, graph)
+    return UnitOutcome(name, "compiled", reason, pid_changed,
+                       result.times)

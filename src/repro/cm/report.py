@@ -28,6 +28,10 @@ class UnitOutcome:
 class BuildReport:
     outcomes: list[UnitOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Worker count and pool kind ("serial" for the classic build loop;
+    #: "process"/"thread"/"inline" for wavefront builds).
+    jobs: int = 1
+    pool: str = "serial"
 
     def add(self, outcome: UnitOutcome) -> None:
         self.outcomes.append(outcome)

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from repro.cm.base import BaseBuilder
 from repro.cm.depend import DepGraph
-from repro.cm.report import UnitOutcome
 from repro.cm.store import BinRecord
 from repro.pickle.pickler import Pickler
 from repro.pids.crc128 import CRC128
@@ -32,21 +31,19 @@ from repro.units.unit import CompiledUnit
 class SmartBuilder(BaseBuilder):
     """Per-name smart recompilation."""
 
-    def process(self, name: str, graph: DepGraph,
-                imports: list[CompiledUnit]) -> UnitOutcome:
-        record = self.store.get(name)
+    def decide(self, name: str, graph: DepGraph,
+               imports: list[CompiledUnit],
+               record: BinRecord | None) -> tuple[str, str]:
         if record is None:
-            return self._compile_smart(name, graph, imports, "no bin file")
+            return "compile", "no bin file"
         if not self.source_current(name, record):
-            return self._compile_smart(name, graph, imports,
-                                       "source changed")
+            return "compile", "source changed"
         stale = self._stale_use(record, graph, name)
         if stale is not None:
-            return self._compile_smart(
-                name, graph, imports, f"used binding changed: {stale}")
+            return "compile", f"used binding changed: {stale}"
         if self.is_live_and_current(name, record):
-            return UnitOutcome(name, "cached", "up to date")
-        return self._load_smart(name, record, imports)
+            return "cached", ""
+        return "load", ""
 
     # -- decision ---------------------------------------------------------
 
@@ -71,19 +68,15 @@ class SmartBuilder(BaseBuilder):
 
     # -- actions ----------------------------------------------------------
 
-    def _compile_smart(self, name: str, graph: DepGraph,
-                       imports: list[CompiledUnit],
-                       reason: str) -> UnitOutcome:
-        outcome = self.compile(name, imports, reason)
+    def on_compiled(self, name: str, graph: DepGraph) -> None:
+        # Member hashes are computed over the *live* unit; for a unit
+        # compiled on a worker the live unit is its rehydration, whose
+        # hashes are identical (the dehydration is alpha-converted and
+        # line-normalized, so hashes survive the round trip).
         record = self.store.get(name)
         unit = self.units[name]
         record.extra["member_hashes"] = member_hashes(unit, self.session)
         record.extra["used"] = self._record_uses(name, graph)
-        return outcome
-
-    def _load_smart(self, name: str, record: BinRecord,
-                    imports: list[CompiledUnit]) -> UnitOutcome:
-        return self.load(name, record, imports)
 
     def _record_uses(self, name: str, graph: DepGraph) -> dict:
         used: dict[str, dict[str, str]] = {}

@@ -56,6 +56,8 @@ PAYLOAD_SUFFIX = ".bin"
 TMP_SUFFIX = ".tmp"
 MANIFEST_NAME = "MANIFEST.json"
 LOCK_NAME = "store.lock"
+#: Per-record lock files (merge saves): ``<stem>.rlock``.
+RECORD_LOCK_SUFFIX = ".rlock"
 
 #: Header fields a loadable record must carry.
 _REQUIRED_FIELDS = ("name", "source_digest", "export_pid", "imports",
@@ -228,19 +230,23 @@ class SaveStats:
 
 
 class StoreLock:
-    """A pid-stamped lock file guarding a store directory.
+    """A pid-stamped lock file guarding a store directory (or, with a
+    ``filename`` of ``<stem>.rlock``, a single record in it).
 
     Stale locks (owner dead, or content torn beyond parsing) are broken
     and noted.  A lock held by a live process blocks until ``timeout``;
     then ``acquire(required=True)`` raises :class:`StoreLockedError`
     while ``required=False`` (read paths) proceeds without the lock and
-    records a note.
+    records a note.  Liveness, not just process identity, is what the
+    breaker tests: a *live* writer that is merely slow keeps its lock
+    (see the SlowFS tests).
     """
 
     def __init__(self, dir_path: str, fs: FileSystem | None = None,
-                 timeout: float = 5.0, poll: float = 0.02):
+                 timeout: float = 5.0, poll: float = 0.02,
+                 filename: str = LOCK_NAME):
         self.fs = fs if fs is not None else REAL_FS
-        self.lock_path = os.path.join(dir_path, LOCK_NAME)
+        self.lock_path = os.path.join(dir_path, filename)
         self.timeout = timeout
         self.poll = poll
         self.notes: list[str] = []
@@ -272,11 +278,7 @@ class StoreLock:
             time.sleep(self.poll)
 
     def _owner(self) -> int | None:
-        try:
-            data = json.loads(self.fs.read_bytes(self.lock_path))
-            return int(data["pid"])
-        except Exception:
-            return None  # unreadable/torn lock: treated as stale
+        return _lock_owner(self.fs, self.lock_path)
 
     def release(self) -> None:
         if self.held:
@@ -289,6 +291,16 @@ class StoreLock:
 
     def __exit__(self, *exc) -> None:
         self.release()
+
+
+def _lock_owner(fs: FileSystem, lock_path: str) -> int | None:
+    """The pid recorded in a lock file, or None when the lock is
+    unreadable/torn (treated as stale by every breaker)."""
+    try:
+        data = json.loads(fs.read_bytes(lock_path))
+        return int(data["pid"])
+    except Exception:
+        return None
 
 
 # -- records -------------------------------------------------------------
@@ -384,8 +396,8 @@ class BinStore:
         header["record_digest"] = _record_digest(header, record.payload)
         return header
 
-    def save_directory(self, path: str,
-                       lock_timeout: float = 5.0) -> SaveStats:
+    def save_directory(self, path: str, lock_timeout: float = 5.0,
+                       merge: bool = False) -> SaveStats:
         """Write the store to ``path`` atomically and incrementally.
 
         Only dirty records are rewritten (payload first, header second,
@@ -393,7 +405,18 @@ class BinStore:
         unknown record debris are pruned; the manifest is refreshed.
         The whole save runs under the store lock.  Returns what was
         actually written.
+
+        With ``merge=True`` the save is safe against *other live
+        writers* on the same store: each record's header+payload pair is
+        written under a per-record lock (so two writers racing on one
+        unit can never interleave into a mismatched pair), and the
+        manifest is merged read-modify-write under the store lock
+        instead of overwritten -- records this store never heard of are
+        preserved, so two builders racing on one store converge to the
+        union of their work, never corruption.
         """
+        if merge:
+            return self._save_merge(path, lock_timeout)
         fs = self.fs
         fs.makedirs(path)
         target = os.path.abspath(path)
@@ -436,12 +459,102 @@ class BinStore:
             for entry in fs.listdir(path):
                 if entry in (MANIFEST_NAME, LOCK_NAME):
                     continue
+                if entry.endswith(RECORD_LOCK_SUFFIX):
+                    owner = _lock_owner(fs, os.path.join(path, entry))
+                    if owner is None or not fs.pid_alive(owner):
+                        fs.remove(os.path.join(path, entry))
+                        stats.pruned.append(entry)
+                    continue
                 stem = _record_stem(entry)
                 if stem is None:
                     continue  # not a store-managed file: leave it alone
                 if entry.endswith(TMP_SUFFIX) or stem not in live:
                     fs.remove(os.path.join(path, entry))
                     stats.pruned.append(entry)
+
+            self._dirty.clear()
+            self._removed.clear()
+            self._loaded_from = target
+            return stats
+        finally:
+            lock.release()
+
+    def _save_merge(self, path: str, lock_timeout: float) -> SaveStats:
+        """The concurrent-writer save: per-record locks around each
+        header+payload pair, then a read-modify-write manifest merge
+        under the store lock.
+
+        Two invariants make racing writers safe:
+
+        - a record's two files are only ever replaced while holding its
+          ``.rlock``, so a reader can never see writer A's header next
+          to writer B's payload (each pair is internally consistent;
+          the whole-record digest would expose exactly that mix);
+        - manifest entries are only added for records whose files are
+          already on disk, and only removed (with their files) by the
+          writer that removed the unit -- so the manifest never names a
+          record that was not completely written.
+
+        Unknown debris is deliberately *not* pruned here: a file this
+        writer does not recognize may be another live writer's
+        just-written record that is not yet manifested.  Only stale
+        record locks (dead owners) are swept.
+        """
+        fs = self.fs
+        fs.makedirs(path)
+        target = os.path.abspath(path)
+        stats = SaveStats()
+        dirty = (set(self._records) if target != self._loaded_from
+                 else set(self._dirty))
+        for name in sorted(dirty):
+            record = self._records[name]
+            stem = escape_name(name)
+            header_bytes = json.dumps(
+                self._header_for(record), indent=1).encode("utf-8")
+            rlock = StoreLock(path, fs=fs, timeout=lock_timeout,
+                              filename=stem + RECORD_LOCK_SUFFIX)
+            rlock.acquire(required=True)
+            try:
+                payload_file = os.path.join(path, stem + PAYLOAD_SUFFIX)
+                fs.write_bytes(payload_file + TMP_SUFFIX, record.payload)
+                fs.replace(payload_file + TMP_SUFFIX, payload_file)
+                header_file = os.path.join(path, stem + HEADER_SUFFIX)
+                fs.write_bytes(header_file + TMP_SUFFIX, header_bytes)
+                fs.replace(header_file + TMP_SUFFIX, header_file)
+            finally:
+                rlock.release()
+            stats.records_written += 1
+            stats.bytes_written += len(record.payload) + len(header_bytes)
+        stats.records_skipped = len(self._records) - len(dirty)
+
+        lock = StoreLock(path, fs=fs, timeout=lock_timeout)
+        lock.acquire(required=True)
+        try:
+            entries = fs.listdir(path)
+            merged = _read_manifest(fs, path, entries,
+                                    StoreHealthReport()) or {}
+            for name in sorted(self._removed):
+                stem = escape_name(name)
+                merged.pop(stem, None)
+                fs.remove(os.path.join(path, stem + HEADER_SUFFIX))
+                fs.remove(os.path.join(path, stem + PAYLOAD_SUFFIX))
+                stats.pruned.append(stem)
+            for name in self._records:
+                merged[escape_name(name)] = name
+            manifest = {"format": FORMAT_VERSION, "records": merged}
+            manifest_bytes = json.dumps(
+                manifest, indent=1, sort_keys=True).encode("utf-8")
+            manifest_file = os.path.join(path, MANIFEST_NAME)
+            fs.write_bytes(manifest_file + TMP_SUFFIX, manifest_bytes)
+            fs.replace(manifest_file + TMP_SUFFIX, manifest_file)
+            stats.bytes_written += len(manifest_bytes)
+
+            for entry in entries:
+                if entry.endswith(RECORD_LOCK_SUFFIX):
+                    owner = _lock_owner(fs, os.path.join(path, entry))
+                    if owner is None or not fs.pid_alive(owner):
+                        fs.remove(os.path.join(path, entry))
+                        stats.pruned.append(entry)
 
             self._dirty.clear()
             self._removed.clear()
@@ -484,6 +597,8 @@ class BinStore:
             for entry in entries:
                 if entry in (MANIFEST_NAME, LOCK_NAME):
                     continue
+                if entry.endswith(RECORD_LOCK_SUFFIX):
+                    continue  # a merge writer's per-record lock
                 if entry.endswith(TMP_SUFFIX):
                     report.notes.append(
                         f"ignoring leftover temp file {entry}")

@@ -15,7 +15,8 @@ experiment sweep the variables the paper holds fixed.
 """
 
 from repro.workload.generate import Workload, generate_workload
-from repro.workload.shapes import chain, diamond, layered, random_dag, tree
+from repro.workload.shapes import (chain, diamond, fanout, layered,
+                                   random_dag, tree)
 
 __all__ = [
     "Workload",
@@ -23,6 +24,7 @@ __all__ = [
     "chain",
     "tree",
     "diamond",
+    "fanout",
     "layered",
     "random_dag",
 ]

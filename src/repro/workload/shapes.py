@@ -31,6 +31,17 @@ def tree(depth: int, fanout: int = 2) -> list[list[int]]:
     return deps
 
 
+def fanout(width: int) -> list[list[int]]:
+    """Wide fan-out: one base unit imported by ``width`` independent
+    units, plus one top unit importing them all.  The best case for
+    wavefront parallelism (the whole middle layer is one antichain) and
+    the worst case for an interface edit to the base."""
+    deps: list[list[int]] = [[]]
+    deps.extend([0] for _ in range(width))
+    deps.append(list(range(1, width + 1)))
+    return deps
+
+
 def diamond(width: int, depth: int) -> list[list[int]]:
     """Layered diamonds: one base unit, ``depth`` layers of ``width``
     units each depending on the whole previous layer, and one top unit
