@@ -7,17 +7,50 @@ experiment index (the paper's tables/figures).  Conventions:
   ``pytest benchmarks/ --benchmark-only`` runs the full suite;
 - experiment outcomes (paper-reported vs measured) are attached as
   ``benchmark.extra_info`` and also printed as small tables, which
-  EXPERIMENTS.md quotes.
+  EXPERIMENTS.md quotes;
+- benchmarks have a *trace mode*: run with ``REPRO_BENCH_TRACE=1`` to
+  print each benchmark's span tree (with ``-s``), or
+  ``REPRO_BENCH_TRACE=<dir>`` to also write a Chrome ``trace_event``
+  file per test into that directory.  Tests opt in by taking the
+  ``bench_meter`` fixture and passing it as a builder's ``meter``; off
+  (the default) it is the no-op meter, so the timed code path is
+  identical to production.
 """
+
+import json
+import os
+import re
 
 import pytest
 
 from repro.basis import make_basis
+from repro.obs import NULL_METER, Tracer
 
 
 @pytest.fixture(scope="session")
 def basis():
     return make_basis()
+
+
+@pytest.fixture
+def bench_meter(request):
+    """The benchmark trace seam: NULL_METER unless REPRO_BENCH_TRACE
+    is set (see the module docstring)."""
+    mode = os.environ.get("REPRO_BENCH_TRACE", "")
+    if not mode:
+        yield NULL_METER
+        return
+    tracer = Tracer()
+    yield tracer
+    print()
+    print(tracer.render_tree())
+    if os.path.isdir(mode):
+        name = re.sub(r"[^A-Za-z0-9_.-]", "_", request.node.name)
+        out = os.path.join(mode, f"{name}.trace.json")
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(tracer.to_chrome_trace(), fh, indent=1,
+                      sort_keys=True)
+        print(f"trace written to {out}")
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

@@ -1,0 +1,109 @@
+"""Experiment O1 -- telemetry overhead (observability PR).
+
+The instrumentation seam (``BuildMeter``) sits on the build's hot path
+permanently; only a real :class:`~repro.obs.Tracer` is opt-in.  The
+claim to gate on: **the no-op meter costs < 5% of an untraced build**
+on the 40-unit fan-out workload.
+
+Wall-clock deltas between two whole builds are too noisy to assert on
+a timesharing CI core, so the gate is computed structurally: count
+every meter call a traced build actually makes (a counting meter),
+time that many calls against the real ``NULL_METER``, and compare that
+total -- the exact cost the no-op seam adds -- to the untraced build's
+wall.  The traced-vs-untraced wall ratio is still measured and
+reported (not gated).
+"""
+
+import time
+
+from repro.cm import CutoffBuilder
+from repro.obs import NULL_METER, Tracer
+from repro.obs.meter import _NULL_SPAN
+from repro.workload import generate_workload
+from repro.workload.shapes import fanout
+
+from .conftest import print_table
+
+WIDTH = 38  # fanout(38) = 40 units: base + 38 middles + top
+
+
+def _workload():
+    return generate_workload(fanout(WIDTH), helpers_per_unit=8)
+
+
+class CountingMeter:
+    """Counts every meter call; behaves like the no-op otherwise."""
+
+    enabled = False  # take exactly the branches NULL_METER takes
+
+    def __init__(self):
+        self.calls = 0
+
+    def span(self, name, cat="build", **args):
+        self.calls += 1
+        return _NULL_SPAN
+
+    def event(self, name, cat="build", **args):
+        self.calls += 1
+
+    def counter(self, name, value=1):
+        self.calls += 1
+
+    def complete_span(self, name, start, end, cat="build", track=None,
+                      **args):
+        self.calls += 1
+
+
+def test_null_meter_overhead_under_5_percent(benchmark, bench_meter):
+    def run():
+        untraced = CutoffBuilder(_workload().project)
+        t0 = time.perf_counter()
+        untraced.build()
+        untraced_s = time.perf_counter() - t0
+
+        counting = CountingMeter()
+        CutoffBuilder(_workload().project, meter=counting).build()
+
+        # The seam's whole cost: that many calls against NULL_METER.
+        t0 = time.perf_counter()
+        for _ in range(counting.calls):
+            with NULL_METER.span("unit", cat="unit", unit="u000"):
+                pass
+        seam_s = time.perf_counter() - t0
+
+        traced = CutoffBuilder(_workload().project,
+                               meter=Tracer() if bench_meter is NULL_METER
+                               else bench_meter)
+        t0 = time.perf_counter()
+        traced.build()
+        traced_s = time.perf_counter() - t0
+        return untraced_s, counting.calls, seam_s, traced_s
+
+    untraced_s, calls, seam_s, traced_s = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    overhead = seam_s / untraced_s
+    assert overhead < 0.05, (
+        f"no-op meter seam costs {overhead:.1%} of an untraced build "
+        f"({calls} calls, {seam_s * 1e3:.2f} ms vs "
+        f"{untraced_s * 1e3:.1f} ms)")
+
+    print_table(
+        f"O1: telemetry overhead on {WIDTH + 2} units",
+        ["mode", "wall", "meter calls"],
+        [
+            ["untraced (NULL_METER)", f"{untraced_s:.3f}s", str(calls)],
+            ["no-op seam alone", f"{seam_s * 1e3:.2f}ms", str(calls)],
+            ["traced (Tracer)", f"{traced_s:.3f}s", str(calls)],
+        ])
+    print(f"no-op overhead: {overhead:.2%} of untraced wall (gate: <5%); "
+          f"full tracing: {traced_s / untraced_s:.2f}x (reported only)")
+
+    benchmark.extra_info.update({
+        "units": WIDTH + 2,
+        "meter_calls": calls,
+        "untraced_wall_s": round(untraced_s, 4),
+        "null_seam_s": round(seam_s, 6),
+        "traced_wall_s": round(traced_s, 4),
+        "null_overhead_pct": round(overhead * 100, 3),
+    })

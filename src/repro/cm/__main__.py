@@ -16,6 +16,13 @@ Options:
     --fsck                          check the bin store's health instead of
                                     building: exit 0 healthy, 1 damaged
     --json                          with --fsck: machine-readable report
+    --explain [UNIT]                print the cutoff-explanation ledger:
+                                    why each unit (or one unit) was
+                                    recompiled or reused
+    --trace                         print the span-tree trace report and
+                                    the critical path after building
+    --trace-out FILE                write a Chrome trace_event JSON file
+                                    (chrome://tracing / ui.perfetto.dev)
 """
 
 from __future__ import annotations
@@ -76,20 +83,51 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="with --fsck: print the health report as "
                              "JSON")
+    parser.add_argument("--explain", nargs="?", const="*", default=None,
+                        metavar="UNIT",
+                        help="print why each unit (or just UNIT) was "
+                             "recompiled or reused")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span-tree trace report and the "
+                             "critical path after building")
+    parser.add_argument("--trace-out", dest="trace_out", metavar="FILE",
+                        help="write a Chrome trace_event JSON file "
+                             "(also embeds the decision ledger and "
+                             "critical path)")
     args = parser.parse_args(argv)
 
     if args.fsck:
         return _run_fsck(args)
 
+    tracer = None
+    if args.trace or args.trace_out:
+        from repro.obs.tracer import Tracer
+        tracer = Tracer()
+
     if os.path.isfile(args.srcdir) and args.srcdir.endswith(".cm"):
-        return _build_group_file(args)
+        return _build_group_file(args, tracer)
     if not os.path.isdir(args.srcdir):
         print(f"error: {args.srcdir} is not a directory or .cm file",
               file=sys.stderr)
         return 2
 
+    if tracer is None:
+        rc, _builder, _report = _build_directory(args, None)
+        return rc
+    with tracer.span("run", cat="build", srcdir=args.srcdir):
+        rc, builder, report = _build_directory(args, tracer)
+    trace_rc = _emit_trace(args, tracer, builder, report)
+    return rc or trace_rc
+
+
+def _build_directory(args, tracer):
+    """Build a source directory; returns ``(exit code, builder, report)``
+    so trace emission can consult the ledger and dependency graph."""
+    from repro.obs.meter import NULL_METER
+
+    meter = tracer if tracer is not None else NULL_METER
     bin_dir = os.path.join(args.srcdir, ".bin")
-    store = (BinStore.load_directory(bin_dir)
+    store = (BinStore.load_directory(bin_dir, meter=meter)
              if os.path.isdir(bin_dir) else BinStore())
     if not store.health.ok:
         damaged = store.health.quarantined()
@@ -101,14 +139,14 @@ def main(argv: list[str] | None = None) -> int:
     project = Project.from_directory(args.srcdir)
     if not len(project):
         print(f"error: no .sml files in {args.srcdir}", file=sys.stderr)
-        return 2
-    builder = MANAGERS[args.manager](project, store=store)
+        return 2, None, None
+    builder = MANAGERS[args.manager](project, store=store, meter=tracer)
 
     try:
         report = builder.build(jobs=max(1, args.jobs), pool=args.pool)
     except Exception as err:  # ElabError, DependencyError, ParseError...
         print(f"error: {err}", file=sys.stderr)
-        return 1
+        return 1, builder, None
 
     for outcome in report.outcomes:
         print(f"  [{outcome.action:>8}] {outcome.name}"
@@ -116,11 +154,14 @@ def main(argv: list[str] | None = None) -> int:
     if report.jobs > 1:
         print(f"parallel build: {report.jobs} jobs ({report.pool} pool)")
     print(report.summary())
+    if args.explain is not None:
+        unit = None if args.explain == "*" else args.explain
+        print(builder.ledger.render_text(unit))
     try:
-        store.save_directory(bin_dir)
+        store.save_directory(bin_dir)  # self-instruments via store.meter
     except StoreLockedError as err:
         print(f"error: {err}", file=sys.stderr)
-        return 1
+        return 1, builder, report
 
     if args.stats:
         times = [(o.name, o.times) for o in report.outcomes]
@@ -134,16 +175,16 @@ def main(argv: list[str] | None = None) -> int:
         rc = _run_analysis(project, builder.last_graph,
                            builder._dep_cache, args.strict)
         if rc:
-            return rc
+            return rc, builder, report
 
     if args.no_link:
-        return 0
+        return 0, builder, report
 
     try:
         exports = builder.link()
     except Exception as err:
         print(f"link error: {err}", file=sys.stderr)
-        return 1
+        return 1, builder, report
     print(f"linked {len(exports)} units")
 
     if args.print_path:
@@ -151,15 +192,66 @@ def main(argv: list[str] | None = None) -> int:
             struct_name, member = args.print_path.split(".", 1)
         except ValueError:
             print("error: --print takes STRUCTURE.NAME", file=sys.stderr)
-            return 2
+            return 2, builder, report
         for export in exports.values():
             struct = export.structures.get(struct_name)
             if struct is not None and member in struct.values:
                 print(f"{args.print_path} = "
                       f"{format_value(struct.values[member])}")
-                return 0
+                return 0, builder, report
         print(f"error: {args.print_path} not found", file=sys.stderr)
-        return 1
+        return 1, builder, report
+    return 0, builder, report
+
+
+def _emit_trace(args, tracer, builder, report) -> int:
+    """Render/write trace artifacts after the run span has closed."""
+    import json as json_mod
+
+    from repro.obs.critical import critical_path, phase_rollup
+    from repro.cm.report import PHASES
+
+    graph = getattr(builder, "last_graph", None) if builder else None
+    chain: list[str] = []
+    chain_seconds = 0.0
+    if report is not None and graph is not None:
+        durations = {
+            o.name: sum(getattr(o.times, p) for p in PHASES)
+            for o in report.outcomes
+        }
+        chain, chain_seconds = critical_path(graph.order, graph.deps,
+                                             durations)
+
+    if args.trace:
+        print(tracer.render_tree())
+        if chain:
+            print(f"critical path ({chain_seconds * 1e3:.1f} ms): "
+                  + " -> ".join(chain))
+
+    if args.trace_out:
+        extra = {
+            "wallSeconds": round(tracer.wall(), 6),
+            "criticalPath": {
+                "chain": chain,
+                "seconds": round(chain_seconds, 6),
+            },
+            "phaseRollup": phase_rollup(tracer),
+        }
+        if report is not None:
+            extra["phaseTotals"] = report.phase_totals()
+            extra["buildStats"] = report.stats()
+        if builder is not None and builder.ledger is not None:
+            extra["buildDecisions"] = builder.ledger.to_json()
+        try:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                json_mod.dump(tracer.to_chrome_trace(extra), fh,
+                              indent=1, sort_keys=True)
+                fh.write("\n")
+        except OSError as err:
+            print(f"error: cannot write {args.trace_out}: {err}",
+                  file=sys.stderr)
+            return 1
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -178,7 +270,8 @@ def _run_fsck(args) -> int:
             bin_dir = os.path.join(target, ".bin")
         report = BinStore.fsck(bin_dir)
         if args.json:
-            print(json_mod.dumps(report.to_json(), indent=1))
+            print(json_mod.dumps(report.to_json(), indent=1,
+                                 sort_keys=True))
         else:
             print(report.render_text())
         return 0 if report.ok else 1
@@ -201,23 +294,36 @@ def _run_analysis(project, graph, cache, strict: bool) -> int:
     return 0
 
 
-def _build_group_file(args) -> int:
+def _build_group_file(args, tracer=None) -> int:
     from repro.cm.descfile import DescFileError, load_group_file
     from repro.cm.group import GroupBuilder
 
-    try:
-        group, project = load_group_file(args.srcdir)
-    except DescFileError as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 2
-    gb = GroupBuilder(project, builder_class=MANAGERS[args.manager])
-    try:
-        reports = gb.build(group)
-    except Exception as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 1
+    from contextlib import nullcontext
+
+    run_span = (tracer.span("run", cat="build", group=args.srcdir)
+                if tracer is not None else nullcontext())
+    with run_span:
+        try:
+            group, project = load_group_file(args.srcdir)
+        except DescFileError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        gb = GroupBuilder(project, builder_class=MANAGERS[args.manager],
+                          meter=tracer)
+        try:
+            reports = gb.build(group)
+        except Exception as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
     for group_name, report in reports.items():
         print(f"group {group_name}: {report.summary()}")
+    if args.explain is not None and gb.ledger is not None:
+        unit = None if args.explain == "*" else args.explain
+        print(gb.ledger.render_text(unit))
+    if tracer is not None:
+        rc = _emit_trace(args, tracer, gb._builder, None)
+        if rc:
+            return rc
     if args.analyze:
         rc = _run_analysis(project, None, None, args.strict)
         if rc:

@@ -9,6 +9,8 @@ from repro.cm.project import Project
 from repro.cm.report import BuildReport, UnitOutcome
 from repro.cm.store import BinRecord, BinStore
 from repro.linker.link import Linker
+from repro.obs.ledger import ExplanationLedger, explain_decision
+from repro.obs.meter import NULL_METER, BuildMeter
 from repro.units.pipeline import compile_unit, load_unit, source_digest
 from repro.units.session import Session
 from repro.units.unit import CompiledUnit, DynExport
@@ -26,9 +28,19 @@ class BaseBuilder:
     def __init__(self, project: Project, store: BinStore | None = None,
                  session: Session | None = None,
                  restrict: list[str] | None = None,
-                 visible: dict[str, set[str]] | None = None):
+                 visible: dict[str, set[str]] | None = None,
+                 meter: BuildMeter | None = None):
         self.project = project
         self.store = store if store is not None else BinStore()
+        #: The telemetry seam: a no-op by default, a
+        #: :class:`repro.obs.Tracer` when the build is being traced.
+        self.meter = meter if meter is not None else NULL_METER
+        if meter is not None:
+            # The builder drives the store, so it observes it too.
+            self.store.meter = meter
+        #: Why each unit was recompiled or reused, decided this pass
+        #: (:mod:`repro.obs.ledger`; re-created at every build start).
+        self.ledger = ExplanationLedger()
         #: Damage found loading the store plus anything quarantined
         #: while building (unreadable bin payloads, damaged stable
         #: archives).  Shared with the store's own report.
@@ -62,15 +74,25 @@ class BaseBuilder:
         if jobs != 1:
             from repro.cm.parallel import parallel_build
             return parallel_build(self, jobs=jobs, pool=pool)
+        meter = self.meter
         t0 = time.perf_counter()
         report = BuildReport()
-        self._begin_build()
-        self._load_pending_stables(report)
-        graph = self.analyze()
-        for name in graph.order:
-            imports = [self.units[dep] for dep in graph.deps[name]]
-            report.add(self.process(name, graph, imports))
+        with meter.span("build", cat="build",
+                        manager=type(self).__name__, jobs=1) as sp:
+            self._begin_build()
+            if self._stable_pending:
+                with meter.span("stable-load", cat="build"):
+                    self._load_pending_stables(report)
+            else:
+                self._load_pending_stables(report)
+            with meter.span("analyze", cat="build"):
+                graph = self.analyze()
+            for name in graph.order:
+                imports = [self.units[dep] for dep in graph.deps[name]]
+                report.add(self.process(name, graph, imports))
+            sp.set(units=len(graph.order))
         report.wall_seconds = time.perf_counter() - t0
+        self._finish_report(report)
         return report
 
     def analyze(self) -> DepGraph:
@@ -157,15 +179,66 @@ class BaseBuilder:
                 imports: list[CompiledUnit]) -> UnitOutcome:
         record = self.store.get(name)
         action, reason = self.decide(name, graph, imports, record)
+        self.explain(name, action, reason, record, imports)
         if action == "cached":
             return UnitOutcome(name, "cached", "up to date")
-        if action == "load":
-            outcome = self.load(name, record, imports)
-        else:
-            outcome = self.compile(name, imports, reason)
+        with self.meter.span("unit", cat="unit", unit=name,
+                             action=action) as sp:
+            if action == "load":
+                outcome = self.load(name, record, imports)
+                if outcome.action == "compiled":
+                    # The load degraded to a recompile (unreadable
+                    # payload): the ledger must say so.
+                    self.explain(name, "compile", outcome.reason, None,
+                                 imports)
+            else:
+                outcome = self.compile(name, imports, reason)
+            sp.set(action=outcome.action, reason=outcome.reason)
         if outcome.action == "compiled":
             self.on_compiled(name, graph)
         return outcome
+
+    def explain(self, name: str, action: str, reason: str,
+                record: BinRecord | None,
+                imports: list[CompiledUnit]) -> None:
+        """Record the typed :class:`~repro.obs.ledger.BuildDecision`
+        behind a ``decide`` verdict.  Structural: causes come from the
+        prior record and live pids, not from the reason string.  The
+        source digest is only computed for recompiles (reuse decisions
+        never need it), so the always-on ledger stays cheap."""
+        source_changed = None
+        if action == "compile" and record is not None:
+            source_changed = not self.source_current(name, record)
+        decision = explain_decision(
+            unit=name,
+            action={"compile": "compiled", "load": "loaded",
+                    "cached": "cached"}[action],
+            reason=reason,
+            had_record=record is not None,
+            prior_imports=tuple(tuple(pair) for pair in record.imports)
+            if record is not None else (),
+            live_imports=tuple((u.name, u.export_pid) for u in imports),
+            source_changed=source_changed,
+            quarantine_kinds=tuple(self.health.kinds_for(name))
+            if record is None else (),
+        )
+        self.ledger.record(decision)
+        if self.meter.enabled:
+            self.meter.event("decision", cat="ledger", unit=name,
+                             verdict=decision.verdict,
+                             cause=decision.cause)
+
+    def _finish_report(self, report: BuildReport) -> None:
+        """Attach the ledger and emit the build's rollup counters."""
+        report.ledger = self.ledger
+        if self.meter.enabled:
+            self.meter.counter("units.compiled", len(report.compiled))
+            self.meter.counter("units.loaded", len(report.loaded))
+            self.meter.counter("units.cached", len(report.cached))
+            self.meter.counter("cutoff.stops", len(report.cutoffs()))
+            self.meter.counter(
+                "cutoff.false-rebuilds",
+                sum(1 for d in self.ledger if d.cause == "policy"))
 
     def decide(self, name: str, graph: DepGraph,
                imports: list[CompiledUnit],
@@ -180,14 +253,18 @@ class BaseBuilder:
         worker -- with the unit live and its record in the store."""
 
     def _begin_build(self) -> None:
-        """Hook run at the start of every build pass."""
+        """Hook run at the start of every build pass.  Overrides must
+        call ``super()._begin_build()``: the explanation ledger is
+        per-pass."""
+        self.ledger = ExplanationLedger()
 
     # -- shared actions --------------------------------------------------
 
     def compile(self, name: str, imports: list[CompiledUnit],
                 reason: str) -> UnitOutcome:
         source = self.project.source(name)
-        unit = compile_unit(name, source, imports, self.session)
+        unit = compile_unit(name, source, imports, self.session,
+                            meter=self.meter)
         previous = self.store.get(name)
         pid_changed = previous is None or previous.export_pid != unit.export_pid
         self.units[name] = unit
@@ -211,7 +288,7 @@ class BaseBuilder:
         try:
             unit = load_unit(name, record.export_pid, imports,
                              record.payload, self.session,
-                             record.source_digest)
+                             record.source_digest, meter=self.meter)
         except UnpickleError as err:
             # A stale-format or corrupt bin file is a cache miss, not a
             # build failure -- but it is damage the checksums should
@@ -246,7 +323,8 @@ class BaseBuilder:
         linker = Linker(self.session)
         ordered = [self.units[name] for name in self._stable_order]
         ordered.extend(self.units[name] for name in graph.order)
-        return linker.link(ordered, verify=verify)
+        with self.meter.span("link", cat="build", units=len(ordered)):
+            return linker.link(ordered, verify=verify)
 
     def build_and_run(self) -> tuple[BuildReport, dict[str, DynExport]]:
         report = self.build()

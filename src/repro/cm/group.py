@@ -66,11 +66,13 @@ class GroupBuilder:
 
     def __init__(self, project: Project, builder_class=CutoffBuilder,
                  store: BinStore | None = None,
-                 session: Session | None = None):
+                 session: Session | None = None,
+                 meter=None):
         self.project = project
         self.builder_class = builder_class
         self.store = store if store is not None else BinStore()
         self.session = session if session is not None else Session()
+        self.meter = meter
         #: unit name -> live compiled unit, shared across group builds.
         self._builder: BaseBuilder | None = None
         self._stable_archives: list[bytes] = []
@@ -99,7 +101,7 @@ class GroupBuilder:
 
         builder = self.builder_class(
             self.project, store=self.store, session=self.session,
-            restrict=all_units, visible=visibility)
+            restrict=all_units, visible=visibility, meter=self.meter)
         for blob in self._stable_archives:
             builder.add_stable_archive(blob)
         self._builder = builder
@@ -116,6 +118,11 @@ class GroupBuilder:
     @property
     def units(self):
         return self._builder.units if self._builder else {}
+
+    @property
+    def ledger(self):
+        """The underlying builder's cutoff-explanation ledger."""
+        return self._builder.ledger if self._builder else None
 
     def link(self):
         if self._builder is None:

@@ -25,6 +25,7 @@ class TimestampBuilder(BaseBuilder):
         self._rebuilt_this_pass: set[str] = set()
 
     def _begin_build(self) -> None:
+        super()._begin_build()
         self._rebuilt_this_pass = set()
 
     def decide(self, name: str, graph: DepGraph,

@@ -37,6 +37,7 @@ is the deterministic fault seam used by the crash-mid-wave tests.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -44,6 +45,7 @@ from dataclasses import dataclass, field
 
 from repro.cm.depend import DepGraph
 from repro.cm.report import BuildReport, UnitOutcome
+from repro.obs.meter import NULL_METER
 from repro.units.pipeline import compile_unit, load_unit
 from repro.units.unit import PhaseTimes
 
@@ -53,14 +55,20 @@ class ParallelBuildError(Exception):
 
     Worker exceptions are shipped back as (type name, message) rather
     than pickled exception objects, so a compile error on a process pool
-    surfaces identically to one on a thread pool.
+    surfaces identically to one on a thread pool.  ``name`` and ``wave``
+    identify the failing unit and the wavefront it was dispatched in
+    (``wave`` is -1 when unknown), so thread- and process-pool failures
+    alike point at the exact task that died.
     """
 
-    def __init__(self, name: str, exc_type: str, message: str):
-        super().__init__(f"{name}: {exc_type}: {message}")
+    def __init__(self, name: str, exc_type: str, message: str,
+                 wave: int = -1):
+        where = f"{name} (wave {wave})" if wave >= 0 else name
+        super().__init__(f"{where}: {exc_type}: {message}")
         self.name = name
         self.exc_type = exc_type
         self.message = message
+        self.wave = wave
 
 
 @dataclass(frozen=True)
@@ -141,6 +149,12 @@ class CompileResult:
     source_digest: str = ""
     times: PhaseTimes = field(default_factory=PhaseTimes)
     error: tuple[str, str] | None = None  # (exception type, message)
+    #: Worker-side occupancy data: when the task ran (perf_counter
+    #: domain, comparable across processes on this host) and on which
+    #: worker ("pid/thread-ident").
+    started: float = 0.0
+    ended: float = 0.0
+    worker: str = ""
 
 
 _tls = threading.local()
@@ -162,6 +176,8 @@ def compile_task(task: CompileTask) -> CompileResult:
     ``result.error`` so a process pool and a thread pool report them
     the same way.
     """
+    started = time.perf_counter()
+    worker = f"w{os.getpid()}/{threading.get_ident()}"
     try:
         if task.faults is not None:
             if task.name in task.faults.slow_units:
@@ -184,10 +200,14 @@ def compile_task(task: CompileTask) -> CompileResult:
         imports = [live[d] for d in task.imports]
         unit = compile_unit(task.name, task.source, imports, session)
         return CompileResult(task.name, unit.export_pid, unit.payload,
-                             unit.source_digest, unit.times)
+                             unit.source_digest, unit.times,
+                             started=started,
+                             ended=time.perf_counter(), worker=worker)
     except Exception as err:
         return CompileResult(task.name,
-                             error=(type(err).__name__, str(err)))
+                             error=(type(err).__name__, str(err)),
+                             started=started,
+                             ended=time.perf_counter(), worker=worker)
 
 
 def _probe() -> int:
@@ -241,57 +261,88 @@ def parallel_build(builder, jobs: int = 2, pool: str = "process",
     exactly a valid prefix of the build, and saving it degrades to the
     store's ordinary crash-safety guarantees.
     """
+    meter = getattr(builder, "meter", NULL_METER)
     t0 = time.perf_counter()
     report = BuildReport(jobs=jobs)
-    builder._begin_build()
-    builder._load_pending_stables(report)
-    graph = builder.analyze()
-    executor, using = make_executor(jobs, pool)
-    report.pool = using
-    try:
-        for wave in wavefronts(graph):
-            pending: list[tuple[str, str]] = []
-            for name in wave:
-                record = builder.store.get(name)
-                imports = [builder.units[d] for d in graph.deps[name]]
-                action, reason = builder.decide(name, graph, imports,
-                                                record)
-                if action == "cached":
-                    report.add(UnitOutcome(name, "cached", "up to date"))
-                elif action == "load":
-                    outcome = builder.load(name, record, imports)
-                    if outcome.action == "compiled":
-                        builder.on_compiled(name, graph)
-                    report.add(outcome)
-                else:
-                    pending.append((name, reason))
-            if not pending:
-                continue
-            results: dict[str, CompileResult] = {}
-            if executor is None:
-                for name, _reason in pending:
-                    results[name] = compile_task(
-                        _make_task(builder, graph, name, faults))
-            else:
-                futures = {
-                    name: executor.submit(
-                        compile_task,
-                        _make_task(builder, graph, name, faults))
-                    for name, _reason in pending
-                }
-                for name, future in futures.items():
-                    results[name] = future.result()
-            for name, reason in pending:  # wave is sorted: deterministic
-                result = results[name]
-                if result.error is not None:
-                    raise ParallelBuildError(name, *result.error)
-                report.add(_apply_result(builder, graph, name, reason,
-                                         result))
-        report.wall_seconds = time.perf_counter() - t0
-        return report
-    finally:
-        if executor is not None:
-            executor.shutdown(wait=True, cancel_futures=True)
+    with meter.span("build", cat="build",
+                    manager=type(builder).__name__, jobs=jobs) as bsp:
+        builder._begin_build()
+        builder._load_pending_stables(report)
+        with meter.span("analyze", cat="build"):
+            graph = builder.analyze()
+        executor, using = make_executor(jobs, pool)
+        report.pool = using
+        bsp.set(pool=using, units=len(graph.order))
+        try:
+            for wave_index, wave in enumerate(wavefronts(graph)):
+                with meter.span("wave", cat="wave", index=wave_index,
+                                size=len(wave)) as wsp:
+                    _run_wave(builder, graph, wave, wave_index, executor,
+                              faults, report, meter, wsp)
+            report.wall_seconds = time.perf_counter() - t0
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
+    builder._finish_report(report)
+    return report
+
+
+def _run_wave(builder, graph: DepGraph, wave: list[str], wave_index: int,
+              executor, faults: WorkerFaults | None, report: BuildReport,
+              meter, wsp) -> None:
+    """Decide, dispatch and apply one wavefront."""
+    pending: list[tuple[str, str]] = []
+    for name in wave:
+        record = builder.store.get(name)
+        imports = [builder.units[d] for d in graph.deps[name]]
+        action, reason = builder.decide(name, graph, imports, record)
+        builder.explain(name, action, reason, record, imports)
+        if action == "cached":
+            report.add(UnitOutcome(name, "cached", "up to date"))
+        elif action == "load":
+            outcome = builder.load(name, record, imports)
+            if outcome.action == "compiled":
+                # Unreadable payload degraded to a recompile.
+                builder.explain(name, "compile", outcome.reason, None,
+                                imports)
+                builder.on_compiled(name, graph)
+            report.add(outcome)
+        else:
+            pending.append((name, reason))
+    wsp.set(dispatched=len(pending))
+    if not pending:
+        return
+    results: dict[str, CompileResult] = {}
+    if executor is None:
+        for name, _reason in pending:
+            results[name] = compile_task(
+                _make_task(builder, graph, name, faults))
+    else:
+        futures = {}
+        for name, _reason in pending:
+            if meter.enabled:
+                meter.event("dispatch", cat="sched", unit=name,
+                            wave=wave_index)
+            futures[name] = executor.submit(
+                compile_task, _make_task(builder, graph, name, faults))
+        for name, future in futures.items():
+            results[name] = future.result()
+    for name, reason in pending:  # wave is sorted: deterministic
+        result = results[name]
+        if meter.enabled and result.worker:
+            # Occupancy: when and where the worker actually ran, on
+            # its own track (perf_counter is host-wide on this
+            # platform, so process-pool times line up too).
+            meter.complete_span("worker-compile", result.started,
+                                result.ended, cat="worker",
+                                track=result.worker, unit=name,
+                                wave=wave_index)
+        if result.error is not None:
+            raise ParallelBuildError(name, *result.error,
+                                     wave=wave_index)
+        with meter.span("apply", cat="unit", unit=name):
+            report.add(_apply_result(builder, graph, name, reason,
+                                     result))
 
 
 def _make_task(builder, graph: DepGraph, name: str,

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.ledger import ExplanationLedger
 from repro.units.unit import PhaseTimes
+
+#: The per-phase keys :meth:`BuildReport.phase_totals` rolls up.
+PHASES = ("parse", "elaborate", "hash", "dehydrate", "rehydrate",
+          "execute")
 
 
 @dataclass
@@ -32,6 +37,9 @@ class BuildReport:
     #: "process"/"thread"/"inline" for wavefront builds).
     jobs: int = 1
     pool: str = "serial"
+    #: Why each unit was recompiled or reused (the cutoff-explanation
+    #: ledger the builder kept while deciding this pass).
+    ledger: ExplanationLedger | None = None
 
     def add(self, outcome: UnitOutcome) -> None:
         self.outcomes.append(outcome)
@@ -62,6 +70,30 @@ class BuildReport:
             o.name for o in self.outcomes
             if o.action == "compiled" and not o.pid_changed
         ]
+
+    # -- analytics --------------------------------------------------------
+
+    def phase_totals(self) -> dict[str, float]:
+        """Seconds per pipeline phase, summed over every outcome."""
+        totals = {phase: 0.0 for phase in PHASES}
+        for outcome in self.outcomes:
+            for phase in PHASES:
+                totals[phase] += getattr(outcome.times, phase)
+        return {phase: round(seconds, 6)
+                for phase, seconds in totals.items()}
+
+    def stats(self) -> dict:
+        """Counter rollup: cache hits, cutoff stops, decision causes."""
+        out = {
+            "compiled": len(self.compiled),
+            "loaded": len(self.loaded),
+            "cached": len(self.cached),
+            "cache_hits": len(self.loaded) + len(self.cached),
+            "cutoff_stops": len(self.cutoffs()),
+        }
+        if self.ledger is not None:
+            out["causes"] = self.ledger.cause_counts()
+        return out
 
     def summary(self) -> str:
         return (f"{len(self.compiled)} compiled, {len(self.loaded)} loaded, "

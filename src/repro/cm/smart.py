@@ -75,7 +75,10 @@ class SmartBuilder(BaseBuilder):
         # line-normalized, so hashes survive the round trip).
         record = self.store.get(name)
         unit = self.units[name]
-        record.extra["member_hashes"] = member_hashes(unit, self.session)
+        with self.meter.span("member-hashes", cat="phase", unit=name) as sp:
+            hashes = member_hashes(unit, self.session)
+            sp.set(members=len(hashes))
+        record.extra["member_hashes"] = hashes
         record.extra["used"] = self._record_uses(name, graph)
 
     def _record_uses(self, name: str, graph: DepGraph) -> dict:

@@ -44,6 +44,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cm.faults import REAL_FS, FileSystem
+from repro.obs.meter import NULL_METER, BuildMeter
 from repro.pids.crc128 import CRC128, crc128_hex
 
 #: On-disk header format version; bump when the pickle registry or the
@@ -332,6 +333,8 @@ class BinStore:
 
     def __init__(self, fs: FileSystem | None = None):
         self.fs = fs if fs is not None else REAL_FS
+        #: Telemetry seam (no-op unless a tracing builder attaches one).
+        self.meter: BuildMeter = NULL_METER
         self._records: dict[str, BinRecord] = {}
         #: Records changed since the last save/load (save rewrites only
         #: these).
@@ -415,8 +418,21 @@ class BinStore:
         preserved, so two builders racing on one store converge to the
         union of their work, never corruption.
         """
-        if merge:
-            return self._save_merge(path, lock_timeout)
+        with self.meter.span("store.save", cat="store", path=path,
+                             merge=merge) as sp:
+            if merge:
+                stats = self._save_merge(path, lock_timeout)
+            else:
+                stats = self._save_plain(path, lock_timeout)
+            sp.set(records=stats.records_written,
+                   bytes=stats.bytes_written, pruned=len(stats.pruned))
+            if self.meter.enabled:
+                self.meter.counter("store.bytes_saved",
+                                   stats.bytes_written)
+            return stats
+
+    def _save_plain(self, path: str, lock_timeout: float) -> SaveStats:
+        """The single-writer save: everything under the store lock."""
         fs = self.fs
         fs.makedirs(path)
         target = os.path.abspath(path)
@@ -565,15 +581,34 @@ class BinStore:
 
     @classmethod
     def load_directory(cls, path: str, fs: FileSystem | None = None,
-                       lock_timeout: float = 5.0) -> "BinStore":
+                       lock_timeout: float = 5.0,
+                       meter: BuildMeter = NULL_METER) -> "BinStore":
         """Load a store directory, quarantining every kind of damage.
 
         Never raises on damage: a corrupt, torn, orphaned or unreadable
         record becomes a :class:`CorruptRecord` in ``store.health`` and
-        the affected unit is simply absent (a cache miss).
+        the affected unit is simply absent (a cache miss).  ``meter``
+        observes the scan and every quarantine decision; it stays
+        attached to the returned store.
         """
+        with meter.span("store.load", cat="store", path=path) as sp:
+            store = cls._load_directory(path, fs, lock_timeout, meter)
+            sp.set(records=len(store._records),
+                   corrupt=len(store.health.corrupt),
+                   stale=len(store.health.stale))
+            if meter.enabled:
+                for c in store.health.corrupt:
+                    meter.event("store.quarantine", cat="store",
+                                unit=c.name, kind=c.kind)
+            return store
+
+    @classmethod
+    def _load_directory(cls, path: str, fs: FileSystem | None,
+                        lock_timeout: float,
+                        meter: BuildMeter) -> "BinStore":
         fs = fs if fs is not None else REAL_FS
         store = cls(fs=fs)
+        store.meter = meter
         report = store.health
         report.path = path
         if not fs.isdir(path):

@@ -1,0 +1,54 @@
+"""Build observability: tracing, explanation ledgers, profiling.
+
+The build pipeline is instrumented through a single seam, the
+:class:`~repro.obs.meter.BuildMeter` protocol.  Every instrumented call
+site talks to a meter; the default :data:`~repro.obs.meter.NULL_METER`
+does nothing (and costs almost nothing -- see
+``benchmarks/test_bench_trace_overhead.py``), while a
+:class:`~repro.obs.tracer.Tracer` records nested spans, instant events
+and counters, renders a human tree report, and exports Chrome
+``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto.
+
+Orthogonally to timing, every builder keeps a **cutoff-explanation
+ledger** (:class:`~repro.obs.ledger.ExplanationLedger`): one typed
+:class:`~repro.obs.ledger.BuildDecision` per unit saying whether it was
+recompiled or reused and *why* -- source edit, a named import pid that
+changed (and which upstream unit changed it), a store miss, quarantined
+damage, or pure builder policy (make's transitive cascade).
+
+Post-build analytics live in :mod:`repro.obs.critical`: critical-path
+extraction over the dependency DAG (the chain that bounds parallel
+wall-clock), per-phase rollups and worker occupancy.
+"""
+
+from repro.obs.meter import NULL_METER, BuildMeter, NullMeter, NullSpan
+from repro.obs.tracer import Span, Tracer
+from repro.obs.ledger import (
+    BuildDecision,
+    ExplanationLedger,
+    PidChange,
+    explain_decision,
+)
+from repro.obs.critical import (
+    critical_path,
+    phase_rollup,
+    span_coverage,
+    worker_occupancy,
+)
+
+__all__ = [
+    "BuildMeter",
+    "NullMeter",
+    "NullSpan",
+    "NULL_METER",
+    "Tracer",
+    "Span",
+    "BuildDecision",
+    "PidChange",
+    "ExplanationLedger",
+    "explain_decision",
+    "critical_path",
+    "phase_rollup",
+    "span_coverage",
+    "worker_occupancy",
+]

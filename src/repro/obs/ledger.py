@@ -1,0 +1,220 @@
+"""The cutoff-explanation ledger: *why* each unit was (re)built.
+
+The paper's payoff is work avoided -- a cutoff stops the recompilation
+cascade when an imported intrinsic pid is unchanged -- so the ledger
+makes every such decision auditable.  For each unit the builder records
+one typed :class:`BuildDecision`:
+
+- ``recompiled`` because of **source-changed**, **import-pid-changed**
+  (naming the upstream unit and the old/new pids), **store-miss** (no
+  bin record at all), **quarantined** (the record existed but was
+  damaged or unreadable), or **policy** (the builder's own rule forced
+  it even though source and pids were stable -- make's transitive
+  cascade is the canonical example: each ``policy`` rebuild is exactly
+  a rebuild cutoff would have skipped);
+- ``reused`` because **all-import-pids-stable**, or -- smart builder
+  only -- **used-bindings-stable** (an import's pid changed but none of
+  the bindings this unit mentions did).
+
+Decisions are computed *structurally* at decide time from the prior bin
+record and the live import pids, never parsed out of reason strings, so
+the soundness property holds by construction (and is re-checked by
+``tests/property/test_ledger_sound.py``): a ``reused`` /
+``all-import-pids-stable`` unit really has every import pid equal to
+its prior record's, and every ``import-pid-changed`` names a pid that
+really differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Everything a decision's ``cause`` may be.
+RECOMPILE_CAUSES = ("source-changed", "import-pid-changed", "store-miss",
+                    "quarantined", "policy")
+REUSE_CAUSES = ("all-import-pids-stable", "used-bindings-stable")
+
+
+@dataclass(frozen=True)
+class PidChange:
+    """One import whose pid differs from the prior bin record.
+
+    ``kind`` is ``"changed"`` (same upstream unit, different pid),
+    ``"new-import"`` (a dependency edge that did not exist when the bin
+    was written) or ``"dropped-import"`` (an edge that no longer
+    exists).
+    """
+
+    unit: str
+    old_pid: str = ""
+    new_pid: str = ""
+    kind: str = "changed"
+
+    def describe(self) -> str:
+        if self.kind == "new-import":
+            return f"{self.unit} (new import, pid {self.new_pid})"
+        if self.kind == "dropped-import":
+            return f"{self.unit} (import dropped, was pid {self.old_pid})"
+        return f"{self.unit} (pid {self.old_pid} -> {self.new_pid})"
+
+    def to_json(self) -> dict:
+        return {"unit": self.unit, "kind": self.kind,
+                "old_pid": self.old_pid, "new_pid": self.new_pid}
+
+
+@dataclass
+class BuildDecision:
+    """The ledger entry for one unit in one build pass."""
+
+    unit: str
+    verdict: str  # "recompiled" | "reused"
+    cause: str  # one of RECOMPILE_CAUSES or REUSE_CAUSES
+    action: str  # "compiled" | "loaded" | "cached"
+    detail: str = ""  # the builder's own reason string
+    changes: tuple[PidChange, ...] = ()
+    quarantine_kinds: tuple[str, ...] = ()
+    #: (name, pid) pairs: what the prior bin record was compiled
+    #: against, and what is live now -- the raw facts behind ``cause``.
+    prior_imports: tuple[tuple[str, str], ...] = ()
+    live_imports: tuple[tuple[str, str], ...] = ()
+
+    def describe(self) -> str:
+        bits = [f"{self.unit}: {self.verdict} ({self.cause})"]
+        if self.changes:
+            bits.append("changed imports: "
+                        + "; ".join(c.describe() for c in self.changes))
+        if self.quarantine_kinds:
+            bits.append("damage: " + ", ".join(self.quarantine_kinds))
+        if self.detail:
+            bits.append(f"builder says: {self.detail}")
+        return " -- ".join(bits)
+
+    def to_json(self) -> dict:
+        return {
+            "unit": self.unit,
+            "verdict": self.verdict,
+            "cause": self.cause,
+            "action": self.action,
+            "detail": self.detail,
+            "changes": [c.to_json() for c in self.changes],
+            "quarantine_kinds": list(self.quarantine_kinds),
+            "prior_imports": [list(p) for p in self.prior_imports],
+            "live_imports": [list(p) for p in self.live_imports],
+        }
+
+
+def pid_changes(prior_imports, live_imports) -> tuple[PidChange, ...]:
+    """The imports whose pids differ between a prior record and now."""
+    prior = dict(prior_imports)
+    live = dict(live_imports)
+    changes: list[PidChange] = []
+    for unit, old_pid in prior.items():
+        if unit not in live:
+            changes.append(PidChange(unit, old_pid=old_pid,
+                                     kind="dropped-import"))
+        elif live[unit] != old_pid:
+            changes.append(PidChange(unit, old_pid=old_pid,
+                                     new_pid=live[unit]))
+    for unit, new_pid in live.items():
+        if unit not in prior:
+            changes.append(PidChange(unit, new_pid=new_pid,
+                                     kind="new-import"))
+    return tuple(changes)
+
+
+def explain_decision(
+    unit: str,
+    action: str,
+    reason: str = "",
+    had_record: bool = True,
+    prior_imports=(),
+    live_imports=(),
+    source_changed: bool | None = None,
+    quarantine_kinds=(),
+) -> BuildDecision:
+    """Build the typed decision for one unit, structurally.
+
+    ``action`` is the builder's verb (``"compiled"``, ``"loaded"``,
+    ``"cached"``); ``source_changed`` is the make-level digest check
+    (``None`` when the caller did not need to compute it);
+    ``quarantine_kinds`` are the health-report kinds recorded for a
+    record that was damaged away.
+    """
+    prior = tuple((n, p) for n, p in prior_imports)
+    live = tuple((n, p) for n, p in live_imports)
+    changes = pid_changes(prior, live) if had_record else ()
+    quarantine = tuple(quarantine_kinds)
+
+    if action in ("loaded", "cached"):
+        cause = ("all-import-pids-stable" if not changes
+                 else "used-bindings-stable")
+        return BuildDecision(unit=unit, verdict="reused", cause=cause,
+                             action=action, detail=reason,
+                             changes=changes, prior_imports=prior,
+                             live_imports=live)
+
+    if not had_record:
+        cause = "quarantined" if quarantine else "store-miss"
+    elif source_changed:
+        cause = "source-changed"
+    elif changes:
+        cause = "import-pid-changed"
+    else:
+        cause = "policy"
+    return BuildDecision(unit=unit, verdict="recompiled", cause=cause,
+                         action="compiled", detail=reason,
+                         changes=changes, quarantine_kinds=quarantine,
+                         prior_imports=prior, live_imports=live)
+
+
+class ExplanationLedger:
+    """All of one build pass's decisions, in build order."""
+
+    def __init__(self):
+        self.decisions: dict[str, BuildDecision] = {}
+
+    def record(self, decision: BuildDecision) -> None:
+        self.decisions[decision.unit] = decision
+
+    def get(self, unit: str) -> BuildDecision | None:
+        return self.decisions.get(unit)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def __iter__(self):
+        return iter(self.decisions.values())
+
+    def recompiled(self) -> list[BuildDecision]:
+        return [d for d in self if d.verdict == "recompiled"]
+
+    def reused(self) -> list[BuildDecision]:
+        return [d for d in self if d.verdict == "reused"]
+
+    def cause_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for decision in self:
+            counts[decision.cause] = counts.get(decision.cause, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render_text(self, unit: str | None = None) -> str:
+        """The ``--explain`` report: every unit, or just one."""
+        if unit is not None:
+            decision = self.get(unit)
+            if decision is None:
+                return (f"{unit}: no decision recorded "
+                        f"(not part of this build)")
+            return decision.describe()
+        lines = [f"build decisions ({len(self)} unit(s)):"]
+        lines.extend(f"  {d.describe()}" for d in self)
+        if self.decisions:
+            counts = ", ".join(f"{cause}={n}"
+                               for cause, n in self.cause_counts().items())
+            lines.append(f"  causes: {counts}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "causes": self.cause_counts(),
+            "units": {d.unit: d.to_json() for d in self},
+        }

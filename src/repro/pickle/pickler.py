@@ -140,9 +140,13 @@ class Pickler:
         self._strings: dict[str, int] = {}
         #: Locally-owned stamped objects in encounter order.
         self.export_index: list[object] = []
+        #: Bytes produced by the last :meth:`run` (telemetry: the bin
+        #: payload size this dehydration will cost on disk).
+        self.bytes_out = 0
 
     def run(self, root) -> bytes:
         self._encode(root)
+        self.bytes_out = len(self._out)
         return bytes(self._out)
 
     # -- encoding ---------------------------------------------------------
@@ -313,6 +317,8 @@ class Unpickler:
         self._memo: list[object] = []
         self._strings: list[str] = []
         self.export_index: list[object] = []
+        #: Bytes consumed (telemetry: rehydration input size).
+        self.bytes_in = len(data)
 
     def run(self):
         try:

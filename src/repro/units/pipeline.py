@@ -12,6 +12,7 @@ import time
 from repro.dynamic.evaluate import eval_decs
 from repro.lang.parser import parse_program
 from repro.elab.topdec import elaborate_decs
+from repro.obs.meter import NULL_METER, BuildMeter
 from repro.pickle.pickler import Unpickler, Pickler, context_chain_ids
 from repro.pids.crc128 import crc128_hex
 from repro.pids.intrinsic import intrinsic_pid
@@ -34,34 +35,43 @@ def compile_unit(
     source: str,
     imports: list[CompiledUnit],
     session: Session,
+    meter: BuildMeter = NULL_METER,
 ) -> CompiledUnit:
     """Parse, elaborate, hash and dehydrate one unit.
 
     ``imports`` are the already-compiled (or loaded) units this source
     depends on, in dependency order.  Registers the unit's exports in the
-    session and returns the compiled unit.
+    session and returns the compiled unit.  ``meter`` observes the four
+    phases (and the dehydrated byte count) when tracing is on.
     """
     times = PhaseTimes()
 
     t0 = time.perf_counter()
-    decs = parse_program(source)
+    with meter.span("parse", cat="phase", unit=name):
+        decs = parse_program(source)
     t1 = time.perf_counter()
-    context = layer_context(session, imports).child()
-    export_env, elaborator = elaborate_decs(decs, context)
+    with meter.span("elaborate", cat="phase", unit=name):
+        context = layer_context(session, imports).child()
+        export_env, elaborator = elaborate_decs(decs, context)
     t2 = time.perf_counter()
 
-    ctx_ids = context_chain_ids(context)
-    pid = intrinsic_pid(export_env, elaborator.new_stamps, session.extern,
-                        ctx_ids, seed=name)
+    with meter.span("hash", cat="phase", unit=name):
+        ctx_ids = context_chain_ids(context)
+        pid = intrinsic_pid(export_env, elaborator.new_stamps,
+                            session.extern, ctx_ids, seed=name)
     t3 = time.perf_counter()
 
-    pickler = Pickler(
-        local_stamp_ids=elaborator.new_stamps,
-        extern=session.extern,
-        context_env_ids=ctx_ids,
-    )
-    payload = pickler.run((export_env, decs))
+    with meter.span("dehydrate", cat="phase", unit=name) as sp:
+        pickler = Pickler(
+            local_stamp_ids=elaborator.new_stamps,
+            extern=session.extern,
+            context_env_ids=ctx_ids,
+        )
+        payload = pickler.run((export_env, decs))
+        sp.set(bytes=pickler.bytes_out)
     t4 = time.perf_counter()
+    if meter.enabled:
+        meter.counter("pickle.bytes_out", pickler.bytes_out)
 
     times.parse = t1 - t0
     times.elaborate = t2 - t1
@@ -91,6 +101,7 @@ def load_unit(
     payload: bytes,
     session: Session,
     source_digest_value: str = "",
+    meter: BuildMeter = NULL_METER,
 ) -> CompiledUnit:
     """Rehydrate a bin payload from an earlier session.
 
@@ -99,11 +110,15 @@ def load_unit(
     """
     times = PhaseTimes()
     t0 = time.perf_counter()
-    context = layer_context(session, imports).child()
-    unpickler = Unpickler(payload, resolve=session.resolve,
-                          context_env=context)
-    export_env, decs = unpickler.run()
+    with meter.span("rehydrate", cat="phase", unit=name,
+                    bytes=len(payload)):
+        context = layer_context(session, imports).child()
+        unpickler = Unpickler(payload, resolve=session.resolve,
+                              context_env=context)
+        export_env, decs = unpickler.run()
     times.rehydrate = time.perf_counter() - t0
+    if meter.enabled:
+        meter.counter("pickle.bytes_in", unpickler.bytes_in)
 
     unit = CompiledUnit(
         name=name,

@@ -62,6 +62,57 @@ class TestFsckCli:
         assert main(["/nonexistent/dir", "--fsck"]) == 0
         assert "no store directory" in capsys.readouterr().out
 
+    def test_json_output_is_key_sorted_and_stable(self, built, capsys):
+        """Machine consumers diff fsck output: the JSON must be emitted
+        with sorted keys so identical stores give identical bytes."""
+        bin_dir = os.path.join(built, ".bin")
+        delete_file(payload_path(bin_dir, "main"))
+        assert main([built, "--fsck", "--json"]) == 1
+        first = capsys.readouterr().out
+        assert (json.dumps(json.loads(first), indent=1, sort_keys=True)
+                == first.rstrip("\n"))
+        assert main([built, "--fsck", "--json"]) == 1
+        assert capsys.readouterr().out == first
+
+    def test_json_golden(self):
+        """The serialized shape is a contract: a synthetic report must
+        render to exactly this document."""
+        from repro.cm.store import StoreHealthReport
+
+        report = StoreHealthReport(path="/store/.bin", scanned=3)
+        report.loaded = ["base", "mid"]
+        report.stale = ["old"]
+        report.add("main", "orphaned-header",
+                   path="/store/.bin/main.payload", detail="missing")
+        report.notes = ["removed stale lock"]
+        golden = "\n".join([
+            '{',
+            ' "corrupt": [',
+            '  {',
+            '   "detail": "missing",',
+            '   "kind": "orphaned-header",',
+            '   "name": "main",',
+            '   "path": "/store/.bin/main.payload"',
+            '  }',
+            ' ],',
+            ' "loaded": [',
+            '  "base",',
+            '  "mid"',
+            ' ],',
+            ' "notes": [',
+            '  "removed stale lock"',
+            ' ],',
+            ' "ok": false,',
+            ' "path": "/store/.bin",',
+            ' "scanned": 3,',
+            ' "stale": [',
+            '  "old"',
+            ' ]',
+            '}',
+        ])
+        assert (json.dumps(report.to_json(), indent=1, sort_keys=True)
+                == golden)
+
     def test_build_warns_on_quarantine_then_fsck_clean(self, built,
                                                        capsys):
         bin_dir = os.path.join(built, ".bin")

@@ -19,8 +19,10 @@ import pytest
 from repro.cm import (
     BinStore,
     CutoffBuilder,
+    ParallelBuildError,
     SmartBuilder,
     TimestampBuilder,
+    WorkerFaults,
     parallel_build,
 )
 from repro.cm.faults import FaultPlan, FaultyFS, InjectedCrash, SlowFS
@@ -126,6 +128,33 @@ class TestDeterminismMatrix:
         got = build_flow("fanout", "clean", 2, str(tmp_path / "par"),
                          pool="process")
         assert got == want
+
+
+class TestParallelBuildErrorPayload:
+    """A failed worker must be attributable: the raised error carries
+    the unit that died and the wave it was scheduled in."""
+
+    def test_error_carries_unit_and_wave(self):
+        workload = generate_workload(SHAPES["fanout"](),
+                                     helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project)
+        faults = WorkerFaults(crash_units=frozenset({"u003"}))
+        with pytest.raises(ParallelBuildError) as excinfo:
+            parallel_build(builder, jobs=4, pool="thread", faults=faults)
+        err = excinfo.value
+        assert err.name == "u003"
+        assert err.wave == 1  # fanout: root is wave 0, leaves wave 1
+        assert err.exc_type == "InjectedCrash"
+        assert "u003 (wave 1)" in str(err)
+
+    def test_root_crash_is_wave_zero(self):
+        workload = generate_workload(SHAPES["fanout"](),
+                                     helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project)
+        faults = WorkerFaults(crash_units=frozenset({"u000"}))
+        with pytest.raises(ParallelBuildError) as excinfo:
+            parallel_build(builder, jobs=2, pool="thread", faults=faults)
+        assert (excinfo.value.name, excinfo.value.wave) == ("u000", 0)
 
 
 class TestDeterminismUnderFaults:

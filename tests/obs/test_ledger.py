@@ -1,0 +1,188 @@
+"""The cutoff-explanation ledger: every decision has a typed cause."""
+
+import os
+
+from repro.cm import BinStore, CutoffBuilder, SmartBuilder, TimestampBuilder
+from repro.cm.faults import bit_flip, payload_path
+from repro.obs.ledger import (
+    RECOMPILE_CAUSES,
+    REUSE_CAUSES,
+    ExplanationLedger,
+    PidChange,
+    explain_decision,
+    pid_changes,
+)
+from repro.workload import generate_workload
+from repro.workload.shapes import chain
+
+
+class TestExplainDecision:
+    def test_store_miss(self):
+        d = explain_decision("a", "compiled", reason="no bin file",
+                             had_record=False)
+        assert (d.verdict, d.cause) == ("recompiled", "store-miss")
+
+    def test_quarantined(self):
+        d = explain_decision("a", "compiled", had_record=False,
+                             quarantine_kinds=("payload-checksum-mismatch",))
+        assert d.cause == "quarantined"
+        assert d.quarantine_kinds == ("payload-checksum-mismatch",)
+
+    def test_source_changed(self):
+        d = explain_decision("a", "compiled", had_record=True,
+                             source_changed=True)
+        assert d.cause == "source-changed"
+
+    def test_import_pid_changed_names_the_culprit(self):
+        d = explain_decision(
+            "b", "compiled", had_record=True, source_changed=False,
+            prior_imports=(("a", "pid1"),),
+            live_imports=(("a", "pid2"),))
+        assert d.cause == "import-pid-changed"
+        assert d.changes == (PidChange("a", "pid1", "pid2"),)
+        assert "pid1 -> pid2" in d.describe()
+
+    def test_policy_when_nothing_actually_changed(self):
+        d = explain_decision(
+            "b", "compiled", reason="an import was rebuilt",
+            had_record=True, source_changed=False,
+            prior_imports=(("a", "pid1"),),
+            live_imports=(("a", "pid1"),))
+        assert d.cause == "policy"
+
+    def test_reused_stable(self):
+        d = explain_decision(
+            "b", "loaded", had_record=True,
+            prior_imports=(("a", "pid1"),),
+            live_imports=(("a", "pid1"),))
+        assert (d.verdict, d.cause) == ("reused", "all-import-pids-stable")
+
+    def test_reused_despite_pid_change_is_smart_cutoff(self):
+        d = explain_decision(
+            "b", "cached", had_record=True,
+            prior_imports=(("a", "pid1"),),
+            live_imports=(("a", "pid2"),))
+        assert d.cause == "used-bindings-stable"
+
+    def test_causes_are_in_the_published_vocabulary(self):
+        assert "policy" in RECOMPILE_CAUSES
+        assert "used-bindings-stable" in REUSE_CAUSES
+
+
+class TestPidChanges:
+    def test_kinds(self):
+        changes = pid_changes(
+            (("a", "p1"), ("gone", "p2")),
+            (("a", "p9"), ("new", "p3")))
+        by_unit = {c.unit: c for c in changes}
+        assert by_unit["a"].kind == "changed"
+        assert by_unit["gone"].kind == "dropped-import"
+        assert by_unit["new"].kind == "new-import"
+
+    def test_stable_imports_report_nothing(self):
+        assert pid_changes((("a", "p1"),), (("a", "p1"),)) == ()
+
+
+class TestLedger:
+    def test_render_unknown_unit(self):
+        ledger = ExplanationLedger()
+        assert "no decision recorded" in ledger.render_text("ghost")
+
+    def test_json_shape(self):
+        ledger = ExplanationLedger()
+        ledger.record(explain_decision("a", "compiled",
+                                       had_record=False))
+        doc = ledger.to_json()
+        assert doc["causes"] == {"store-miss": 1}
+        assert doc["units"]["a"]["verdict"] == "recompiled"
+
+
+def rebuild(workload, store_dir, cls=CutoffBuilder):
+    builder = cls(workload.project,
+                  store=BinStore.load_directory(store_dir))
+    builder.build()
+    builder.store.save_directory(store_dir)
+    return builder
+
+
+class TestLedgerIntegration:
+    """chain(3): u000 <- u001 <- u002, the paper's cascade example."""
+
+    def seed(self, tmp_path, cls=CutoffBuilder):
+        workload = generate_workload(chain(3), helpers_per_unit=1)
+        store_dir = str(tmp_path / "store")
+        builder = cls(workload.project)
+        builder.build()
+        builder.store.save_directory(store_dir)
+        return workload, store_dir, builder
+
+    def test_clean_build_is_all_store_misses(self, tmp_path):
+        _w, _d, builder = self.seed(tmp_path)
+        assert builder.ledger.cause_counts() == {"store-miss": 3}
+
+    def test_noop_rebuild_is_all_stable(self, tmp_path):
+        workload, store_dir, _ = self.seed(tmp_path)
+        builder = rebuild(workload, store_dir)
+        assert builder.ledger.cause_counts() == {
+            "all-import-pids-stable": 3}
+
+    def test_interface_edit_cascade_and_cutoff(self, tmp_path):
+        workload, store_dir, _ = self.seed(tmp_path)
+        workload.edit_interface("u000")
+        builder = rebuild(workload, store_dir)
+        ledger = builder.ledger
+        assert ledger.get("u000").cause == "source-changed"
+        mid = ledger.get("u001")
+        assert mid.cause == "import-pid-changed"
+        assert [c.unit for c in mid.changes] == ["u000"]
+        assert mid.changes[0].old_pid != mid.changes[0].new_pid
+        # u001 re-exported the same interface, so the cascade stops:
+        assert ledger.get("u002").cause == "all-import-pids-stable"
+
+    def test_make_cascade_is_flagged_as_policy(self, tmp_path):
+        workload, store_dir, _ = self.seed(tmp_path,
+                                           cls=TimestampBuilder)
+        workload.edit_comment("u000")
+        builder = rebuild(workload, store_dir, cls=TimestampBuilder)
+        ledger = builder.ledger
+        assert ledger.get("u000").cause == "source-changed"
+        # make rebuilds the dependents although every pid is stable --
+        # exactly the rebuilds cutoff avoids, so the cause is "policy".
+        assert ledger.get("u001").cause == "policy"
+        assert ledger.get("u002").cause == "policy"
+
+    def test_smart_reuse_despite_pid_change(self, tmp_path):
+        workload, store_dir, _ = self.seed(tmp_path, cls=SmartBuilder)
+        workload.edit_interface("u000")
+        builder = rebuild(workload, store_dir, cls=SmartBuilder)
+        ledger = builder.ledger
+        assert ledger.get("u000").cause == "source-changed"
+        mid = ledger.get("u001")
+        if mid.verdict == "reused":  # none of the used bindings moved
+            assert mid.cause == "used-bindings-stable"
+            assert mid.changes  # the pid really did change
+
+    def test_quarantined_record_is_attributed(self, tmp_path):
+        workload, store_dir, _ = self.seed(tmp_path)
+        bit_flip(payload_path(store_dir, "u001"), offset=2)
+        builder = rebuild(workload, store_dir)
+        decision = builder.ledger.get("u001")
+        assert decision.cause == "quarantined"
+        assert "payload-checksum-mismatch" in decision.quarantine_kinds
+
+    def test_every_unit_gets_a_decision(self, tmp_path):
+        workload, store_dir, builder = self.seed(tmp_path)
+        assert sorted(d.unit for d in builder.ledger) == [
+            "u000", "u001", "u002"]
+        builder = rebuild(workload, store_dir)
+        assert len(builder.ledger) == 3
+
+    def test_report_carries_the_ledger(self, tmp_path):
+        workload, store_dir, _ = self.seed(tmp_path)
+        builder = CutoffBuilder(workload.project,
+                                store=BinStore.load_directory(store_dir))
+        report = builder.build()
+        assert report.ledger is builder.ledger
+        stats = report.stats()
+        assert stats["causes"] == {"all-import-pids-stable": 3}
+        assert stats["cache_hits"] == 3

@@ -1,0 +1,80 @@
+"""Property: the cutoff-explanation ledger is *sound*.
+
+Over arbitrary DAGs and arbitrary single-unit edits, every decision the
+cutoff builder records must be backed by the structural facts it
+claims:
+
+- every unit of the build gets exactly one decision, with a cause from
+  the published vocabulary;
+- ``reused (all-import-pids-stable)`` really has every live import pid
+  equal to the prior bin record's;
+- ``import-pid-changed`` names at least one import whose pid genuinely
+  differs, and the named new pids are the live ones;
+- the cutoff builder never reports ``policy`` (it has no rule that
+  rebuilds on stable facts -- that cause belongs to make's cascade).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cm import BinStore, CutoffBuilder
+from repro.obs.ledger import RECOMPILE_CAUSES, REUSE_CAUSES
+from repro.workload import generate_workload, random_dag
+
+EDIT_METHODS = ("edit_comment", "edit_interface", "edit_implementation")
+
+cases = st.builds(
+    lambda n, seed, victim, edit: (random_dag(n, max_deps=3, seed=seed),
+                                   victim % n, edit),
+    n=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2_000),
+    victim=st.integers(min_value=0, max_value=9),
+    edit=st.sampled_from(EDIT_METHODS),
+)
+
+
+@given(cases)
+@settings(max_examples=25, deadline=None)
+def test_ledger_is_sound(tmp_path_factory, case):
+    deps_by_index, victim_index, edit = case
+    victim = f"u{victim_index:03d}"
+    store_dir = str(tmp_path_factory.mktemp("ledger") / "store")
+
+    workload = generate_workload(deps_by_index, helpers_per_unit=1)
+    builder = CutoffBuilder(workload.project)
+    builder.build()
+    builder.store.save_directory(store_dir)
+    assert all(d.cause == "store-miss" for d in builder.ledger)
+
+    getattr(workload, edit)(victim)
+    builder = CutoffBuilder(workload.project,
+                            store=BinStore.load_directory(store_dir))
+    report = builder.build()
+    ledger = builder.ledger
+
+    assert sorted(d.unit for d in ledger) == sorted(
+        u.name for u in builder.units.values())
+    live_pids = {n: u.export_pid for n, u in builder.units.items()}
+
+    for decision in ledger:
+        assert decision.cause in RECOMPILE_CAUSES + REUSE_CAUSES
+        assert decision.cause != "policy"  # cutoff never over-rebuilds
+        # The recorded live pids are the build's actual pids.
+        for name, pid in decision.live_imports:
+            assert live_pids[name] == pid
+
+        if decision.cause == "all-import-pids-stable":
+            assert dict(decision.prior_imports) == dict(
+                decision.live_imports)
+            assert not decision.changes
+        if decision.cause == "import-pid-changed":
+            assert decision.changes
+            for change in decision.changes:
+                if change.kind == "changed":
+                    assert change.old_pid != change.new_pid
+                    assert live_pids[change.unit] == change.new_pid
+        if decision.cause == "source-changed":
+            assert decision.unit == victim  # only one unit was edited
+
+    # The ledger and the report agree on what was recompiled.
+    assert sorted(d.unit for d in ledger.recompiled()) == sorted(
+        report.compiled)
