@@ -1,0 +1,115 @@
+"""Experiment T5 -- per-binding cutoff (interface slicing) on hot
+interfaces.
+
+The shape the slicing layer exists for: one provider exporting N
+independent bindings, fanned out to single-binding clients.  Editing
+one binding's interface flips the provider's whole-unit pid, so
+whole-pid cutoff (and make) recompile *every* client; the sliced smart
+builder recompiles only the edited binding's users.  We measure
+dependents recompiled and rebuild wall-clock for make vs cutoff vs
+sliced, sweeping the interface width, and persist the results as
+``BENCH_slicing.json`` at the repo root -- the first point of the perf
+trajectory ROADMAP.md asks for.
+"""
+
+import json
+import os
+import time
+
+from repro.cm import CutoffBuilder, SmartBuilder, TimestampBuilder
+from repro.workload import sliced_workload
+
+from .conftest import print_table
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT = os.path.join(REPO, "BENCH_slicing.json")
+
+BUILDERS = {
+    "make": TimestampBuilder,
+    "cutoff": CutoffBuilder,
+    "sliced": SmartBuilder,
+}
+
+#: (n_bindings, clients_per_binding) -- interface width sweep.
+SHAPES = [(4, 2), (8, 2), (16, 2)]
+
+
+def rebuild_after_binding_edit(builder_class, n_bindings, clients,
+                               victim=1):
+    """Full build, edit one binding's interface, timed rebuild."""
+    w = sliced_workload(n_bindings, clients_per_binding=clients)
+    builder = builder_class(w.project)
+    builder.build()
+    w.edit_binding_interface(victim)
+    t0 = time.perf_counter()
+    report = builder.build()
+    wall = time.perf_counter() - t0
+    return len(report.compiled), 1 + n_bindings * clients, wall
+
+
+def test_slicing_matrix(benchmark):
+    """1 of N bindings edited: units recompiled per builder."""
+
+    def run():
+        out = {}
+        for n, c in SHAPES:
+            for name, cls in BUILDERS.items():
+                out[(n, c, name)] = rebuild_after_binding_edit(cls, n, c)
+        return out
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    payload = {}
+    for n, c in SHAPES:
+        label = f"hot{n}x{c}"
+        cells = {name: matrix[(n, c, name)] for name in BUILDERS}
+        rows.append([label] + [f"{cells[b][0]}/{cells[b][1]}"
+                               for b in BUILDERS])
+        payload[label] = {
+            name: {
+                "recompiled": compiled,
+                "units": total,
+                "wall_seconds": round(wall, 4),
+            }
+            for name, (compiled, total, wall) in cells.items()
+        }
+        # The acceptance gate: sliced strictly beats whole-pid cutoff.
+        assert (cells["sliced"][0] < cells["cutoff"][0]
+                <= cells["make"][0]), label
+        # Exactly the provider plus the edited binding's users...
+        assert cells["sliced"][0] == 1 + c, label
+        # ...while cutoff pays for the whole fanout.
+        assert cells["cutoff"][0] == 1 + n * c, label
+
+    print_table(
+        "T5: units recompiled after editing 1 binding of N "
+        "(provider + N*c clients)",
+        ["shape"] + list(BUILDERS),
+        rows,
+    )
+
+    with open(OUT, "w", encoding="utf-8") as fh:
+        json.dump({"schema": "bench-slicing/1", "shapes": payload}, fh,
+                  indent=1, sort_keys=True)
+        fh.write("\n")
+    benchmark.extra_info["shapes"] = payload
+
+
+def test_sliced_rebuild_wall_clock(benchmark):
+    """Wall-clock rebuild of the widest shape under the sliced builder:
+    the skipped clients must make the rebuild cheaper than cutoff's."""
+    n, c = 16, 2
+    w = sliced_workload(n, clients_per_binding=c)
+    sliced = SmartBuilder(w.project)
+    sliced.build()
+    state = {"k": 0}
+
+    def rebuild():
+        state["k"] += 1
+        w.edit_binding_interface(state["k"] % n)
+        return sliced.build()
+
+    report = benchmark.pedantic(rebuild, rounds=3, iterations=1)
+    assert len(report.compiled) == 1 + c
+    benchmark.extra_info["units_recompiled"] = len(report.compiled)

@@ -1,0 +1,9 @@
+(* The edge on palette is real (Palette.shades escapes), but every
+   reference to Ink is locally bound -- SC001: a false name widening a
+   real edge's per-binding recompilation surface. *)
+structure Draw = struct
+  structure Ink = struct
+    val white = 1
+  end
+  fun mix n = n * Palette.shades + Ink.white
+end

@@ -29,7 +29,9 @@ from repro.analysis.diagnostics import (SCHEMA, Diagnostic, Severity, Span,
 from repro.analysis.registry import RULES, Rule, rule, run_rules
 from repro.analysis.runner import AnalysisResult, analyze_project
 from repro.analysis.scopes import (ModuleBind, ModuleRef, ScanResult,
-                                   scan_module_refs)
+                                   UseDefAnalysis, binding_key,
+                                   scan_module_refs, split_binding_key,
+                                   uses_from_mentions)
 
 __all__ = [
     "SCHEMA",
@@ -46,11 +48,15 @@ __all__ = [
     "Severity",
     "Span",
     "UnitRisk",
+    "UseDefAnalysis",
     "analyze_project",
+    "binding_key",
     "cascade_report",
     "render_json",
     "render_text",
     "rule",
     "run_rules",
     "scan_module_refs",
+    "split_binding_key",
+    "uses_from_mentions",
 ]

@@ -9,8 +9,10 @@ The context wraps the project and an already-built
 - token streams are lexed lazily, once per unit, purely to attach
   line/col spans to names (lexing is not parsing and is an order of
   magnitude cheaper);
-- scope scans (:func:`repro.analysis.scopes.scan_module_refs`) and the
-  project-wide provider map are computed once and shared by all rules;
+- use/def sets come from one shared
+  :class:`~repro.analysis.scopes.UseDefAnalysis` instance -- the same
+  machinery the build's per-binding cutoff consumes -- so scope scans
+  and the project-wide provider map are computed once for all rules;
 - the cascade report is computed once from the graph.
 """
 
@@ -20,10 +22,9 @@ from dataclasses import dataclass
 
 from repro.analysis.cascade import CascadeReport, cascade_report
 from repro.analysis.diagnostics import Span
-from repro.analysis.scopes import ScanResult, scan_module_refs
+from repro.analysis.scopes import ScanResult, UseDefAnalysis
 from repro.cm.depend import DepGraph
 from repro.cm.project import Project
-from repro.lang.freevars import defined_module_names
 from repro.lang.lexer import tokenize
 from repro.lang.tokens import TokKind
 
@@ -50,8 +51,7 @@ class AnalysisContext:
         self.graph = graph
         self.config = config if config is not None else AnalysisConfig()
         self._tokens: dict[str, list] = {}
-        self._scans: dict[str, ScanResult] = {}
-        self._providers: dict[tuple[str, str], str] | None = None
+        self._usedef: UseDefAnalysis | None = None
         self._cascade: CascadeReport | None = None
 
     @property
@@ -67,22 +67,19 @@ class AnalysisContext:
             toks = self._tokens[unit] = tokenize(self.project.source(unit))
         return toks
 
+    def usedef(self) -> UseDefAnalysis:
+        """The shared use/def analysis over the parsed project -- the
+        same one the build's per-binding cutoff data comes from."""
+        if self._usedef is None:
+            self._usedef = UseDefAnalysis.of_graph(self.graph)
+        return self._usedef
+
     def scan(self, unit: str) -> ScanResult:
-        scan = self._scans.get(unit)
-        if scan is None:
-            scan = self._scans[unit] = scan_module_refs(self.decs(unit))
-        return scan
+        return self.usedef().scan(unit)
 
     def providers(self) -> dict[tuple[str, str], str]:
         """(ns, name) -> the unit whose top level defines it."""
-        if self._providers is None:
-            self._providers = {}
-            for unit in self.units:
-                for ns, names in defined_module_names(
-                        self.decs(unit)).items():
-                    for name in names:
-                        self._providers[(ns, name)] = unit
-        return self._providers
+        return self.usedef().providers()
 
     def cascade(self) -> CascadeReport:
         if self._cascade is None:

@@ -1,4 +1,4 @@
-"""The built-in rules (codes SC001-SC005).
+"""The built-in rules (codes SC001-SC006).
 
 Every rule is grounded in the paper's cost model: transparent signature
 matching makes *all* of an implementation's details interface, so each
@@ -32,38 +32,37 @@ def _exported_decs(decs):
             yield dec
 
 
-@rule("SC001", "false-dependency-edge",
-      "a conservative mention induces a dependency edge although every "
-      "reference to the name is locally bound")
-def false_dependency_edges(ctx: AnalysisContext):
+@rule("SC001", "false-dependency-name",
+      "a conservative mention widens a real dependency edge although "
+      "every reference to the name is locally bound")
+def false_dependency_names(ctx: AnalysisContext):
     """The dependency analyzer is conservative (it only subtracts
     top-level definitions), so a nested binding that happens to share a
-    provider's name manufactures an edge the program never exercises --
-    and with it, spurious recompilations of this unit on every provider
-    interface change."""
+    provider's name charges this unit with using a binding the program
+    never exercises -- widening the per-binding recompilation surface of
+    an edge that does exist.  Edges that are *entirely* spurious are
+    SC006's territory; SC001 reports only the false names on partly-real
+    edges."""
+    usedef = ctx.usedef()
     for unit in ctx.units:
         scan = ctx.scan(unit)
         escaping = scan.escaping()
+        whole_spurious = set(usedef.unused_imports(unit))
         for provider in sorted(ctx.graph.uses.get(unit, {})):
-            keys = ctx.graph.uses[unit][provider]
-            false_names = []
-            for key in sorted(keys):
+            if provider in whole_spurious:
+                continue  # SC006 reports the whole edge
+            for key in sorted(ctx.graph.uses[unit][provider]):
                 ns, _, name = key.partition(":")
-                if (ns, name) not in escaping:
-                    false_names.append((ns, name))
-            whole_edge = len(false_names) == len(keys)
-            for ns, name in false_names:
+                if (ns, name) in escaping:
+                    continue
                 ref = scan.first_ref(ns, name)
                 span = ctx.span_of(unit, name,
                                    ref.line if ref else None)
-                message = (f"every reference to {_SINGULAR[ns]} "
-                           f"'{name}' is locally bound, yet the mention "
-                           f"creates a dependency edge on unit "
-                           f"'{provider}'")
-                if whole_edge:
-                    message += " (the whole edge is spurious)"
                 yield Diagnostic(
-                    "SC001", Severity.WARNING, unit, span, message,
+                    "SC001", Severity.WARNING, unit, span,
+                    f"every reference to {_SINGULAR[ns]} '{name}' is "
+                    f"locally bound, yet the mention charges this unit "
+                    f"with using it from unit '{provider}'",
                     fix=f"rename the local '{name}' so the dependency "
                         f"analyzer stops charging this unit for "
                         f"'{provider}' edits")
@@ -213,3 +212,40 @@ def hot_interfaces(ctx: AnalysisContext):
             "SC005", Severity.INFO, risk.unit, span, message,
             fix="keep this interface ascribed and stable, or split "
                 "rarely-used bindings into a separate unit")
+
+
+@rule("SC006", "unused-import",
+      "a dependency edge none of whose referenced bindings actually "
+      "escapes -- the whole import is spurious")
+def unused_imports(ctx: AnalysisContext):
+    """The whole-edge case of SC001: *every* mention that creates the
+    edge is locally bound, so the unit does not use the provider at all
+    -- yet each provider interface edit recompiles it (the per-binding
+    cutoff cannot help either: the recorded use-set is exactly the
+    conservative one).  Computed from the shared
+    :class:`~repro.analysis.scopes.UseDefAnalysis`, so the lint verdict
+    and the build's recorded ``used_bindings`` can never disagree."""
+    usedef = ctx.usedef()
+    for unit in ctx.units:
+        scan = ctx.scan(unit)
+        for provider in usedef.unused_imports(unit):
+            keys = sorted(ctx.graph.uses[unit][provider])
+            names = []
+            span = None
+            for key in keys:
+                ns, _, name = key.partition(":")
+                names.append(f"{_SINGULAR[ns]} '{name}'")
+                if span is None:
+                    ref = scan.first_ref(ns, name)
+                    span = ctx.span_of(unit, name,
+                                       ref.line if ref else None)
+            yield Diagnostic(
+                "SC006", Severity.WARNING, unit, span or Span(),
+                f"the dependency edge on unit '{provider}' is entirely "
+                f"spurious: every referenced binding "
+                f"({', '.join(names)}) is locally bound, yet each "
+                f"'{provider}' interface edit still recompiles this "
+                f"unit",
+                fix=f"rename the shadowing local binding(s) so the "
+                    f"edge on '{provider}' disappears from the "
+                    f"dependency graph")

@@ -21,6 +21,15 @@ so rules can compare conservative mentions against precise resolution
 (SC001), spot shadowing (SC004), and attribute ``open`` declarations
 (SC002).  It never parses: it consumes the declarations already parsed
 by :func:`repro.cm.depend.analyze`.
+
+:class:`UseDefAnalysis` packages both views for a whole project: per
+unit, the set of exported module-level bindings (the *def* set) and the
+set of ``(import_unit, binding)`` pairs the unit references (the *use*
+set) -- conservatively (the dependency analyzer's view, via
+:func:`uses_from_mentions`, which :func:`repro.cm.depend.analyze` shares)
+and precisely (only escaping references).  The build's per-binding
+cutoff and smlint's SC001/SC006 rules both consume it, so "what does
+this unit actually use?" has exactly one answer in the system.
 """
 
 from __future__ import annotations
@@ -29,7 +38,9 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.lang import ast
-from repro.lang.freevars import MODULE_NAMESPACES, defined_module_names
+from repro.lang.freevars import (MODULE_NAMESPACES, Mentions,
+                                 defined_module_names,
+                                 module_level_mentions)
 
 
 @dataclass(frozen=True)
@@ -270,6 +281,135 @@ class _Scanner:
             self.visit(ty)
             if alias is not None:
                 self._ref_head(alias, node.line)
+
+
+# -- use/def sets --------------------------------------------------------
+
+
+def binding_key(ns: str, name: str) -> str:
+    """The canonical ``"ns:name"`` spelling of a module-level binding --
+    the key format of ``DepGraph.uses``, of bin-record ``binding_pids``
+    / ``used_bindings``, and of the ledger's binding checks."""
+    return f"{ns}:{name}"
+
+
+def split_binding_key(key: str) -> tuple[str, str]:
+    """Inverse of :func:`binding_key`."""
+    ns, _, name = key.partition(":")
+    return ns, name
+
+
+def uses_from_mentions(mentions: Mentions, providers: dict[str, str],
+                       self_name: str) -> dict[str, set[str]]:
+    """The conservative use-set: provider unit -> the binding keys of
+    ``providers`` that ``mentions`` references.
+
+    ``providers`` maps a module-level name to its defining unit (the
+    dependency analyzer's provider table); mentions resolving to
+    ``self_name`` are dropped (a unit does not use itself).  This is THE
+    use-set computation: :func:`repro.cm.depend.analyze` derives both
+    the dependency edges and ``DepGraph.uses`` from it, and
+    :class:`UseDefAnalysis` re-exposes it to the lint rules, so the
+    build and the analyzer can never disagree about what a unit uses.
+    """
+    uses: dict[str, set[str]] = {}
+    for ns in MODULE_NAMESPACES:
+        for module_name in getattr(mentions, ns):
+            provider = providers.get(module_name)
+            if provider is not None and provider != self_name:
+                uses.setdefault(provider, set()).add(
+                    binding_key(ns, module_name))
+    return uses
+
+
+class UseDefAnalysis:
+    """Use/def sets over a project of already-parsed units.
+
+    Construct from ``{unit: parsed declarations}`` (or
+    :meth:`of_graph` from a :class:`~repro.cm.depend.DepGraph`).  All
+    results are memoized; the analysis never parses.
+    """
+
+    def __init__(self, decs_by_unit: dict[str, list[ast.Dec]]):
+        self.decs_by_unit = decs_by_unit
+        self._exports: dict[str, set[tuple[str, str]]] = {}
+        self._scans: dict[str, ScanResult] = {}
+        self._uses: dict[str, dict[str, set[str]]] = {}
+        self._providers: dict[tuple[str, str], str] | None = None
+
+    @classmethod
+    def of_graph(cls, graph) -> "UseDefAnalysis":
+        return cls(dict(graph.parsed))
+
+    @property
+    def units(self) -> list[str]:
+        return list(self.decs_by_unit)
+
+    # -- def sets ---------------------------------------------------------
+
+    def exports(self, unit: str) -> set[tuple[str, str]]:
+        """The (ns, name) pairs ``unit``'s top level defines -- the
+        bindings that make up its exported interface."""
+        out = self._exports.get(unit)
+        if out is None:
+            defined = defined_module_names(self.decs_by_unit[unit])
+            out = {(ns, name) for ns, names in defined.items()
+                   for name in names}
+            self._exports[unit] = out
+        return out
+
+    def providers(self) -> dict[tuple[str, str], str]:
+        """(ns, name) -> the unit whose top level defines it."""
+        if self._providers is None:
+            self._providers = {}
+            for unit in self.units:
+                for ns, name in self.exports(unit):
+                    self._providers[(ns, name)] = unit
+        return self._providers
+
+    # -- use sets ---------------------------------------------------------
+
+    def scan(self, unit: str) -> ScanResult:
+        scan = self._scans.get(unit)
+        if scan is None:
+            scan = self._scans[unit] = scan_module_refs(
+                self.decs_by_unit[unit])
+        return scan
+
+    def used_keys(self, unit: str) -> dict[str, set[str]]:
+        """Conservative use-set as provider -> binding keys (the same
+        map :func:`repro.cm.depend.analyze` records in
+        ``DepGraph.uses``)."""
+        out = self._uses.get(unit)
+        if out is None:
+            name_providers = {name: owner for (_ns, name), owner
+                              in self.providers().items()}
+            out = uses_from_mentions(
+                module_level_mentions(self.decs_by_unit[unit]),
+                name_providers, unit)
+            self._uses[unit] = out
+        return out
+
+    def uses(self, unit: str) -> set[tuple[str, str]]:
+        """Conservative ``(import_unit, binding_key)`` pairs."""
+        return {(provider, key)
+                for provider, keys in self.used_keys(unit).items()
+                for key in keys}
+
+    def precise_uses(self, unit: str) -> set[tuple[str, str]]:
+        """The scope-aware subset of :meth:`uses`: pairs whose name
+        actually escapes (is referenced without a local binding)."""
+        escaping = self.scan(unit).escaping()
+        return {(provider, key) for provider, key in self.uses(unit)
+                if split_binding_key(key) in escaping}
+
+    def unused_imports(self, unit: str) -> list[str]:
+        """Import units the conservative analysis charges ``unit`` with
+        but whose precise use-set is empty -- every mention creating the
+        edge is locally bound, so the whole edge is spurious (SC006)."""
+        genuinely_used = {provider
+                          for provider, _key in self.precise_uses(unit)}
+        return sorted(set(self.used_keys(unit)) - genuinely_used)
 
 
 _HANDLERS = {

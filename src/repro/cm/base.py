@@ -205,10 +205,21 @@ class BaseBuilder:
         behind a ``decide`` verdict.  Structural: causes come from the
         prior record and live pids, not from the reason string.  The
         source digest is only computed for recompiles (reuse decisions
-        never need it), so the always-on ledger stays cheap."""
+        never need it), so the always-on ledger stays cheap.  When the
+        record carries interface slices, the decision also gets
+        per-binding checks -- the prior used-binding pids against the
+        providers' current ones (providers are processed earlier in
+        dependency order, so their records are up to date here)."""
         source_changed = None
         if action == "compile" and record is not None:
             source_changed = not self.source_current(name, record)
+        live_binding_pids = {}
+        if record is not None and record.used_bindings:
+            for provider_name in record.used_bindings:
+                provider_record = self.store.get(provider_name)
+                if provider_record is not None:
+                    live_binding_pids[provider_name] = \
+                        provider_record.binding_pids
         decision = explain_decision(
             unit=name,
             action={"compile": "compiled", "load": "loaded",
@@ -221,6 +232,9 @@ class BaseBuilder:
             source_changed=source_changed,
             quarantine_kinds=tuple(self.health.kinds_for(name))
             if record is None else (),
+            used_bindings=record.used_bindings
+            if record is not None else None,
+            live_binding_pids=live_binding_pids,
         )
         self.ledger.record(decision)
         if self.meter.enabled:
@@ -250,7 +264,33 @@ class BaseBuilder:
 
     def on_compiled(self, name: str, graph: DepGraph) -> None:
         """Hook run after ``name`` was (re)compiled -- serially or on a
-        worker -- with the unit live and its record in the store."""
+        worker -- with the unit live and its record in the store.
+
+        The default records the unit's interface slice usage: for every
+        import edge, which of the provider's bindings this unit
+        mentions, pinned to the provider's *current* binding pids
+        (providers were processed earlier in dependency order, so their
+        records are fresh here).  An empty pid marks a provider with no
+        slice data (e.g. loaded from a pre-slicing record); the smart
+        builder treats those conservatively.  Iteration is sorted so
+        the header bytes are identical across serial and parallel
+        builds.  Overrides should call ``super().on_compiled(...)`` to
+        keep the slice data flowing."""
+        record = self.store.get(name)
+        if record is None:
+            return
+        used: dict[str, dict[str, str]] = {}
+        for provider in sorted(graph.uses.get(name, {})):
+            provider_record = self.store.get(provider)
+            pids = (provider_record.binding_pids
+                    if provider_record is not None else {})
+            if provider_record is None:
+                live = self.units.get(provider)
+                pids = live.binding_pids if live is not None else {}
+            used[provider] = {key: pids.get(key, "")
+                              for key in sorted(graph.uses[name][provider])}
+        record.used_bindings = used
+        self.store.put(record)
 
     def _begin_build(self) -> None:
         """Hook run at the start of every build pass.  Overrides must
@@ -279,6 +319,7 @@ class BaseBuilder:
             imports=list(unit.imports),
             payload=unit.payload,
             built_at=self.project.clock,
+            binding_pids=dict(unit.binding_pids),
         )
 
     def load(self, name: str, record: BinRecord,
@@ -288,7 +329,8 @@ class BaseBuilder:
         try:
             unit = load_unit(name, record.export_pid, imports,
                              record.payload, self.session,
-                             record.source_digest, meter=self.meter)
+                             record.source_digest, meter=self.meter,
+                             binding_pids=record.binding_pids)
         except UnpickleError as err:
             # A stale-format or corrupt bin file is a cache miss, not a
             # build failure -- but it is damage the checksums should

@@ -15,8 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.lang import ast
-from repro.lang.freevars import (MODULE_NAMESPACES, defined_module_names,
-                                 module_level_mentions)
+from repro.lang.freevars import defined_module_names, module_level_mentions
 from repro.lang.parser import parse_program
 from repro.cm.project import Project
 
@@ -93,6 +92,10 @@ def analyze(project: Project, restrict: list[str] | None = None,
             exist outside the project's sources (stable libraries); edges
             to them appear in ``deps`` but not in the build ``order``.
     """
+    # Imported lazily: repro.analysis.context imports this module, so a
+    # top-level import of the analysis package would be circular.
+    from repro.analysis.scopes import uses_from_mentions
+
     names = restrict if restrict is not None else project.names()
     graph = DepGraph()
 
@@ -134,16 +137,10 @@ def analyze(project: Project, restrict: list[str] | None = None,
             cache[name] = (source, decs, defined, mentioned)
 
     for name in names:
-        m = mentions[name]
-        deps = set()
-        uses: dict[str, set[str]] = {}
-        for ns in MODULE_NAMESPACES:
-            for module_name in getattr(m, ns):
-                provider = providers.get(module_name)
-                if provider is not None and provider != name:
-                    deps.add(provider)
-                    uses.setdefault(provider, set()).add(
-                        f"{ns}:{module_name}")
+        # The shared use-set computation (repro.analysis.scopes): the
+        # per-binding keys double as the dependency edges.
+        uses = uses_from_mentions(mentions[name], providers, name)
+        deps = set(uses)
         graph.uses[name] = uses
         if visible is not None:
             bad = deps - visible.get(name, set()) - external_units

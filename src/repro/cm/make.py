@@ -43,4 +43,5 @@ class TimestampBuilder(BaseBuilder):
         return "load", ""
 
     def on_compiled(self, name: str, graph: DepGraph) -> None:
+        super().on_compiled(name, graph)
         self._rebuilt_this_pass.add(name)

@@ -148,6 +148,9 @@ class CompileResult:
     payload: bytes = b""
     source_digest: str = ""
     times: PhaseTimes = field(default_factory=PhaseTimes)
+    #: Per-binding slice pids computed in the worker's hash phase
+    #: (intrinsic, so identical to what a serial compile produces).
+    binding_pids: dict = field(default_factory=dict)
     error: tuple[str, str] | None = None  # (exception type, message)
     #: Worker-side occupancy data: when the task ran (perf_counter
     #: domain, comparable across processes on this host) and on which
@@ -201,6 +204,7 @@ def compile_task(task: CompileTask) -> CompileResult:
         unit = compile_unit(task.name, task.source, imports, session)
         return CompileResult(task.name, unit.export_pid, unit.payload,
                              unit.source_digest, unit.times,
+                             binding_pids=unit.binding_pids,
                              started=started,
                              ended=time.perf_counter(), worker=worker)
     except Exception as err:
@@ -394,7 +398,8 @@ def _apply_result(builder, graph: DepGraph, name: str, reason: str,
     write the record, run the builder's post-compile hook."""
     imports = [builder.units[d] for d in graph.deps[name]]
     unit = load_unit(name, result.export_pid, imports, result.payload,
-                     builder.session, result.source_digest)
+                     builder.session, result.source_digest,
+                     binding_pids=result.binding_pids)
     unit.times = result.times  # report the worker's compile timings
     previous = builder.store.get(name)
     pid_changed = (previous is None

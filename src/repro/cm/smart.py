@@ -1,21 +1,32 @@
-"""Smart recompilation at per-exported-name granularity.
+"""Smart recompilation at per-exported-binding granularity.
 
 The paper situates cutoff between classical recompilation and Tichy's
 *smart* / Schwanke-Kaiser *smartest* recompilation (§2): smarter schemes
 examine which pieces of an interface a dependent actually uses.  This
-builder implements the smart point of that spectrum:
+builder implements the smart point of that spectrum on *interface
+slices*:
 
-- after compiling a unit, every exported module-level binding gets its
-  own hash (a dehydration-based digest of just that binding);
-- each dependent records, at compile time, the hashes of exactly the
-  bindings it mentions;
-- a dependent is recompiled only if one of *those* hashes changed --
-  an interface change in a binding it never uses is invisible to it.
+- every compiled unit carries a per-exported-binding pid table
+  (:func:`repro.pids.intrinsic.binding_pids`, computed in the pipeline's
+  hash phase alongside the whole-interface pid);
+- every bin record carries, per import, exactly the bindings this unit
+  mentions -- the use-set of the shared
+  :class:`repro.analysis.scopes.UseDefAnalysis`, pinned to the
+  provider's binding pids at compile time;
+- a dependent is recompiled only if a binding it *uses* changed -- an
+  interface change in a binding it never mentions is invisible to it.
 
-Strictly fewer recompilations than cutoff (it can skip a dependent even
-when the provider's whole-interface pid changed), at the cost of
-per-name bookkeeping.  The paper chose cutoff because it falls out of
-pids "for free"; benchmark T2 quantifies the gap.
+The slice checks only run for imports whose whole-interface pid moved:
+an import with a stable pid has, by construction, no changed bindings.
+That makes the sliced builder's reuse a superset of cutoff's -- it can
+never recompile more -- and it degrades gracefully: a record with no
+slice data (a pre-slicing v3 bin, or a provider without binding pids)
+falls back to the conservative whole-pid answer.
+
+Strictly fewer recompilations than cutoff (benchmark T2 and
+``benchmarks/test_bench_slicing.py`` quantify the gap), at the cost of
+per-binding bookkeeping.  The paper chose cutoff because it falls out
+of pids "for free"; this is the v2 the paper's §2 points at.
 """
 
 from __future__ import annotations
@@ -23,13 +34,11 @@ from __future__ import annotations
 from repro.cm.base import BaseBuilder
 from repro.cm.depend import DepGraph
 from repro.cm.store import BinRecord
-from repro.pickle.pickler import Pickler
-from repro.pids.crc128 import CRC128
 from repro.units.unit import CompiledUnit
 
 
 class SmartBuilder(BaseBuilder):
-    """Per-name smart recompilation."""
+    """Per-binding smart recompilation over interface slices."""
 
     def decide(self, name: str, graph: DepGraph,
                imports: list[CompiledUnit],
@@ -38,76 +47,54 @@ class SmartBuilder(BaseBuilder):
             return "compile", "no bin file"
         if not self.source_current(name, record):
             return "compile", "source changed"
-        stale = self._stale_use(record, graph, name)
-        if stale is not None:
-            return "compile", f"used binding changed: {stale}"
+        if not self.imports_current(record, imports):
+            # Some import's whole pid moved: consult the slices.
+            stale = self._stale_use(record, imports)
+            if stale is not None:
+                return "compile", stale
+            # Slices stable: reuse, but by *rehydrating* against the
+            # new import interfaces -- a cached live unit would still
+            # carry the old import pids and statenvs, which the linker
+            # rightly rejects.  Rehydration rebinds by name.
+            return "load", ""
         if self.is_live_and_current(name, record):
             return "cached", ""
         return "load", ""
 
-    # -- decision ---------------------------------------------------------
+    # -- the slice check ---------------------------------------------------
 
-    def _stale_use(self, record: BinRecord, graph: DepGraph,
-                   name: str) -> str | None:
-        """The first used binding whose provider-side hash changed, or
-        None if every used binding is unchanged."""
-        used: dict[str, dict[str, str]] = record.extra.get("used", {})
-        for provider_name in graph.deps[name]:
-            provider_record = self.store.get(provider_name)
-            if provider_record is None:
-                return f"{provider_name} (no bin)"
-            provider_hashes = provider_record.extra.get("member_hashes", {})
-            mine = used.get(provider_name)
-            if mine is None:
-                # The dependency edge is new since this bin was written.
-                return f"{provider_name} (new dependency)"
-            for key, old_hash in mine.items():
-                if provider_hashes.get(key) != old_hash:
-                    return f"{provider_name}.{key}"
+    def _stale_use(self, record: BinRecord,
+                   imports: list[CompiledUnit]) -> str | None:
+        """Why the record is stale at slice granularity, or None when
+        every binding this unit uses is unchanged.
+
+        Only imports whose whole-interface pid differs from the record
+        are examined (a stable pid means no binding of it moved, so
+        sliced reuse can never be narrower than cutoff reuse).  Missing
+        slice data -- a changed edge absent from ``used_bindings``, or
+        an empty recorded binding pid -- is conservative: recompile.
+        """
+        if [n for n, _ in record.imports] != [u.name for u in imports]:
+            return "import set changed"
+        prior_pids = dict(record.imports)
+        for unit in imports:
+            if prior_pids[unit.name] == unit.export_pid:
+                continue  # whole pid stable: none of its bindings moved
+            used = record.used_bindings.get(unit.name)
+            if not used:
+                return (f"{unit.name} changed "
+                        f"(no slice data, whole-pid fallback)")
+            provider_record = self.store.get(unit.name)
+            live_pids = (provider_record.binding_pids
+                         if provider_record is not None
+                         else unit.binding_pids)
+            for key in sorted(used):
+                old_pid = used[key]
+                if not old_pid:
+                    return (f"{unit.name} changed "
+                            f"(no slice data, whole-pid fallback)")
+                if live_pids.get(key, "") != old_pid:
+                    _ns, _, binding_name = key.partition(":")
+                    return (f"used binding changed: "
+                            f"{unit.name}.{binding_name}")
         return None
-
-    # -- actions ----------------------------------------------------------
-
-    def on_compiled(self, name: str, graph: DepGraph) -> None:
-        # Member hashes are computed over the *live* unit; for a unit
-        # compiled on a worker the live unit is its rehydration, whose
-        # hashes are identical (the dehydration is alpha-converted and
-        # line-normalized, so hashes survive the round trip).
-        record = self.store.get(name)
-        unit = self.units[name]
-        with self.meter.span("member-hashes", cat="phase", unit=name) as sp:
-            hashes = member_hashes(unit, self.session)
-            sp.set(members=len(hashes))
-        record.extra["member_hashes"] = hashes
-        record.extra["used"] = self._record_uses(name, graph)
-
-    def _record_uses(self, name: str, graph: DepGraph) -> dict:
-        used: dict[str, dict[str, str]] = {}
-        for provider_name, keys in graph.uses.get(name, {}).items():
-            provider_record = self.store.get(provider_name)
-            hashes = (provider_record.extra.get("member_hashes", {})
-                      if provider_record else {})
-            used[provider_name] = {
-                key: hashes.get(key, "") for key in sorted(keys)
-            }
-        return used
-
-
-def member_hashes(unit: CompiledUnit, session) -> dict[str, str]:
-    """Hash each exported module-level binding independently.
-
-    Key format "namespace:name"; value is a CRC-128 over the binding's
-    canonical (alpha-converted, line-normalized) dehydration.
-    """
-    out: dict[str, str] = {}
-    env = unit.static_env
-    for ns in ("structures", "signatures", "functors"):
-        for member_name, obj in getattr(env, ns).items():
-            pickler = Pickler(
-                local_stamp_ids=unit.owned_stamp_ids,
-                extern=session.extern,
-                normalize_lines=True,
-            )
-            data = pickler.run(obj)
-            out[f"{ns}:{member_name}"] = CRC128().update(data).hexdigest()
-    return out

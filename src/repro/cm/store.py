@@ -48,9 +48,15 @@ from repro.obs.meter import NULL_METER, BuildMeter
 from repro.pids.crc128 import CRC128, crc128_hex
 
 #: On-disk header format version; bump when the pickle registry or the
-#: record layout changes incompatibly.  Mismatched records are skipped at
-#: load (treated as cache misses).
-FORMAT_VERSION = 3
+#: record layout changes incompatibly.  Unsupported records are skipped
+#: at load (treated as cache misses).  v4 added the interface-slicing
+#: fields ``binding_pids`` / ``used_bindings``.
+FORMAT_VERSION = 4
+#: Versions :meth:`BinStore.load_directory` still reads.  v3 records
+#: predate slicing; they load with empty slice fields, so the smart
+#: builder degrades to whole-pid cutoff for them.  Saves always write
+#: :data:`FORMAT_VERSION`.
+COMPAT_FORMATS = (3, 4)
 
 HEADER_SUFFIX = ".bin.json"
 PAYLOAD_SUFFIX = ".bin"
@@ -315,6 +321,14 @@ class BinRecord:
     imports: list[tuple[str, str]]
     payload: bytes
     built_at: int = 0  # logical clock at build time (make-level data)
+    #: Per-exported-binding intrinsic pids ("ns:name" -> pid).  Empty on
+    #: records loaded from pre-slicing (v3) stores: "no slice info ->
+    #: fall back to whole-pid cutoff".
+    binding_pids: dict = field(default_factory=dict)
+    #: What this unit used of each import when it was compiled:
+    #: provider unit -> {"ns:name": the provider's binding pid then}.
+    #: An empty pid means the provider had no slice data at the time.
+    used_bindings: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
 
@@ -393,6 +407,8 @@ class BinStore:
             "export_pid": record.export_pid,
             "imports": record.imports,
             "built_at": record.built_at,
+            "binding_pids": record.binding_pids,
+            "used_bindings": record.used_bindings,
             "extra": record.extra,
             "payload_crc": crc128_hex(record.payload),
         }
@@ -711,7 +727,7 @@ class BinStore:
             report.add(display, "bad-header-json", header_file,
                        "header is not a JSON object")
             return None
-        if header.get("format") != FORMAT_VERSION:
+        if header.get("format") not in COMPAT_FORMATS:
             report.stale.append(display)
             return None
         missing = [f for f in _REQUIRED_FIELDS if f not in header]
@@ -753,6 +769,21 @@ class BinStore:
             report.add(name, "malformed-header", header_file,
                        "imports is not a list of (name, pid) pairs")
             return None
+        # Slice fields: absent on v3 records (load empty -> whole-pid
+        # cutoff); when present they must be well-formed.
+        binding_pids = header.get("binding_pids", {})
+        if not _is_str_table(binding_pids):
+            report.add(name, "malformed-header", header_file,
+                       "binding_pids is not a {key: pid} table")
+            return None
+        used_bindings = header.get("used_bindings", {})
+        if not (isinstance(used_bindings, dict)
+                and all(isinstance(k, str) and _is_str_table(v)
+                        for k, v in used_bindings.items())):
+            report.add(name, "malformed-header", header_file,
+                       "used_bindings is not a {provider: {key: pid}} "
+                       "table")
+            return None
 
         self._records[name] = BinRecord(
             name=name,
@@ -761,6 +792,8 @@ class BinStore:
             imports=[tuple(pair) for pair in imports],
             payload=payload,
             built_at=header["built_at"],
+            binding_pids=binding_pids,
+            used_bindings=used_bindings,
             extra=header.get("extra", {}),
         )
         return name
@@ -771,6 +804,13 @@ class BinStore:
         """Check a store directory's health without building anything."""
         return cls.load_directory(path, fs=fs,
                                   lock_timeout=lock_timeout).health
+
+
+def _is_str_table(value) -> bool:
+    """Is ``value`` a ``{str: str}`` dict (the slice-field shape)?"""
+    return (isinstance(value, dict)
+            and all(isinstance(k, str) and isinstance(v, str)
+                    for k, v in value.items()))
 
 
 def _record_stem(entry: str) -> str | None:
@@ -795,7 +835,7 @@ def _read_manifest(fs: FileSystem, path: str, entries: list[str],
     try:
         data = json.loads(fs.read_bytes(manifest_file).decode("utf-8"))
         records = data["records"]
-        if data["format"] != FORMAT_VERSION:
+        if data["format"] not in COMPAT_FORMATS:
             report.notes.append("stale-format manifest ignored")
             return None
         if not (isinstance(records, dict)

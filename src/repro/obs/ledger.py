@@ -23,6 +23,15 @@ the soundness property holds by construction (and is re-checked by
 ``all-import-pids-stable`` unit really has every import pid equal to
 its prior record's, and every ``import-pid-changed`` names a pid that
 really differs.
+
+When the bin records carry interface slices (per-binding pids and
+per-import used-binding sets), each decision also gets a
+:class:`BindingCheck` per used binding of a pid-changed import: the
+binding's pid when this unit was last compiled vs the provider's
+current one.  That is the *evidence* behind ``used-bindings-stable``
+(every check stable) and the per-binding culprit report behind
+``import-pid-changed`` recompiles -- ``--explain <unit>`` prints the
+actual stable/changed binding names.
 """
 
 from __future__ import annotations
@@ -62,6 +71,46 @@ class PidChange:
                 "old_pid": self.old_pid, "new_pid": self.new_pid}
 
 
+@dataclass(frozen=True)
+class BindingCheck:
+    """One used binding of a pid-changed import, checked at slice
+    granularity.
+
+    ``binding`` is the ``"ns:name"`` key; ``old_pid`` is the binding's
+    pid recorded when this unit was compiled, ``new_pid`` the
+    provider's current one.  An empty pid on either side means slice
+    data was missing (a pre-slicing record), in which case the check is
+    inconclusive and the builder must fall back to whole-pid cutoff.
+    """
+
+    provider: str
+    binding: str
+    old_pid: str = ""
+    new_pid: str = ""
+
+    @property
+    def conclusive(self) -> bool:
+        return bool(self.old_pid) and bool(self.new_pid)
+
+    @property
+    def stable(self) -> bool:
+        return self.conclusive and self.old_pid == self.new_pid
+
+    def describe(self) -> str:
+        ns, _, name = self.binding.partition(":")
+        label = f"{self.provider}.{name} ({ns.rstrip('s')})"
+        if not self.conclusive:
+            return f"{label} no slice data"
+        if self.stable:
+            return f"{label} stable"
+        return f"{label} changed (pid {self.old_pid} -> {self.new_pid})"
+
+    def to_json(self) -> dict:
+        return {"provider": self.provider, "binding": self.binding,
+                "old_pid": self.old_pid, "new_pid": self.new_pid,
+                "stable": self.stable}
+
+
 @dataclass
 class BuildDecision:
     """The ledger entry for one unit in one build pass."""
@@ -77,12 +126,27 @@ class BuildDecision:
     #: against, and what is live now -- the raw facts behind ``cause``.
     prior_imports: tuple[tuple[str, str], ...] = ()
     live_imports: tuple[tuple[str, str], ...] = ()
+    #: Slice-level evidence: one check per used binding of each
+    #: pid-changed import (empty when no import pid changed or the
+    #: records carry no slice data).
+    binding_checks: tuple[BindingCheck, ...] = ()
+
+    def stable_bindings(self) -> tuple[BindingCheck, ...]:
+        return tuple(c for c in self.binding_checks if c.stable)
+
+    def changed_bindings(self) -> tuple[BindingCheck, ...]:
+        return tuple(c for c in self.binding_checks
+                     if c.conclusive and not c.stable)
 
     def describe(self) -> str:
         bits = [f"{self.unit}: {self.verdict} ({self.cause})"]
         if self.changes:
             bits.append("changed imports: "
                         + "; ".join(c.describe() for c in self.changes))
+        if self.binding_checks:
+            bits.append("used bindings: "
+                        + "; ".join(c.describe()
+                                    for c in self.binding_checks))
         if self.quarantine_kinds:
             bits.append("damage: " + ", ".join(self.quarantine_kinds))
         if self.detail:
@@ -97,6 +161,7 @@ class BuildDecision:
             "action": self.action,
             "detail": self.detail,
             "changes": [c.to_json() for c in self.changes],
+            "binding_checks": [c.to_json() for c in self.binding_checks],
             "quarantine_kinds": list(self.quarantine_kinds),
             "prior_imports": [list(p) for p in self.prior_imports],
             "live_imports": [list(p) for p in self.live_imports],
@@ -122,6 +187,31 @@ def pid_changes(prior_imports, live_imports) -> tuple[PidChange, ...]:
     return tuple(changes)
 
 
+def binding_checks_for(changes, used_bindings,
+                       live_binding_pids) -> tuple[BindingCheck, ...]:
+    """The slice-level evidence for a decision: for every pid-changed
+    import, one :class:`BindingCheck` per binding this unit used of it.
+
+    ``used_bindings`` is the prior record's provider -> {key: pid} map;
+    ``live_binding_pids`` maps each provider to its *current* binding
+    pids (from the provider's up-to-date bin record).  Imports whose
+    whole pid is stable need no checks: none of their bindings moved.
+    """
+    checks: list[BindingCheck] = []
+    for change in changes:
+        if change.kind != "changed":
+            continue
+        used = used_bindings.get(change.unit)
+        if not used:
+            continue  # no slice data recorded for this import
+        live = live_binding_pids.get(change.unit, {})
+        for key in sorted(used):
+            checks.append(BindingCheck(
+                provider=change.unit, binding=key,
+                old_pid=used[key], new_pid=live.get(key, "")))
+    return tuple(checks)
+
+
 def explain_decision(
     unit: str,
     action: str,
@@ -131,6 +221,8 @@ def explain_decision(
     live_imports=(),
     source_changed: bool | None = None,
     quarantine_kinds=(),
+    used_bindings=None,
+    live_binding_pids=None,
 ) -> BuildDecision:
     """Build the typed decision for one unit, structurally.
 
@@ -138,12 +230,17 @@ def explain_decision(
     ``"cached"``); ``source_changed`` is the make-level digest check
     (``None`` when the caller did not need to compute it);
     ``quarantine_kinds`` are the health-report kinds recorded for a
-    record that was damaged away.
+    record that was damaged away.  ``used_bindings`` (the prior
+    record's slice data) and ``live_binding_pids`` (current per-import
+    binding pids) turn pid changes into per-binding
+    :class:`BindingCheck` evidence.
     """
     prior = tuple((n, p) for n, p in prior_imports)
     live = tuple((n, p) for n, p in live_imports)
     changes = pid_changes(prior, live) if had_record else ()
     quarantine = tuple(quarantine_kinds)
+    checks = binding_checks_for(changes, used_bindings or {},
+                                live_binding_pids or {})
 
     if action in ("loaded", "cached"):
         cause = ("all-import-pids-stable" if not changes
@@ -151,7 +248,7 @@ def explain_decision(
         return BuildDecision(unit=unit, verdict="reused", cause=cause,
                              action=action, detail=reason,
                              changes=changes, prior_imports=prior,
-                             live_imports=live)
+                             live_imports=live, binding_checks=checks)
 
     if not had_record:
         cause = "quarantined" if quarantine else "store-miss"
@@ -164,7 +261,8 @@ def explain_decision(
     return BuildDecision(unit=unit, verdict="recompiled", cause=cause,
                          action="compiled", detail=reason,
                          changes=changes, quarantine_kinds=quarantine,
-                         prior_imports=prior, live_imports=live)
+                         prior_imports=prior, live_imports=live,
+                         binding_checks=checks)
 
 
 class ExplanationLedger:

@@ -10,6 +10,7 @@ alpha-converted serialization of static environments it is applied to.
 """
 
 from repro.pids.crc128 import CRC128, crc128_hex
-from repro.pids.intrinsic import intrinsic_pid
+from repro.pids.intrinsic import binding_pids, interface_digest, intrinsic_pid
 
-__all__ = ["CRC128", "crc128_hex", "intrinsic_pid"]
+__all__ = ["CRC128", "binding_pids", "crc128_hex", "interface_digest",
+           "intrinsic_pid"]

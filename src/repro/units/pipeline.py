@@ -15,7 +15,7 @@ from repro.elab.topdec import elaborate_decs
 from repro.obs.meter import NULL_METER, BuildMeter
 from repro.pickle.pickler import Unpickler, Pickler, context_chain_ids
 from repro.pids.crc128 import crc128_hex
-from repro.pids.intrinsic import intrinsic_pid
+from repro.pids.intrinsic import binding_pids, intrinsic_pid
 from repro.units.session import Session
 from repro.units.unit import CompiledUnit, DynExport, PhaseTimes
 from repro.semant.env import Env
@@ -55,10 +55,15 @@ def compile_unit(
         export_env, elaborator = elaborate_decs(decs, context)
     t2 = time.perf_counter()
 
-    with meter.span("hash", cat="phase", unit=name):
+    with meter.span("hash", cat="phase", unit=name) as hsp:
         ctx_ids = context_chain_ids(context)
         pid = intrinsic_pid(export_env, elaborator.new_stamps,
                             session.extern, ctx_ids, seed=name)
+        # Per-binding slice pids, same canonicalization, one pickler
+        # run per exported binding (the smart builder's cutoff data).
+        slice_pids = binding_pids(export_env, elaborator.new_stamps,
+                                  session.extern, ctx_ids, seed=name)
+        hsp.set(bindings=len(slice_pids))
     t3 = time.perf_counter()
 
     with meter.span("dehydrate", cat="phase", unit=name) as sp:
@@ -89,6 +94,7 @@ def compile_unit(
         source_digest=source_digest(source),
         times=times,
         owned_stamp_ids=frozenset(elaborator.new_stamps),
+        binding_pids=slice_pids,
     )
     session.register_exports(pid, pickler.export_index)
     return unit
@@ -102,11 +108,15 @@ def load_unit(
     session: Session,
     source_digest_value: str = "",
     meter: BuildMeter = NULL_METER,
+    binding_pids: dict[str, str] | None = None,
 ) -> CompiledUnit:
     """Rehydrate a bin payload from an earlier session.
 
     The unit's imports must already be live (compiled or loaded) so the
     rehydrater can resolve stubs through the session registry.
+    ``binding_pids`` carries the record's per-binding slice pids onto
+    the live unit (empty for pre-slicing records); rehydration never
+    recomputes them.
     """
     times = PhaseTimes()
     t0 = time.perf_counter()
@@ -132,6 +142,7 @@ def load_unit(
         times=times,
         owned_stamp_ids=frozenset(
             obj.stamp.id for obj in unpickler.export_index),
+        binding_pids=dict(binding_pids or {}),
     )
     session.register_exports(export_pid, unpickler.export_index)
     return unit

@@ -58,8 +58,13 @@ class CompiledUnit:
     source_digest: str = ""
     times: PhaseTimes = field(default_factory=PhaseTimes)
     #: Stamp ids this unit owns (for re-dehydrating pieces of it, e.g.
-    #: the smart builder's per-member hashes).
+    #: the per-binding slice pids).
     owned_stamp_ids: frozenset[int] = frozenset()
+    #: Per-exported-binding intrinsic pids ("ns:name" -> pid), computed
+    #: at compile time (:func:`repro.pids.intrinsic.binding_pids`) and
+    #: carried through bin records; empty for units rehydrated from
+    #: pre-slicing (v3) records.
+    binding_pids: dict[str, str] = field(default_factory=dict)
 
     def import_pid_of(self, name: str) -> str | None:
         for unit_name, pid in self.imports:

@@ -14,13 +14,16 @@ experiment sweep the variables the paper holds fixed.
   the cutoff experiments rely on.
 """
 
-from repro.workload.generate import Workload, generate_workload
+from repro.workload.generate import (SlicedWorkload, Workload,
+                                     generate_workload, sliced_workload)
 from repro.workload.shapes import (chain, diamond, fanout, layered,
                                    random_dag, tree)
 
 __all__ = [
+    "SlicedWorkload",
     "Workload",
     "generate_workload",
+    "sliced_workload",
     "chain",
     "tree",
     "diamond",

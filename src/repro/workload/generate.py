@@ -143,6 +143,101 @@ class Workload:
         return self.project.total_lines()
 
 
+@dataclass
+class SlicedWorkload:
+    """A hot-interface project for the slicing experiments.
+
+    One provider unit (``iface``) exports ``n_bindings`` independent
+    structures; each binding has ``clients_per_binding`` client units
+    using exactly that binding and nothing else.  Editing one binding's
+    interface flips the provider's whole-unit pid (so cutoff recompiles
+    every client) while moving exactly one slice pid (so the sliced
+    smart builder recompiles only that binding's clients) -- the shape
+    benchmark T5 measures.
+    """
+
+    project: Project
+    n_bindings: int
+    clients_per_binding: int
+    impl_salts: list[int] = field(default_factory=list)
+    iface_extras: list[int] = field(default_factory=list)
+
+    PROVIDER = "iface"
+
+    @staticmethod
+    def binding_name(k: int) -> str:
+        return f"B{k:02d}"
+
+    def client_name(self, k: int, j: int) -> str:
+        return f"use{k:02d}_{j}"
+
+    def users_of(self, k: int) -> list[str]:
+        """The client units that genuinely use binding ``k``."""
+        return [self.client_name(k, j)
+                for j in range(self.clients_per_binding)]
+
+    def names(self) -> list[str]:
+        out = [self.PROVIDER]
+        for k in range(self.n_bindings):
+            out.extend(self.users_of(k))
+        return out
+
+    # -- rendering -------------------------------------------------------
+
+    def _render_provider(self) -> str:
+        lines = [f"(* hot interface: {self.n_bindings} independent "
+                 f"bindings *)"]
+        for k in range(self.n_bindings):
+            lines.append(f"structure {self.binding_name(k)} = struct")
+            lines.append(f"  fun get x = x + {k} + {self.impl_salts[k]}")
+            for i in range(self.iface_extras[k]):
+                lines.append(f"  val extra_{i} = {i}")
+            lines.append("end")
+        return "\n".join(lines) + "\n"
+
+    def _rerender(self) -> None:
+        self.project.edit(self.PROVIDER, self._render_provider())
+
+    # -- edit operations -------------------------------------------------
+
+    def edit_binding_interface(self, k: int) -> None:
+        """Add a value to binding ``k``: its slice pid (and the
+        provider's whole-unit pid) changes; every other slice pid is
+        untouched."""
+        self.iface_extras[k] += 1
+        self._rerender()
+
+    def edit_binding_implementation(self, k: int) -> None:
+        """Perturb binding ``k``'s function body.  Function bodies are
+        not part of the static interface, so no pid moves -- whole-unit
+        or slice -- and every client cuts off at the provider."""
+        self.impl_salts[k] += 1
+        self._rerender()
+
+
+def sliced_workload(n_bindings: int = 8,
+                    clients_per_binding: int = 1) -> SlicedWorkload:
+    """Generate the hot-interface shape (see :class:`SlicedWorkload`)."""
+    project = Project()
+    workload = SlicedWorkload(
+        project=project,
+        n_bindings=n_bindings,
+        clients_per_binding=clients_per_binding,
+        impl_salts=[0] * n_bindings,
+        iface_extras=[0] * n_bindings,
+    )
+    project.add(workload.PROVIDER, workload._render_provider())
+    for k in range(n_bindings):
+        binding = workload.binding_name(k)
+        for j in range(clients_per_binding):
+            project.add(
+                workload.client_name(k, j),
+                f"structure U{k:02d}x{j} = struct\n"
+                f"  val v = {binding}.get {j}\n"
+                f"end\n")
+    return workload
+
+
 def generate_workload(deps: list[list[int]], helpers_per_unit: int = 6,
                       leak_types: bool = False) -> Workload:
     """Generate a project from a dependency shape.

@@ -16,21 +16,37 @@ def codes_of(diags):
 
 
 class TestSC001FalseDependency:
+    #: The edge on util is real (Util.v escapes); the mention of Extra
+    #: is locally bound -- a false *name* on a real edge.
     SOURCES = {
-        "util": "structure Util = struct val v = 1 end",
+        "util": """structure Util = struct val v = 1 end
+structure Extra = struct val w = 2 end""",
         "app": """structure App = struct
-  structure Util = struct val v = 2 end
-  val x = Util.v
+  structure Extra = struct val w = 9 end
+  val x = Util.v + Extra.w
 end""",
     }
 
-    def test_shadowed_edge_is_flagged(self):
+    def test_false_name_on_real_edge_is_flagged(self):
         [diag] = run(self.SOURCES, codes=["SC001"])
         assert diag.unit == "app"
+        assert "'Extra'" in diag.message
         assert "'util'" in diag.message
-        assert "spurious" in diag.message
-        assert diag.span.line == 3
         assert diag.fix
+
+    def test_whole_spurious_edge_is_sc006_territory(self):
+        # When *every* name on the edge is locally bound, SC001 stays
+        # quiet and SC006 owns the report.
+        sources = {
+            "util": "structure Util = struct val v = 1 end",
+            "app": """structure App = struct
+  structure Util = struct val v = 2 end
+  val x = Util.v
+end""",
+        }
+        assert run(sources, codes=["SC001"]) == []
+        [diag] = run(sources, codes=["SC006"])
+        assert diag.unit == "app"
 
     def test_real_edge_is_not_flagged(self):
         diags = run({
@@ -162,13 +178,46 @@ class TestSC005HotInterface:
         assert [d.unit for d in diags] == ["base"]
 
 
+class TestSC006UnusedImport:
+    SOURCES = {
+        "util": "structure Util = struct val v = 1 end",
+        "app": """structure App = struct
+  structure Util = struct val v = 2 end
+  val x = Util.v
+end""",
+    }
+
+    def test_whole_spurious_edge_is_flagged(self):
+        [diag] = run(self.SOURCES, codes=["SC006"])
+        assert diag.unit == "app"
+        assert "'util'" in diag.message
+        assert "entirely spurious" in diag.message
+        assert "structure 'Util'" in diag.message
+        assert diag.fix
+
+    def test_partial_edge_is_not_flagged(self):
+        # One genuinely-used name keeps the edge alive: SC001's case.
+        diags = run(TestSC001FalseDependency.SOURCES, codes=["SC006"])
+        assert diags == []
+
+    def test_agrees_with_usedef_analysis(self):
+        from repro.analysis import UseDefAnalysis
+
+        project = Project.from_sources(self.SOURCES)
+        graph = analyze(project)
+        usedef = UseDefAnalysis.of_graph(graph)
+        assert usedef.unused_imports("app") == ["util"]
+        assert usedef.precise_uses("app") == set()
+        assert usedef.uses("app") == {("util", "structures:Util")}
+
+
 class TestRegistry:
-    def test_all_five_codes_registered(self):
+    def test_all_six_codes_registered(self):
         from repro.analysis.registry import RULES
         import repro.analysis.rules  # noqa: F401
 
         assert {"SC001", "SC002", "SC003", "SC004",
-                "SC005"} <= set(RULES)
+                "SC005", "SC006"} <= set(RULES)
 
     def test_unknown_code_rejected(self):
         import pytest

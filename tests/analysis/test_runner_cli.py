@@ -29,11 +29,12 @@ class TestGoldenDiagnostics:
             expected = f.read()
         assert capsys.readouterr().out == expected
 
-    def test_lint_demo_reports_all_five_codes_with_spans(self, capsys):
+    def test_lint_demo_reports_all_six_codes_with_spans(self, capsys):
         assert analysis_main([LINT_DEMO, "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         codes = {d["code"] for d in payload["diagnostics"]}
-        assert {"SC001", "SC002", "SC003", "SC004", "SC005"} <= codes
+        assert {"SC001", "SC002", "SC003", "SC004", "SC005",
+                "SC006"} <= codes
         for diag in payload["diagnostics"]:
             assert diag["line"] >= 1 and diag["col"] >= 1
 

@@ -1,0 +1,45 @@
+"""The tier-1 self-analysis gate, run exactly as the README documents
+it: ``python -m repro.analysis <fixtures> --strict`` as a subprocess.
+
+The in-process CLI tests (test_runner_cli.py) already cover the exit
+codes; this file is the end-to-end contract -- interpreter boundary,
+``PYTHONPATH=src``, real argv -- so CI and a developer's shell agree
+with the test suite about what "the gate passes" means.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(__file__)
+REPO = os.path.dirname(os.path.dirname(HERE))
+CLEAN = os.path.join(HERE, "fixtures", "clean")
+LINT_DEMO = os.path.join(REPO, "examples", "lint_demo")
+
+
+def run_gate(target, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", target, "--strict",
+         *extra],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=120)
+
+
+class TestSelfGate:
+    def test_clean_fixture_passes(self):
+        proc = run_gate(CLEAN)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no diagnostics" in proc.stdout
+
+    def test_lint_demo_is_gated(self):
+        proc = run_gate(LINT_DEMO)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        # The gate fails loudly, naming the rules that fired.
+        for code in ("SC001", "SC002", "SC006"):
+            assert code in proc.stdout
+
+    def test_fail_on_error_relaxes_the_gate(self):
+        # lint_demo has warnings but no errors: the relaxed gate passes.
+        proc = run_gate(LINT_DEMO, "--fail-on", "error")
+        assert proc.returncode == 0, proc.stdout + proc.stderr

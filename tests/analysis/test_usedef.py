@@ -1,0 +1,104 @@
+"""UseDefAnalysis directly: the single answer to "what does this unit
+use, and what does it define?".
+
+The same object feeds smlint (SC001/SC006) and the build's per-binding
+cutoff (``DepGraph.uses`` -> bin-record ``used_bindings``), so these
+tests pin the API both consumers rely on -- including the guarantee
+that the analysis and the dependency analyzer never disagree.
+"""
+
+from repro.analysis import (UseDefAnalysis, binding_key,
+                            split_binding_key)
+from repro.cm import Project, analyze
+
+SOURCES = {
+    "lib": """structure Lib = struct val v = 1 end
+signature LIB = sig val v : int end
+functor MkLib(X : sig val n : int end) = struct val v = X.n end""",
+    "app": """structure App = struct
+  val x = Lib.v
+end""",
+    "shadow": """structure Shadow = struct
+  structure Lib = struct val v = 9 end
+  val x = Lib.v
+end""",
+    "mixed": """structure Mixed = struct
+  structure Lib = struct val v = 9 end
+  structure M = MkLib(struct val n = 3 end)
+  val x = Lib.v
+end""",
+}
+
+
+def usedef():
+    graph = analyze(Project.from_sources(SOURCES))
+    return UseDefAnalysis.of_graph(graph), graph
+
+
+class TestDefSets:
+    def test_exports_cover_all_module_namespaces(self):
+        ud, _ = usedef()
+        assert ud.exports("lib") == {
+            ("structures", "Lib"),
+            ("signatures", "LIB"),
+            ("functors", "MkLib"),
+        }
+
+    def test_nested_bindings_are_not_exports(self):
+        ud, _ = usedef()
+        assert ud.exports("shadow") == {("structures", "Shadow")}
+
+    def test_providers_invert_exports(self):
+        ud, _ = usedef()
+        providers = ud.providers()
+        assert providers[("structures", "Lib")] == "lib"
+        assert providers[("functors", "MkLib")] == "lib"
+        assert providers[("structures", "App")] == "app"
+
+
+class TestUseSets:
+    def test_conservative_uses(self):
+        ud, _ = usedef()
+        assert ud.uses("app") == {("lib", "structures:Lib")}
+        # The shadowed mention still charges the unit conservatively.
+        assert ud.uses("shadow") == {("lib", "structures:Lib")}
+
+    def test_precise_uses_drop_locally_bound_names(self):
+        ud, _ = usedef()
+        assert ud.precise_uses("app") == {("lib", "structures:Lib")}
+        assert ud.precise_uses("shadow") == set()
+        # mixed shadows Lib but genuinely applies MkLib.
+        assert ud.precise_uses("mixed") == {("lib", "functors:MkLib")}
+
+    def test_unused_imports_is_whole_edge_only(self):
+        ud, _ = usedef()
+        assert ud.unused_imports("shadow") == ["lib"]
+        assert ud.unused_imports("mixed") == []  # edge partly real
+        assert ud.unused_imports("app") == []
+
+    def test_used_keys_match_the_dependency_graph(self):
+        # THE shared-computation guarantee: the build's DepGraph.uses is
+        # the same map this analysis computes.
+        ud, graph = usedef()
+        for unit in ud.units:
+            assert graph.uses.get(unit, {}) == ud.used_keys(unit)
+
+
+class TestMemoization:
+    def test_scans_and_uses_are_computed_once(self):
+        ud, _ = usedef()
+        assert ud.scan("shadow") is ud.scan("shadow")
+        assert ud.used_keys("app") is ud.used_keys("app")
+        assert ud.providers() is ud.providers()
+
+
+class TestBindingKeys:
+    def test_round_trip(self):
+        key = binding_key("structures", "Lib")
+        assert key == "structures:Lib"
+        assert split_binding_key(key) == ("structures", "Lib")
+
+    def test_name_may_contain_no_colon_confusion(self):
+        # Partition splits on the FIRST colon only.
+        assert split_binding_key("functors:MkLib") == (
+            "functors", "MkLib")

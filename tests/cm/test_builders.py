@@ -285,7 +285,7 @@ class TestSmartAcrossSessions:
            "structure Unused = struct fun g x = x - 1 end")
     CLI = "structure Client = struct val v = Used.f 1 end"
 
-    def test_member_hashes_persist(self, tmp_path):
+    def test_slice_data_persists(self, tmp_path):
         p = Project.from_sources({"prov": self.TWO, "client": self.CLI})
         b1 = SmartBuilder(p)
         b1.build()
@@ -296,8 +296,8 @@ class TestSmartAcrossSessions:
                                         "fun g x = (x, x)"))
         b2 = SmartBuilder(p, store=store)
         report = b2.build()
-        # The unused member's interface changed; the persisted per-name
-        # hashes let the fresh session skip the client.
+        # The unused binding's interface changed; the persisted binding
+        # pids + used-binding sets let the fresh session skip the client.
         assert report.compiled == ["prov"]
         assert report.loaded == ["client"]
         exports = b2.link()

@@ -1,0 +1,79 @@
+"""``--explain`` with interface slices (golden, tier 1).
+
+The per-binding cutoff's audit trail: after an interface edit to one
+binding of a shared provider, the ledger names the *actual* binding
+behind each decision -- ``iface.Cold (structure) stable`` for the
+client that reused, ``iface.Hot (structure) changed`` for the one that
+recompiled.  Pids are volatile (they move whenever the pickler
+changes), so the golden normalizes every 32-hex digest to ``<pid>``;
+everything else must match byte for byte.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.cm.__main__ import main
+
+HERE = os.path.dirname(__file__)
+GOLDEN = os.path.join(HERE, "golden", "explain_slicing.txt")
+
+IFACE_V1 = """structure Hot = struct
+  fun heat x = x + 1
+end
+structure Cold = struct
+  fun chill x = x - 1
+end
+"""
+
+#: The edit: one new value in Hot's interface; Cold untouched.
+IFACE_V2 = IFACE_V1.replace(
+    "  fun heat x = x + 1\n",
+    "  fun heat x = x + 1\n  val boiling = 100\n")
+
+PID = re.compile(r"\b[0-9a-f]{32}\b")
+
+
+@pytest.fixture
+def srcdir(tmp_path):
+    d = tmp_path / "proj"
+    d.mkdir()
+    (d / "iface.sml").write_text(IFACE_V1)
+    (d / "hot.sml").write_text(
+        "structure UseHot = struct\n  val v = Hot.heat 1\nend\n")
+    (d / "cold.sml").write_text(
+        "structure UseCold = struct\n  val v = Cold.chill 1\nend\n")
+    return str(d)
+
+
+def rebuild_after_edit(srcdir, capsys, *extra):
+    assert main([srcdir, "--manager", "smart", "--no-link"]) == 0
+    capsys.readouterr()
+    with open(os.path.join(srcdir, "iface.sml"), "w") as fh:
+        fh.write(IFACE_V2)
+    assert main([srcdir, "--manager", "smart", "--no-link",
+                 "--explain", *extra]) == 0
+    return capsys.readouterr().out
+
+
+class TestExplainSlicing:
+    def test_ledger_matches_golden(self, srcdir, capsys):
+        out = rebuild_after_edit(srcdir, capsys)
+        ledger = out[out.index("build decisions"):]
+        with open(GOLDEN) as fh:
+            expected = fh.read()
+        assert PID.sub("<pid>", ledger) == expected
+
+    def test_single_unit_names_the_stable_binding(self, srcdir, capsys):
+        out = rebuild_after_edit(srcdir, capsys, "cold")
+        assert "cold: reused (used-bindings-stable)" in out
+        assert "iface.Cold (structure) stable" in out
+        # Only the requested unit is explained.
+        ledger = out[out.index("cold: reused"):]
+        assert "iface.Hot" not in ledger
+
+    def test_single_unit_names_the_changed_binding(self, srcdir, capsys):
+        out = rebuild_after_edit(srcdir, capsys, "hot")
+        assert "hot: recompiled (import-pid-changed)" in out
+        assert "iface.Hot (structure) changed (pid " in out

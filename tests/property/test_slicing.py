@@ -1,0 +1,163 @@
+"""Properties of interface slicing (per-binding pids + sliced cutoff).
+
+Three families:
+
+- **Alpha-conversion locality**: each binding pid is computed by its own
+  pickler run, so a binding's pid depends only on its own slice --
+  permuting the declaration order of independent top-level bindings
+  changes no binding pid (and hence no interface digest).
+- **Digest algebra**: :func:`repro.pids.intrinsic.interface_digest` is a
+  pure fold over sorted (key, pid) pairs -- deterministic, insertion-
+  order-free, and sensitive to every entry.
+- **Soundness**: over arbitrary DAGs and arbitrary single-unit edits,
+  the sliced smart builder recompiles a *subset* of what whole-pid
+  cutoff recompiles, and both converge to identical export pids --
+  slicing can only skip work cutoff would have wasted, never work that
+  mattered.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cm import CutoffBuilder, Project, SmartBuilder
+from repro.pids.intrinsic import interface_digest
+from repro.workload import generate_workload, random_dag, sliced_workload
+
+# -- alpha-conversion locality -------------------------------------------
+
+
+def render_bindings(order) -> str:
+    """Independent top-level structures, declared in ``order``."""
+    decs = []
+    for i in order:
+        decs.append(
+            f"structure B{i} = struct\n"
+            f"  datatype t = T of int\n"
+            f"  fun make x = T (x + {i})\n"
+            f"  val tag = {i}\n"
+            f"end")
+    return "\n".join(decs) + "\n"
+
+
+def compiled_record(source: str):
+    builder = SmartBuilder(Project.from_sources({"u": source}))
+    builder.build()
+    return builder.store.get("u")
+
+
+@st.composite
+def orderings(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    perm = draw(st.permutations(list(range(n))))
+    return n, list(perm)
+
+
+@given(orderings())
+@settings(max_examples=15, deadline=None)
+def test_binding_pids_ignore_declaration_order(case):
+    n, perm = case
+    base = compiled_record(render_bindings(range(n)))
+    permuted = compiled_record(render_bindings(perm))
+    assert base.binding_pids == permuted.binding_pids
+    assert (interface_digest(base.binding_pids)
+            == interface_digest(permuted.binding_pids))
+
+
+@given(st.integers(min_value=0, max_value=3))
+@settings(max_examples=8, deadline=None)
+def test_binding_pids_are_slice_local(victim):
+    """Editing one binding's interface moves exactly that pid."""
+    base = compiled_record(render_bindings(range(4)))
+    edited_src = render_bindings(range(4)).replace(
+        f"  val tag = {victim}\n",
+        f"  val tag = {victim}\n  val widened = {victim}\n")
+    edited = compiled_record(edited_src)
+    for key in base.binding_pids:
+        same = base.binding_pids[key] == edited.binding_pids[key]
+        assert same == (key != f"structures:B{victim}"), key
+
+
+# -- digest algebra -------------------------------------------------------
+
+keys = st.text(alphabet="abcdefgh:", min_size=1, max_size=10)
+pids = st.text(alphabet="0123456789abcdef", min_size=32, max_size=32)
+tables = st.dictionaries(keys, pids, max_size=6)
+
+
+@given(tables)
+@settings(max_examples=50, deadline=None)
+def test_digest_is_deterministic_and_order_free(table):
+    digest = interface_digest(table)
+    assert len(digest) == 32
+    assert interface_digest(dict(reversed(list(table.items())))) == digest
+    assert interface_digest(dict(table)) == digest
+
+
+@given(tables, keys, pids)
+@settings(max_examples=50, deadline=None)
+def test_digest_is_sensitive_to_every_entry(table, key, pid):
+    changed = dict(table)
+    changed[key] = pid
+    if changed != table:
+        assert interface_digest(changed) != interface_digest(table)
+    removed = dict(table)
+    if removed:
+        removed.popitem()
+        assert interface_digest(removed) != interface_digest(table)
+
+
+# -- soundness ------------------------------------------------------------
+
+EDIT_METHODS = ("edit_comment", "edit_interface", "edit_implementation")
+
+dag_cases = st.builds(
+    lambda n, seed, victim, edit: (random_dag(n, max_deps=3, seed=seed),
+                                   victim % n, edit),
+    n=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2_000),
+    victim=st.integers(min_value=0, max_value=7),
+    edit=st.sampled_from(EDIT_METHODS),
+)
+
+
+def rebuild_after(builder_class, deps, victim, edit):
+    """Build, edit, rebuild; return (recompiled set, final export pids)."""
+    workload = generate_workload(deps, helpers_per_unit=1)
+    builder = builder_class(workload.project)
+    builder.build()
+    getattr(workload, edit)(victim)
+    report = builder.build()
+    return (set(report.compiled),
+            {n: u.export_pid for n, u in builder.units.items()})
+
+
+@given(dag_cases)
+@settings(max_examples=20, deadline=None)
+def test_sliced_recompiles_a_subset_of_cutoff(case):
+    deps, victim_index, edit = case
+    victim = f"u{victim_index:03d}"
+    smart_set, smart_pids = rebuild_after(SmartBuilder, deps, victim, edit)
+    cutoff_set, cutoff_pids = rebuild_after(CutoffBuilder, deps, victim,
+                                            edit)
+    # Never more work than cutoff; never a divergent result.
+    assert smart_set <= cutoff_set
+    assert smart_pids == cutoff_pids
+    assert victim in smart_set  # the edited unit itself always rebuilds
+
+
+@given(n_bindings=st.integers(min_value=2, max_value=6),
+       victim=st.integers(min_value=0, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_hot_interface_edit_recompiles_exactly_the_users(n_bindings,
+                                                         victim):
+    victim %= n_bindings
+    w = sliced_workload(n_bindings, clients_per_binding=1)
+    builder = SmartBuilder(w.project)
+    builder.build()
+    w.edit_binding_interface(victim)
+    report = builder.build()
+    assert report.compiled == sorted(["iface"] + w.users_of(victim))
+    # And the reused clients still link to correct values.
+    exports = builder.link()
+    for k in range(n_bindings):
+        struct = exports[w.client_name(k, 0)].structures[f"U{k:02d}x0"]
+        assert struct.values["v"] == k
