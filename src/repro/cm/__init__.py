@@ -26,6 +26,7 @@ from repro.cm.store import (
     CorruptRecord,
     SaveStats,
     StoreError,
+    StoreFullError,
     StoreHealthReport,
     StoreLockedError,
 )
@@ -38,6 +39,12 @@ from repro.cm.parallel import (
     WorkerFaults,
     parallel_build,
     wavefronts,
+)
+from repro.cm.supervise import (
+    BuildJournal,
+    SupervisePolicy,
+    Supervisor,
+    supervised_build,
 )
 from repro.cm.group import Group, GroupBuilder
 from repro.cm.descfile import DescFileError, load_group_file
@@ -53,6 +60,7 @@ __all__ = [
     "CorruptRecord",
     "SaveStats",
     "StoreError",
+    "StoreFullError",
     "StoreHealthReport",
     "StoreLockedError",
     "BuildReport",
@@ -64,6 +72,10 @@ __all__ = [
     "WorkerFaults",
     "parallel_build",
     "wavefronts",
+    "BuildJournal",
+    "SupervisePolicy",
+    "Supervisor",
+    "supervised_build",
     "Group",
     "GroupBuilder",
     "DescFileError",

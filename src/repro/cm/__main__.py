@@ -23,6 +23,14 @@ Options:
                                     the critical path after building
     --trace-out FILE                write a Chrome trace_event JSON file
                                     (chrome://tracing / ui.perfetto.dev)
+    --retries N                     supervised build: retry transient
+                                    worker failures up to N times per unit
+    --timeout SECONDS               supervised build: per-attempt wall
+                                    clock; hung workers are rescheduled
+    --resume                        continue a killed build from the bin
+                                    store + journal checkpoint
+    --quarantine                    with --fsck: move damaged record files
+                                    aside into .bin/quarantine/
 """
 
 from __future__ import annotations
@@ -94,6 +102,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a Chrome trace_event JSON file "
                              "(also embeds the decision ledger and "
                              "critical path)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="supervise the build: retry transient "
+                             "worker failures up to N times per unit "
+                             "(capped exponential backoff); poison "
+                             "units skip only their dependents")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="supervise the build: per-attempt wall "
+                             "clock; a hung worker is abandoned and "
+                             "its unit rescheduled")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue a previously killed supervised "
+                             "build from the bin store and its "
+                             "BUILD_JOURNAL.json (completed units are "
+                             "not recompiled)")
+    parser.add_argument("--quarantine", action="store_true",
+                        help="with --fsck: move damaged record files "
+                             "aside into .bin/quarantine/ so the next "
+                             "load starts clean")
     args = parser.parse_args(argv)
 
     if args.fsck:
@@ -142,8 +169,21 @@ def _build_directory(args, tracer):
         return 2, None, None
     builder = MANAGERS[args.manager](project, store=store, meter=tracer)
 
+    supervised = (args.retries is not None or args.timeout is not None
+                  or args.resume)
     try:
-        report = builder.build(jobs=max(1, args.jobs), pool=args.pool)
+        if supervised:
+            from repro.cm.supervise import SupervisePolicy
+            policy = SupervisePolicy(
+                retries=args.retries if args.retries is not None else 2,
+                timeout=args.timeout)
+            report = builder.build(jobs=max(1, args.jobs),
+                                   pool=args.pool, policy=policy,
+                                   resume=args.resume,
+                                   checkpoint_dir=bin_dir)
+        else:
+            report = builder.build(jobs=max(1, args.jobs),
+                                   pool=args.pool)
     except Exception as err:  # ElabError, DependencyError, ParseError...
         print(f"error: {err}", file=sys.stderr)
         return 1, builder, None
@@ -161,6 +201,14 @@ def _build_directory(args, tracer):
         store.save_directory(bin_dir)  # self-instruments via store.meter
     except StoreLockedError as err:
         print(f"error: {err}", file=sys.stderr)
+        return 1, builder, report
+
+    if report.failed or report.skipped:
+        # A supervised build finished what it could; the casualties
+        # are in the ledger (--explain) and the exit code says so.
+        print(f"build incomplete: {len(report.failed)} unit(s) failed, "
+              f"{len(report.skipped)} skipped (see --explain)",
+              file=sys.stderr)
         return 1, builder, report
 
     if args.stats:
@@ -268,7 +316,7 @@ def _run_fsck(args) -> int:
             bin_dir = target
         else:
             bin_dir = os.path.join(target, ".bin")
-        report = BinStore.fsck(bin_dir)
+        report = BinStore.fsck(bin_dir, quarantine=args.quarantine)
         if args.json:
             print(json_mod.dumps(report.to_json(), indent=1,
                                  sort_keys=True))

@@ -62,7 +62,9 @@ class BaseBuilder:
 
     # -- the build loop -----------------------------------------------------
 
-    def build(self, jobs: int = 1, pool: str = "process") -> BuildReport:
+    def build(self, jobs: int = 1, pool: str = "process",
+              supervise: bool = False, policy=None, resume: bool = False,
+              checkpoint_dir: str | None = None) -> BuildReport:
         """Bring every unit up to date; returns what was done.
 
         With ``jobs > 1`` the dependency DAG is partitioned into
@@ -70,7 +72,20 @@ class BaseBuilder:
         pool (:mod:`repro.cm.parallel`); the resulting statenv, bin
         store contents and export pids are byte-identical to a serial
         build.
+
+        ``supervise=True`` (implied by ``policy``, ``resume`` or
+        ``checkpoint_dir``) routes through the fault-tolerant
+        :mod:`repro.cm.supervise` scheduler: worker failures retry with
+        backoff, hung workers time out and reschedule, poison units
+        skip only their dependents, and with a ``checkpoint_dir`` the
+        build checkpoints every wave and can ``resume`` after a kill.
         """
+        if supervise or policy is not None or resume \
+                or checkpoint_dir is not None:
+            from repro.cm.supervise import supervised_build
+            return supervised_build(self, jobs=jobs, pool=pool,
+                                    policy=policy, resume=resume,
+                                    checkpoint_dir=checkpoint_dir)
         if jobs != 1:
             from repro.cm.parallel import parallel_build
             return parallel_build(self, jobs=jobs, pool=pool)

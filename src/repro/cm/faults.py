@@ -9,30 +9,49 @@ optionally tearing that write in half first.  Once "dead", every later
 filesystem call raises :class:`InjectedCrash` and the lock file is left
 behind, exactly as a killed process would leave it.
 
-Two further fault modes ride the same seam:
+Further fault modes ride the same seam:
 
+- **Disk-full (ENOSPC).**  Unlike a crash, a full disk does not kill
+  the process: the failing ``write_bytes`` raises ``OSError(ENOSPC)``
+  and every *later* write fails too (a full disk stays full), while
+  reads, renames and removes keep working (removal frees space).
+  ``FaultPlan.enospc_at_write=N`` fills the disk immediately before the
+  N-th payload-writing call; ``FaultPlan.byte_budget=B`` fails any
+  write that would push the cumulative committed bytes past ``B``.
+  ``FaultPlan.short_write_at=N`` is the *partial-disk* shape: the N-th
+  write silently commits only half its bytes and reports success --
+  the lie the store's checksums exist to catch.
 - :class:`SlowFS` injects *latency*: calls stall, then succeed.  Slow
   is not dead -- the stale-lock breaker must leave a slow-but-live
   writer's lock alone, and lock-timeout tuning happens against this.
-- :class:`TwoWriterInterleaver` serializes every filesystem call of two
+- :class:`TwoWriterInterleaver` serializes the filesystem calls of two
   concurrent writers according to an explicit schedule string
   (``"ABAB..."``), making concurrent-writer races *deterministic*: each
   schedule is one reproducible interleaving of, say, two merge-saves
-  racing on one store.
+  racing on one store.  With ``mutations_only=True`` the schedule
+  advances only on *mutating* calls, so a short schedule prefix pins
+  down exactly the writes that can race.  :func:`bounded_schedules`
+  enumerates every schedule prefix up to a depth and
+  :func:`search_schedules` drives a check over the whole space --
+  bounded exhaustive schedule *search* instead of hand-picked strings.
 
 For damage *at rest* (a disk that lies, an editor that truncated a
 file), the module also provides post-hoc corruptors -- truncate,
 bit-flip, delete, garbage-header -- plus helpers to locate a named
-record's files inside a store directory.
+record's files inside a store directory.  :func:`fault_seed` is the
+``REPRO_FAULT_SEED`` knob every randomized fault/schedule test draws
+its seed from, so CI failures reproduce exactly.
 """
 
 from __future__ import annotations
 
+import errno
+import itertools
 import json
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class InjectedCrash(Exception):
@@ -118,11 +137,26 @@ class FaultPlan:
     crash point of a save.  With ``torn=True`` the fatal call, when it is
     a plain write, first leaves half of its bytes on disk -- a torn
     write.  ``lock_pid`` substitutes the pid recorded in lock files, so a
-    test can simulate a lock abandoned by a dead process."""
+    test can simulate a lock abandoned by a dead process.
+
+    The disk-full family (counted over ``write_bytes`` calls only,
+    0-based; the process stays alive):
+
+    - ``enospc_at_write=N``: the N-th and every later write raises
+      ``OSError(ENOSPC)`` -- the disk filled up and stays full;
+    - ``byte_budget=B``: a write that would push the cumulative
+      committed bytes past ``B`` fails with ``OSError(ENOSPC)``, and so
+      does every write after it;
+    - ``short_write_at=N``: the N-th write commits only half its bytes
+      and *reports success* -- a short write on a nearly-full disk.
+    """
 
     crash_at_mutation: int | None = None
     torn: bool = False
     lock_pid: int | None = None
+    enospc_at_write: int | None = None
+    byte_budget: int | None = None
+    short_write_at: int | None = None
 
 
 class FaultyFS(FileSystem):
@@ -132,8 +166,14 @@ class FaultyFS(FileSystem):
         self.plan = plan if plan is not None else FaultPlan()
         #: Mutating calls completed so far.
         self.mutations = 0
+        #: ``write_bytes`` calls attempted so far (the disk-full index).
+        self.writes = 0
+        #: Bytes successfully committed (the byte-budget meter).
+        self.bytes_committed = 0
         #: Set once the planned crash fires; all later calls fail.
         self.dead = False
+        #: Set once a disk-full fault fires; all later writes fail.
+        self.disk_full = False
 
     def _check_alive(self) -> None:
         if self.dead:
@@ -164,11 +204,35 @@ class FaultyFS(FileSystem):
     # -- mutations -------------------------------------------------------
 
     def write_bytes(self, path: str, data: bytes) -> None:
+        self._check_alive()
+        plan = self.plan
+        index = self.writes
+        self.writes += 1
+        if self.disk_full or (plan.enospc_at_write is not None
+                              and index >= plan.enospc_at_write):
+            self.disk_full = True
+            raise OSError(errno.ENOSPC,
+                          f"no space left on device (injected): {path}")
+        if (plan.byte_budget is not None
+                and self.bytes_committed + len(data) > plan.byte_budget):
+            self.disk_full = True
+            raise OSError(errno.ENOSPC,
+                          f"no space left on device (byte budget "
+                          f"{plan.byte_budget} exhausted): {path}")
+        if plan.short_write_at is not None \
+                and index == plan.short_write_at and data:
+            # The partial-disk lie: half the bytes land, success is
+            # reported anyway.  Only checksums can catch this.
+            short = data[:max(1, len(data) // 2)]
+            super().write_bytes(path, short)
+            self.bytes_committed += len(short)
+            return
         if self._mutation():
-            if self.plan.torn and data:
+            if plan.torn and data:
                 super().write_bytes(path, data[:max(1, len(data) // 2)])
             raise InjectedCrash(f"crash during write of {path}")
         super().write_bytes(path, data)
+        self.bytes_committed += len(data)
 
     def replace(self, src: str, dst: str) -> None:
         if self._mutation():
@@ -275,7 +339,9 @@ class SlowFS(FileSystem):
 
 class InterleavedFS(FileSystem):
     """One writer's view of a shared store under an interleaver: every
-    call first waits for that writer's turn in the schedule."""
+    gated call first waits for that writer's turn in the schedule.
+    With the driver's ``mutations_only`` set, reads pass through
+    ungated and only mutating calls consume schedule steps."""
 
     def __init__(self, driver: "TwoWriterInterleaver", label: str,
                  base: FileSystem):
@@ -283,9 +349,13 @@ class InterleavedFS(FileSystem):
         self._label = label
         self._base = base
 
+    def _read_gated(self, fn, *args):
+        if self._driver.mutations_only:
+            return fn(*args)
+        return self._driver._gated(self._label, fn, *args)
+
     def read_bytes(self, path: str) -> bytes:
-        return self._driver._gated(self._label, self._base.read_bytes,
-                                   path)
+        return self._read_gated(self._base.read_bytes, path)
 
     def write_bytes(self, path: str, data: bytes) -> None:
         return self._driver._gated(self._label, self._base.write_bytes,
@@ -296,20 +366,19 @@ class InterleavedFS(FileSystem):
                                    src, dst)
 
     def exists(self, path: str) -> bool:
-        return self._driver._gated(self._label, self._base.exists, path)
+        return self._read_gated(self._base.exists, path)
 
     def isdir(self, path: str) -> bool:
-        return self._driver._gated(self._label, self._base.isdir, path)
+        return self._read_gated(self._base.isdir, path)
 
     def listdir(self, path: str) -> list[str]:
-        return self._driver._gated(self._label, self._base.listdir, path)
+        return self._read_gated(self._base.listdir, path)
 
     def remove(self, path: str) -> None:
         return self._driver._gated(self._label, self._base.remove, path)
 
     def makedirs(self, path: str) -> None:
-        return self._driver._gated(self._label, self._base.makedirs,
-                                   path)
+        return self._read_gated(self._base.makedirs, path)
 
     def create_exclusive(self, path: str, data: bytes) -> bool:
         return self._driver._gated(self._label,
@@ -337,15 +406,24 @@ class TwoWriterInterleaver:
     deterministic writers, the resulting on-disk interleaving is fully
     reproducible.
 
+    With ``mutations_only=True`` only *mutating* calls (writes,
+    renames, removes, lock creations/releases) consume schedule steps;
+    reads run ungated.  A schedule character then names exactly one
+    store mutation point, so a short schedule prefix is a complete
+    description of which writes raced -- the granularity
+    :func:`search_schedules` explores exhaustively.
+
     Use :meth:`fs` to get each writer's gated filesystem, then
     :meth:`run` to execute both concurrently.
     """
 
     def __init__(self, schedule: str, base: FileSystem | None = None,
-                 step_timeout: float = 10.0):
+                 step_timeout: float = 10.0,
+                 mutations_only: bool = False):
         self.schedule = schedule
         self.base = base if base is not None else REAL_FS
         self.step_timeout = step_timeout
+        self.mutations_only = mutations_only
         self._pos = 0
         self._done: set[str] = set()
         self._free = False
@@ -413,6 +491,100 @@ class TwoWriterInterleaver:
             if label in errors:
                 raise errors[label]
         return results.get("A"), results.get("B")
+
+
+# -- bounded exhaustive schedule search ----------------------------------
+#
+# TwoWriterInterleaver makes one interleaving reproducible; these
+# helpers explore the *space* of interleavings.  A schedule string is a
+# prefix: the first len(schedule) granted calls follow it exactly, then
+# both writers free-run.  Enumerating every prefix of depth K therefore
+# covers every way the first K (mutation-point) calls can interleave --
+# bounded exhaustive search in the model-checking sense, with the
+# convergence check run after every explored schedule.
+
+
+def bounded_schedules(depth: int, labels: str = "AB"):
+    """Every schedule prefix of length ``depth`` over ``labels``
+    (``len(labels) ** depth`` strings, lexicographic order)."""
+    for chars in itertools.product(labels, repeat=depth):
+        yield "".join(chars)
+
+
+def sampled_schedules(depth: int, count: int, seed: int | None = None,
+                      labels: str = "AB"):
+    """``count`` random schedule prefixes of length ``depth`` --
+    the sampling fallback when ``len(labels) ** depth`` is too big to
+    exhaust.  Seeded via :func:`fault_seed` unless given."""
+    import random
+
+    rng = random.Random(fault_seed() if seed is None else seed)
+    for _ in range(count):
+        yield "".join(rng.choice(labels) for _ in range(depth))
+
+
+@dataclass
+class ScheduleFailure:
+    """One explored schedule whose check did not hold."""
+
+    schedule: str
+    error: str
+
+
+@dataclass
+class ScheduleSearchReport:
+    """What a :func:`search_schedules` exploration covered and found."""
+
+    explored: int = 0
+    #: Distinct *realized* interleavings (the driver's granted-call
+    #: traces): the state count of the explored schedule space.
+    realized: set = field(default_factory=set)
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def states(self) -> int:
+        return len(self.realized)
+
+    def summary(self) -> str:
+        verdict = "all converged" if self.ok else \
+            f"{len(self.failures)} FAILED"
+        return (f"schedule search: {self.explored} schedule(s) explored, "
+                f"{self.states} distinct interleaving(s), {verdict}")
+
+
+def search_schedules(schedules, run_one,
+                     check=None) -> ScheduleSearchReport:
+    """Run ``run_one(schedule) -> TwoWriterInterleaver`` for every
+    schedule, then ``check(schedule, driver)`` (assertions welcome);
+    any exception is recorded as a :class:`ScheduleFailure` rather than
+    aborting the sweep, so one report covers the whole space."""
+    report = ScheduleSearchReport()
+    for schedule in schedules:
+        report.explored += 1
+        try:
+            driver = run_one(schedule)
+            if driver is not None:
+                report.realized.add("".join(driver.trace))
+            if check is not None:
+                check(schedule, driver)
+        except Exception as err:
+            report.failures.append(ScheduleFailure(
+                schedule, f"{type(err).__name__}: {err}"))
+    return report
+
+
+def fault_seed(default: int = 0) -> int:
+    """The ``REPRO_FAULT_SEED`` environment knob: one integer seed for
+    every randomized fault/schedule test, so a CI failure reproduces
+    with ``REPRO_FAULT_SEED=<n> pytest ...``."""
+    try:
+        return int(os.environ.get("REPRO_FAULT_SEED", default))
+    except ValueError:
+        return default
 
 
 # -- post-hoc corruptors (damage at rest) --------------------------------

@@ -79,11 +79,23 @@ class WorkerFaults:
     :class:`~repro.cm.faults.InjectedCrash`; one compiling a unit in
     ``slow_units`` stalls for ``delay`` seconds first (slow-IO shape:
     the work completes late, it does not fail).
+
+    Faults are *attempt-aware* so the supervisor's retries can be
+    exercised deterministically: a crash/stall fires only while the
+    task's attempt number is below ``crash_attempts``/``slow_attempts``
+    (the defaults reproduce the original always-fire behaviour under
+    the unsupervised single-attempt build).  Units in ``poison_units``
+    crash on *every* attempt -- the retry-budget-exhausted shape.  The
+    attempt number rides inside the :class:`CompileTask` itself, so the
+    plan works unchanged on process pools (no shared mutable state).
     """
 
     crash_units: frozenset = frozenset()
     slow_units: frozenset = frozenset()
     delay: float = 0.0
+    crash_attempts: int = 1
+    slow_attempts: int = 1
+    poison_units: frozenset = frozenset()
 
 
 # -- wavefront schedule --------------------------------------------------
@@ -139,6 +151,10 @@ class CompileTask:
     imports: tuple[str, ...]  # direct import names, dependency order
     closure: tuple[ClosureUnit, ...]  # transitive imports, topo order
     faults: WorkerFaults | None = None
+    #: Which attempt this dispatch is (0 = first try); consulted by the
+    #: attempt-aware fault plan, echoed into the result for staleness
+    #: checks by the supervisor.
+    attempt: int = 0
 
 
 @dataclass
@@ -158,6 +174,8 @@ class CompileResult:
     started: float = 0.0
     ended: float = 0.0
     worker: str = ""
+    #: Echo of the task's attempt number (supervisor staleness checks).
+    attempt: int = 0
 
 
 _tls = threading.local()
@@ -183,13 +201,18 @@ def compile_task(task: CompileTask) -> CompileResult:
     worker = f"w{os.getpid()}/{threading.get_ident()}"
     try:
         if task.faults is not None:
-            if task.name in task.faults.slow_units:
-                time.sleep(task.faults.delay)
-            if task.name in task.faults.crash_units:
+            plan = task.faults
+            if (task.name in plan.slow_units
+                    and task.attempt < plan.slow_attempts):
+                time.sleep(plan.delay)
+            if task.name in plan.poison_units or (
+                    task.name in plan.crash_units
+                    and task.attempt < plan.crash_attempts):
                 from repro.cm.faults import InjectedCrash
 
                 raise InjectedCrash(
-                    f"worker killed compiling {task.name}")
+                    f"worker killed compiling {task.name} "
+                    f"(attempt {task.attempt})")
         session, cache = _worker_state()
         live = {}
         for dep in task.closure:
@@ -206,12 +229,14 @@ def compile_task(task: CompileTask) -> CompileResult:
                              unit.source_digest, unit.times,
                              binding_pids=unit.binding_pids,
                              started=started,
-                             ended=time.perf_counter(), worker=worker)
+                             ended=time.perf_counter(), worker=worker,
+                             attempt=task.attempt)
     except Exception as err:
         return CompileResult(task.name,
                              error=(type(err).__name__, str(err)),
                              started=started,
-                             ended=time.perf_counter(), worker=worker)
+                             ended=time.perf_counter(), worker=worker,
+                             attempt=task.attempt)
 
 
 def _probe() -> int:
@@ -233,6 +258,7 @@ def make_executor(jobs: int, pool: str = "process"):
     if pool == "inline" or jobs <= 1:
         return None, "inline"
     if pool == "process":
+        executor = None
         try:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -240,6 +266,9 @@ def make_executor(jobs: int, pool: str = "process"):
             executor.submit(_probe).result(timeout=60)
             return executor, "process"
         except Exception:
+            if executor is not None:
+                # Don't leak the broken pool's workers when degrading.
+                executor.shutdown(wait=False, cancel_futures=True)
             pool = "thread"
     if pool == "thread":
         return ThreadPoolExecutor(max_workers=jobs), "thread"
@@ -323,14 +352,22 @@ def _run_wave(builder, graph: DepGraph, wave: list[str], wave_index: int,
                 _make_task(builder, graph, name, faults))
     else:
         futures = {}
-        for name, _reason in pending:
-            if meter.enabled:
-                meter.event("dispatch", cat="sched", unit=name,
-                            wave=wave_index)
-            futures[name] = executor.submit(
-                compile_task, _make_task(builder, graph, name, faults))
-        for name, future in futures.items():
-            results[name] = future.result()
+        try:
+            for name, _reason in pending:
+                if meter.enabled:
+                    meter.event("dispatch", cat="sched", unit=name,
+                                wave=wave_index)
+                futures[name] = executor.submit(
+                    compile_task,
+                    _make_task(builder, graph, name, faults))
+            for name, future in futures.items():
+                results[name] = future.result()
+        except BaseException:
+            # A submit or collection failure must not leak in-flight
+            # tasks: cancel everything still queued before unwinding
+            # (parallel_build's ``finally`` then joins the workers).
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
     for name, reason in pending:  # wave is sorted: deterministic
         result = results[name]
         if meter.enabled and result.worker:
@@ -342,6 +379,10 @@ def _run_wave(builder, graph: DepGraph, wave: list[str], wave_index: int,
                                 track=result.worker, unit=name,
                                 wave=wave_index)
         if result.error is not None:
+            if executor is not None:
+                # The wave is aborting: cancel any queued siblings so
+                # a failed wave cannot leak orphaned in-flight tasks.
+                executor.shutdown(wait=False, cancel_futures=True)
             raise ParallelBuildError(name, *result.error,
                                      wave=wave_index)
         with meter.span("apply", cat="unit", unit=name):
@@ -350,7 +391,8 @@ def _run_wave(builder, graph: DepGraph, wave: list[str], wave_index: int,
 
 
 def _make_task(builder, graph: DepGraph, name: str,
-               faults: WorkerFaults | None) -> CompileTask:
+               faults: WorkerFaults | None,
+               attempt: int = 0) -> CompileTask:
     """Package one unit's compile: its source plus the dehydrated
     transitive import closure (stable-library units included)."""
     closure_names = _import_closure(builder, graph.deps[name])
@@ -366,7 +408,7 @@ def _make_task(builder, graph: DepGraph, name: str,
     )
     return CompileTask(name=name, source=builder.project.source(name),
                        imports=tuple(graph.deps[name]), closure=closure,
-                       faults=faults)
+                       faults=faults, attempt=attempt)
 
 
 def _import_closure(builder, roots: list[str]) -> list[str]:

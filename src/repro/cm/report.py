@@ -19,7 +19,10 @@ class UnitOutcome:
     action is one of:
         "compiled" -- source was (re)compiled;
         "loaded"   -- bin file rehydrated into this session;
-        "cached"   -- already live in memory and current.
+        "cached"   -- already live in memory and current;
+        "failed"   -- (supervised builds) exhausted its retry budget;
+        "skipped"  -- (supervised builds) an import failed, so this
+                      unit was never attempted.
     """
 
     name: str
@@ -40,6 +43,22 @@ class BuildReport:
     #: Why each unit was recompiled or reused (the cutoff-explanation
     #: ledger the builder kept while deciding this pass).
     ledger: ExplanationLedger | None = None
+    #: Supervision telemetry (all zero for unsupervised builds): how
+    #: many attempts were retried, how many timed out, how often the
+    #: pool degraded (process -> thread -> inline), and how many units
+    #: a ``--resume`` pass reused from the journal without recompiling.
+    retries: int = 0
+    timeouts: int = 0
+    degraded: int = 0
+    resumed: int = 0
+
+    @property
+    def failed(self) -> list[str]:
+        return self._by_action("failed")
+
+    @property
+    def skipped(self) -> list[str]:
+        return self._by_action("skipped")
 
     def add(self, outcome: UnitOutcome) -> None:
         self.outcomes.append(outcome)
@@ -91,15 +110,31 @@ class BuildReport:
             "cache_hits": len(self.loaded) + len(self.cached),
             "cutoff_stops": len(self.cutoffs()),
         }
+        for key in ("failed", "skipped"):
+            units = self._by_action(key)
+            if units:
+                out[key] = len(units)
+        for key in ("retries", "timeouts", "degraded", "resumed"):
+            value = getattr(self, key)
+            if value:
+                out[key] = value
         if self.ledger is not None:
             out["causes"] = self.ledger.cause_counts()
         return out
 
     def summary(self) -> str:
-        return (f"{len(self.compiled)} compiled, {len(self.loaded)} loaded, "
-                f"{len(self.cached)} cached"
-                + (f" (cutoff at: {', '.join(self.cutoffs())})"
-                   if self.cutoffs() else ""))
+        text = (f"{len(self.compiled)} compiled, "
+                f"{len(self.loaded)} loaded, "
+                f"{len(self.cached)} cached")
+        if self.failed:
+            text += f", {len(self.failed)} failed"
+        if self.skipped:
+            text += f", {len(self.skipped)} skipped"
+        if self.retries:
+            text += f" [{self.retries} retr{'y' if self.retries == 1 else 'ies'}]"
+        if self.cutoffs():
+            text += f" (cutoff at: {', '.join(self.cutoffs())})"
+        return text
 
     def __repr__(self) -> str:
         return f"<build report: {self.summary()}>"

@@ -38,6 +38,7 @@ point and prove recovery.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
@@ -65,6 +66,21 @@ MANIFEST_NAME = "MANIFEST.json"
 LOCK_NAME = "store.lock"
 #: Per-record lock files (merge saves): ``<stem>.rlock``.
 RECORD_LOCK_SUFFIX = ".rlock"
+#: The supervised-build resume journal (see :mod:`repro.cm.supervise`);
+#: rides in the store directory but is not a record.
+JOURNAL_NAME = "BUILD_JOURNAL.json"
+#: Where :meth:`BinStore.load_directory` moves damaged record files
+#: aside when asked to (``quarantine=True``).
+QUARANTINE_DIR = "quarantine"
+
+#: Damage kinds whose on-disk files quarantine-aside may move (the
+#: rest either have no files -- ``missing-record`` -- or describe the
+#: manifest/IO layer, not a record pair).
+_QUARANTINABLE_KINDS = frozenset({
+    "bad-header-json", "malformed-header", "name-mismatch",
+    "orphaned-header", "orphaned-payload", "payload-checksum-mismatch",
+    "record-digest-mismatch",
+})
 
 #: Header fields a loadable record must carry.
 _REQUIRED_FIELDS = ("name", "source_digest", "export_pid", "imports",
@@ -77,6 +93,22 @@ class StoreError(Exception):
 
 class StoreLockedError(StoreError):
     """The store's lock file is held by a live process."""
+
+
+class StoreFullError(StoreError):
+    """A save ran out of disk space and aborted *cleanly*.
+
+    The tmp file of the failed write is swept (best effort), the dirty
+    set is untouched (a later save retries everything), and every
+    record pair already on disk is either fully old or fully new -- a
+    half-updated pair (new payload, old header) fails its whole-record
+    digest on load and degrades to a quarantined cache miss, never a
+    corrupt load.
+    """
+
+
+def _disk_full(err: OSError) -> bool:
+    return err.errno in (errno.ENOSPC, errno.EDQUOT)
 
 
 # -- record filenames ----------------------------------------------------
@@ -358,6 +390,9 @@ class BinStore:
         self._removed: set[str] = set()
         #: Directory this store's clean records mirror, if any.
         self._loaded_from: str | None = None
+        #: The loaded directory's manifest was torn or stale-format:
+        #: the next save must rewrite it even if no record is dirty.
+        self._manifest_stale: bool = False
         #: What the last load found; trivially healthy for a fresh store.
         self.health = StoreHealthReport()
         #: Cumulative payload bytes accepted, for benchmark reporting.
@@ -415,6 +450,58 @@ class BinStore:
         header["record_digest"] = _record_digest(header, record.payload)
         return header
 
+    def _write_pair(self, path: str, stem: str, header_bytes: bytes,
+                    payload: bytes) -> None:
+        """Write one record's payload+header pair (payload first, each
+        via tmp-file + atomic rename).
+
+        A disk-full ``OSError`` aborts *cleanly* as
+        :class:`StoreFullError`: the failed tmp file is swept (best
+        effort) and the on-disk pair is left either fully old, fully
+        new, or mixed-but-detectable (a new payload under an old header
+        fails its whole-record digest on load -> quarantined miss)."""
+        fs = self.fs
+        payload_file = os.path.join(path, stem + PAYLOAD_SUFFIX)
+        header_file = os.path.join(path, stem + HEADER_SUFFIX)
+        try:
+            fs.write_bytes(payload_file + TMP_SUFFIX, payload)
+            fs.replace(payload_file + TMP_SUFFIX, payload_file)
+            fs.write_bytes(header_file + TMP_SUFFIX, header_bytes)
+            fs.replace(header_file + TMP_SUFFIX, header_file)
+        except OSError as err:
+            if not _disk_full(err):
+                raise
+            self._sweep_tmps(path, (payload_file, header_file))
+            raise StoreFullError(
+                f"disk full while saving record {stem!r} in {path}: "
+                f"{err}") from err
+
+    def _write_manifest_file(self, path: str,
+                             manifest_bytes: bytes) -> None:
+        """Replace MANIFEST.json atomically; disk-full aborts cleanly
+        (old manifest intact) as :class:`StoreFullError`."""
+        fs = self.fs
+        manifest_file = os.path.join(path, MANIFEST_NAME)
+        try:
+            fs.write_bytes(manifest_file + TMP_SUFFIX, manifest_bytes)
+            fs.replace(manifest_file + TMP_SUFFIX, manifest_file)
+        except OSError as err:
+            if not _disk_full(err):
+                raise
+            self._sweep_tmps(path, (manifest_file,))
+            raise StoreFullError(
+                f"disk full while writing manifest in {path}: "
+                f"{err}") from err
+
+    def _sweep_tmps(self, path: str, files: tuple[str, ...]) -> None:
+        """Best-effort removal of tmp files after a failed write (frees
+        the very space the failed save was starved of)."""
+        for name in files:
+            try:
+                self.fs.remove(name + TMP_SUFFIX)
+            except OSError:
+                pass
+
     def save_directory(self, path: str, lock_timeout: float = 5.0,
                        merge: bool = False) -> SaveStats:
         """Write the store to ``path`` atomically and incrementally.
@@ -459,18 +546,14 @@ class BinStore:
             dirty = (set(self._records) if target != self._loaded_from
                      else set(self._dirty))
             changed = bool(dirty or self._removed
-                           or target != self._loaded_from)
+                           or target != self._loaded_from
+                           or self._manifest_stale)
             for name in sorted(dirty):
                 record = self._records[name]
                 stem = escape_name(name)
                 header_bytes = json.dumps(
                     self._header_for(record), indent=1).encode("utf-8")
-                payload_file = os.path.join(path, stem + PAYLOAD_SUFFIX)
-                fs.write_bytes(payload_file + TMP_SUFFIX, record.payload)
-                fs.replace(payload_file + TMP_SUFFIX, payload_file)
-                header_file = os.path.join(path, stem + HEADER_SUFFIX)
-                fs.write_bytes(header_file + TMP_SUFFIX, header_bytes)
-                fs.replace(header_file + TMP_SUFFIX, header_file)
+                self._write_pair(path, stem, header_bytes, record.payload)
                 stats.records_written += 1
                 stats.bytes_written += len(record.payload) + len(header_bytes)
             stats.records_skipped = len(self._records) - len(dirty)
@@ -482,14 +565,13 @@ class BinStore:
                 }
                 manifest_bytes = json.dumps(
                     manifest, indent=1, sort_keys=True).encode("utf-8")
-                manifest_file = os.path.join(path, MANIFEST_NAME)
-                fs.write_bytes(manifest_file + TMP_SUFFIX, manifest_bytes)
-                fs.replace(manifest_file + TMP_SUFFIX, manifest_file)
+                self._write_manifest_file(path, manifest_bytes)
                 stats.bytes_written += len(manifest_bytes)
 
             live = {escape_name(n) for n in self._records}
             for entry in fs.listdir(path):
-                if entry in (MANIFEST_NAME, LOCK_NAME):
+                if entry in (MANIFEST_NAME, LOCK_NAME, JOURNAL_NAME,
+                             QUARANTINE_DIR):
                     continue
                 if entry.endswith(RECORD_LOCK_SUFFIX):
                     owner = _lock_owner(fs, os.path.join(path, entry))
@@ -507,6 +589,7 @@ class BinStore:
             self._dirty.clear()
             self._removed.clear()
             self._loaded_from = target
+            self._manifest_stale = False
             return stats
         finally:
             lock.release()
@@ -547,12 +630,7 @@ class BinStore:
                               filename=stem + RECORD_LOCK_SUFFIX)
             rlock.acquire(required=True)
             try:
-                payload_file = os.path.join(path, stem + PAYLOAD_SUFFIX)
-                fs.write_bytes(payload_file + TMP_SUFFIX, record.payload)
-                fs.replace(payload_file + TMP_SUFFIX, payload_file)
-                header_file = os.path.join(path, stem + HEADER_SUFFIX)
-                fs.write_bytes(header_file + TMP_SUFFIX, header_bytes)
-                fs.replace(header_file + TMP_SUFFIX, header_file)
+                self._write_pair(path, stem, header_bytes, record.payload)
             finally:
                 rlock.release()
             stats.records_written += 1
@@ -576,9 +654,7 @@ class BinStore:
             manifest = {"format": FORMAT_VERSION, "records": merged}
             manifest_bytes = json.dumps(
                 manifest, indent=1, sort_keys=True).encode("utf-8")
-            manifest_file = os.path.join(path, MANIFEST_NAME)
-            fs.write_bytes(manifest_file + TMP_SUFFIX, manifest_bytes)
-            fs.replace(manifest_file + TMP_SUFFIX, manifest_file)
+            self._write_manifest_file(path, manifest_bytes)
             stats.bytes_written += len(manifest_bytes)
 
             for entry in entries:
@@ -591,6 +667,7 @@ class BinStore:
             self._dirty.clear()
             self._removed.clear()
             self._loaded_from = target
+            self._manifest_stale = False
             return stats
         finally:
             lock.release()
@@ -598,7 +675,8 @@ class BinStore:
     @classmethod
     def load_directory(cls, path: str, fs: FileSystem | None = None,
                        lock_timeout: float = 5.0,
-                       meter: BuildMeter = NULL_METER) -> "BinStore":
+                       meter: BuildMeter = NULL_METER,
+                       quarantine: bool = False) -> "BinStore":
         """Load a store directory, quarantining every kind of damage.
 
         Never raises on damage: a corrupt, torn, orphaned or unreadable
@@ -606,9 +684,17 @@ class BinStore:
         the affected unit is simply absent (a cache miss).  ``meter``
         observes the scan and every quarantine decision; it stays
         attached to the returned store.
+
+        With ``quarantine=True`` the damaged record files are also
+        moved *aside* into a ``quarantine/`` subdirectory for later
+        inspection (so the next load starts clean).  The move itself is
+        hardened: if it fails -- disk full, permissions -- the record
+        stays exactly where it was and the damage remains an in-memory
+        miss; a pair is never half-moved.
         """
         with meter.span("store.load", cat="store", path=path) as sp:
-            store = cls._load_directory(path, fs, lock_timeout, meter)
+            store = cls._load_directory(path, fs, lock_timeout, meter,
+                                        quarantine)
             sp.set(records=len(store._records),
                    corrupt=len(store.health.corrupt),
                    stale=len(store.health.stale))
@@ -620,8 +706,8 @@ class BinStore:
 
     @classmethod
     def _load_directory(cls, path: str, fs: FileSystem | None,
-                        lock_timeout: float,
-                        meter: BuildMeter) -> "BinStore":
+                        lock_timeout: float, meter: BuildMeter,
+                        quarantine: bool = False) -> "BinStore":
         fs = fs if fs is not None else REAL_FS
         store = cls(fs=fs)
         store.meter = meter
@@ -642,11 +728,16 @@ class BinStore:
                 return store
 
             manifest = _read_manifest(fs, path, entries, report)
+            if manifest is None and MANIFEST_NAME in entries:
+                # A torn or stale-format manifest survives a no-op
+                # session unless the next save is forced to heal it.
+                store._manifest_stale = True
 
             header_stems: set[str] = set()
             payload_stems: set[str] = set()
             for entry in entries:
-                if entry in (MANIFEST_NAME, LOCK_NAME):
+                if entry in (MANIFEST_NAME, LOCK_NAME, JOURNAL_NAME,
+                             QUARANTINE_DIR):
                     continue
                 if entry.endswith(RECORD_LOCK_SUFFIX):
                     continue  # a merge writer's per-record lock
@@ -698,6 +789,9 @@ class BinStore:
                             f"ignoring unmanifested record {name!r} "
                             f"(crash leftover)")
 
+            if quarantine and report.corrupt:
+                store._quarantine_aside(path, report)
+
             report.loaded = sorted(store._records)
             store._loaded_from = os.path.abspath(path)
             store.bytes_written = 0
@@ -705,6 +799,93 @@ class BinStore:
         finally:
             if got:
                 lock.release()
+
+    def _quarantine_aside(self, path: str,
+                          report: StoreHealthReport) -> None:
+        """Move damaged record file pairs into ``quarantine/``.
+
+        Hardened against the disk-full fault family: any failure while
+        moving a pair rolls the already-moved half back (a record is
+        never half-moved), the record stays an in-memory miss exactly
+        as before, and the failure is *noted* -- this path never
+        raises.  Moved stems are healed out of the manifest so the next
+        load does not report them as ``missing-record``.
+        """
+        fs = self.fs
+        stems: dict[str, str] = {}  # stem -> unit name (for notes)
+        for c in report.corrupt:
+            if c.kind not in _QUARANTINABLE_KINDS or not c.path:
+                continue
+            stem = _record_stem(os.path.basename(c.path))
+            if stem is not None:
+                stems[stem] = c.name
+        if not stems:
+            return
+        qdir = os.path.join(path, QUARANTINE_DIR)
+        try:
+            fs.makedirs(qdir)
+        except OSError as err:
+            report.notes.append(
+                f"quarantine-aside skipped: cannot create {qdir}: {err}")
+            return
+        moved: list[str] = []
+        for stem in sorted(stems):
+            done: list[tuple[str, str]] = []
+            failed = False
+            for suffix in (PAYLOAD_SUFFIX, HEADER_SUFFIX):
+                src = os.path.join(path, stem + suffix)
+                dst = os.path.join(qdir, stem + suffix)
+                try:
+                    if not fs.exists(src):
+                        continue
+                    fs.replace(src, dst)
+                except OSError as err:
+                    # Roll the already-moved half back: never half-move.
+                    for m_src, m_dst in reversed(done):
+                        try:
+                            fs.replace(m_dst, m_src)
+                        except OSError:
+                            pass
+                    report.notes.append(
+                        f"quarantine-aside failed for {stem!r}: {err}; "
+                        f"record left in place (in-memory miss)")
+                    failed = True
+                    break
+                done.append((src, dst))
+            if not failed and done:
+                moved.append(stem)
+                if self.meter.enabled:
+                    self.meter.event("store.quarantine_aside",
+                                     cat="store", unit=stems[stem],
+                                     stem=stem)
+        if moved:
+            report.notes.append(
+                f"moved {len(moved)} damaged record(s) aside to "
+                f"{QUARANTINE_DIR}/")
+            self._heal_manifest(path, moved, report)
+
+    def _heal_manifest(self, path: str, moved: list[str],
+                       report: StoreHealthReport) -> None:
+        """Drop moved stems from MANIFEST.json (best effort; a failed
+        heal just means the next load reports ``missing-record``)."""
+        fs = self.fs
+        try:
+            entries = fs.listdir(path)
+            manifest = _read_manifest(fs, path, entries,
+                                      StoreHealthReport())
+            if manifest is None:
+                return
+            gone = set(moved)
+            healed = {s: n for s, n in manifest.items() if s not in gone}
+            if healed == manifest:
+                return
+            data = json.dumps(
+                {"format": FORMAT_VERSION, "records": healed},
+                indent=1, sort_keys=True).encode("utf-8")
+            self._write_manifest_file(path, data)
+        except (OSError, StoreError) as err:
+            report.notes.append(
+                f"quarantine-aside: manifest heal skipped: {err}")
 
     def _load_record(self, path: str, stem: str,
                      report: StoreHealthReport) -> str | None:
@@ -800,10 +981,13 @@ class BinStore:
 
     @classmethod
     def fsck(cls, path: str, fs: FileSystem | None = None,
-             lock_timeout: float = 5.0) -> StoreHealthReport:
-        """Check a store directory's health without building anything."""
-        return cls.load_directory(path, fs=fs,
-                                  lock_timeout=lock_timeout).health
+             lock_timeout: float = 5.0,
+             quarantine: bool = False) -> StoreHealthReport:
+        """Check a store directory's health without building anything.
+        ``quarantine=True`` also moves damaged files aside (see
+        :meth:`load_directory`)."""
+        return cls.load_directory(path, fs=fs, lock_timeout=lock_timeout,
+                                  quarantine=quarantine).health
 
 
 def _is_str_table(value) -> bool:

@@ -42,6 +42,11 @@ from dataclasses import dataclass
 RECOMPILE_CAUSES = ("source-changed", "import-pid-changed", "store-miss",
                     "quarantined", "policy")
 REUSE_CAUSES = ("all-import-pids-stable", "used-bindings-stable")
+#: Supervised-build skip causes: ``failed-after-retries`` (the unit
+#: itself exhausted its retry budget -- a *poison* unit) and
+#: ``poison-import`` (a transitive import was poisoned, so this unit
+#: could not be attempted at all).
+SKIP_CAUSES = ("failed-after-retries", "poison-import")
 
 
 @dataclass(frozen=True)
@@ -116,9 +121,9 @@ class BuildDecision:
     """The ledger entry for one unit in one build pass."""
 
     unit: str
-    verdict: str  # "recompiled" | "reused"
-    cause: str  # one of RECOMPILE_CAUSES or REUSE_CAUSES
-    action: str  # "compiled" | "loaded" | "cached"
+    verdict: str  # "recompiled" | "reused" | "failed" | "skipped"
+    cause: str  # one of RECOMPILE_CAUSES, REUSE_CAUSES or SKIP_CAUSES
+    action: str  # "compiled" | "loaded" | "cached" | "skipped"
     detail: str = ""  # the builder's own reason string
     changes: tuple[PidChange, ...] = ()
     quarantine_kinds: tuple[str, ...] = ()
@@ -130,6 +135,9 @@ class BuildDecision:
     #: pid-changed import (empty when no import pid changed or the
     #: records carry no slice data).
     binding_checks: tuple[BindingCheck, ...] = ()
+    #: For supervised-build skips (``poison-import``): the poisoned
+    #: upstream unit whose failure cascaded here.
+    culprit: str = ""
 
     def stable_bindings(self) -> tuple[BindingCheck, ...]:
         return tuple(c for c in self.binding_checks if c.stable)
@@ -140,6 +148,8 @@ class BuildDecision:
 
     def describe(self) -> str:
         bits = [f"{self.unit}: {self.verdict} ({self.cause})"]
+        if self.culprit:
+            bits.append(f"poisoned import: {self.culprit}")
         if self.changes:
             bits.append("changed imports: "
                         + "; ".join(c.describe() for c in self.changes))
@@ -165,6 +175,7 @@ class BuildDecision:
             "quarantine_kinds": list(self.quarantine_kinds),
             "prior_imports": [list(p) for p in self.prior_imports],
             "live_imports": [list(p) for p in self.live_imports],
+            "culprit": self.culprit,
         }
 
 
@@ -265,6 +276,22 @@ def explain_decision(
                          binding_checks=checks)
 
 
+def explain_skip(unit: str, cause: str, detail: str = "",
+                 culprit: str = "") -> BuildDecision:
+    """The decision for a unit a *supervised* build could not build.
+
+    ``cause`` is one of :data:`SKIP_CAUSES`; ``culprit`` names the
+    poisoned upstream unit for ``poison-import`` skips (so
+    ``--explain`` says exactly which failure cascaded here).
+    """
+    if cause not in SKIP_CAUSES:
+        raise ValueError(f"unknown skip cause {cause!r}")
+    verdict = "failed" if cause == "failed-after-retries" else "skipped"
+    return BuildDecision(unit=unit, verdict=verdict, cause=cause,
+                         action="skipped", detail=detail,
+                         culprit=culprit)
+
+
 class ExplanationLedger:
     """All of one build pass's decisions, in build order."""
 
@@ -288,6 +315,11 @@ class ExplanationLedger:
 
     def reused(self) -> list[BuildDecision]:
         return [d for d in self if d.verdict == "reused"]
+
+    def skipped(self) -> list[BuildDecision]:
+        """Supervised-build casualties: poisoned units and the
+        dependents their failure cascaded to."""
+        return [d for d in self if d.verdict in ("failed", "skipped")]
 
     def cause_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}

@@ -196,6 +196,16 @@ class Tracer:
         for root in roots:
             yield from root.walk()
 
+    def spans_named(self, name: str) -> list[Span]:
+        """Every span called ``name``, in recording order (test/assert
+        helper: 'the trace carries retry spans')."""
+        return [s for s in self.all_spans() if s.name == name]
+
+    def events_named(self, name: str) -> list[Event]:
+        """Every instant event called ``name``."""
+        with self._lock:
+            return [e for e in self.events if e.name == name]
+
     def render_tree(self) -> str:
         """The human report: span tree per track, then counters."""
         with self._lock:

@@ -116,6 +116,37 @@ class TestCmFiles:
         assert "Main.answer = 42" in out
 
 
+class TestSupervisedCli:
+    def test_retries_flag_builds_supervised(self, srcdir, capsys):
+        assert main([srcdir, "--retries", "1", "--jobs", "2",
+                     "--pool", "thread", "--print", "Main.answer"]) == 0
+        out = capsys.readouterr().out
+        assert "Main.answer = 42" in out
+        assert "2 jobs" in out
+
+    def test_resume_flag_reuses_the_store(self, srcdir, capsys):
+        assert main([srcdir, "--no-link"]) == 0
+        capsys.readouterr()
+        assert main([srcdir, "--resume", "--pool", "thread",
+                     "--no-link"]) == 0
+        out = capsys.readouterr().out
+        assert "0 compiled, 2 loaded" in out
+
+    def test_failed_unit_reports_incomplete(self, srcdir, capsys):
+        # An elaboration error is deterministic: never retried, the
+        # unit is poisoned and the exit code + ledger say so.
+        with open(os.path.join(srcdir, "bad.sml"), "w") as f:
+            f.write("structure Bad = struct val x = no_such_thing end\n")
+        assert main([srcdir, "--retries", "2", "--pool", "thread",
+                     "--no-link", "--explain"]) == 1
+        captured = capsys.readouterr()
+        assert "build incomplete: 1 unit(s) failed" in captured.err
+        assert "see --explain" in captured.err
+        assert "failed-after-retries" in captured.out
+        # The healthy units were still built and saved.
+        assert os.path.isdir(os.path.join(srcdir, ".bin"))
+
+
 class TestGroupPrintArgument:
     @staticmethod
     def make_group(tmp_path):

@@ -123,3 +123,33 @@ class TestFsckCli:
         assert "base" in captured.err
         # The rebuild + save healed the store.
         assert main([built, "--fsck"]) == 0
+
+
+class TestQuarantineFlag:
+    def test_quarantine_moves_damage_aside(self, built, capsys):
+        bin_dir = os.path.join(built, ".bin")
+        bit_flip(payload_path(bin_dir, "base"), offset=2)
+        assert main([built, "--fsck", "--quarantine"]) == 1
+        assert "DAMAGED" in capsys.readouterr().out
+
+        # The damaged pair now sits in .bin/quarantine/, so the next
+        # fsck is healthy and the next build just recompiles the miss.
+        qdir = os.path.join(bin_dir, "quarantine")
+        assert os.path.isdir(qdir)
+        assert any(e.startswith("base") for e in os.listdir(qdir))
+        capsys.readouterr()
+        assert main([built, "--fsck"]) == 0
+        assert "HEALTHY" in capsys.readouterr().out
+        assert main([built, "--print", "Main.answer"]) == 0
+        out = capsys.readouterr().out
+        assert "1 compiled, 1 loaded" in out
+        assert "Main.answer = 42" in out
+
+    def test_fsck_without_flag_leaves_damage_in_place(self, built, capsys):
+        bin_dir = os.path.join(built, ".bin")
+        bit_flip(payload_path(bin_dir, "base"), offset=2)
+        assert main([built, "--fsck"]) == 1
+        assert not os.path.isdir(os.path.join(bin_dir, "quarantine"))
+        # Still damaged on the second look: --fsck alone only reports.
+        capsys.readouterr()
+        assert main([built, "--fsck"]) == 1

@@ -1,0 +1,357 @@
+"""Fault-tolerant supervised builds (tier 1).
+
+The contract under test: **a fault is a scheduling event, not a build
+failure.**  A supervised ``--jobs N`` build with injected worker
+crashes and hangs must converge to byte-identical store contents to a
+clean serial build; a poison unit (fails every attempt) must take down
+only its dependents while independent subgraphs finish; a killed build
+must finish under ``--resume`` without recompiling completed units;
+and every retry, timeout, degradation and skip must surface in the
+ledger and the tracer.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cm import (
+    BinStore,
+    BuildJournal,
+    CutoffBuilder,
+    SupervisePolicy,
+    Supervisor,
+    WorkerFaults,
+    supervised_build,
+)
+from repro.cm.store import JOURNAL_NAME, LOCK_NAME, RECORD_LOCK_SUFFIX
+from repro.obs.tracer import Tracer
+from repro.workload import generate_workload
+from repro.workload.shapes import fanout, layered
+
+#: A fast retry policy for tests (real backoffs are milliseconds here).
+FAST = SupervisePolicy(retries=2, backoff_base=0.001, backoff_cap=0.01)
+
+
+def store_files(store_dir):
+    """Every store file's bytes; locks and the journal excluded (both
+    are transient bookkeeping, not build artifacts)."""
+    out = {}
+    for entry in sorted(os.listdir(store_dir)):
+        if entry == LOCK_NAME or entry == JOURNAL_NAME \
+                or entry.endswith(RECORD_LOCK_SUFFIX):
+            continue
+        path = os.path.join(store_dir, entry)
+        if os.path.isdir(path):
+            continue
+        with open(path, "rb") as f:
+            out[entry] = f.read()
+    return out
+
+
+def serial_reference(shape, store_dir):
+    """A clean serial build saved to ``store_dir``: the byte-identity
+    target every supervised build must reproduce."""
+    workload = generate_workload(shape, helpers_per_unit=1)
+    builder = CutoffBuilder(workload.project)
+    builder.build()
+    builder.store.save_directory(store_dir)
+    return builder
+
+
+class TestFaultsConverge:
+    def test_crash_plus_hang_is_byte_identical_to_serial(self, tmp_path):
+        """The acceptance build: 40 units, jobs=4, one worker crash +
+        one hung worker -- completes, byte-identical to clean serial."""
+        shape = fanout(38)  # base + 38 middle + top = 40 units
+        assert len(shape) == 40
+        serial_dir = str(tmp_path / "serial")
+        serial_reference(shape, serial_dir)
+
+        workload = generate_workload(shape, helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project)
+        faults = WorkerFaults(crash_units=frozenset({"u005"}),
+                              slow_units=frozenset({"u007"}),
+                              delay=5.0)
+        report = supervised_build(
+            builder, jobs=4, pool="thread", faults=faults,
+            policy=SupervisePolicy(retries=2, backoff_base=0.001,
+                                   timeout=0.25))
+        assert len(report.compiled) == 40
+        assert not report.failed and not report.skipped
+        assert report.retries >= 2  # the crash and the timeout
+        assert report.timeouts == 1
+
+        supervised_dir = str(tmp_path / "supervised")
+        builder.store.save_directory(supervised_dir)
+        assert store_files(supervised_dir) == store_files(serial_dir)
+
+    def test_crash_retries_all_the_way_up_a_chain(self, tmp_path):
+        """Crashes in different waves all recover (one retry each)."""
+        shape = layered([3, 3, 3], seed=7)
+        serial_dir = str(tmp_path / "serial")
+        serial_reference(shape, serial_dir)
+
+        workload = generate_workload(shape, helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project)
+        faults = WorkerFaults(
+            crash_units=frozenset({"u000", "u004", "u008"}))
+        report = supervised_build(builder, jobs=2, pool="thread",
+                                  faults=faults, policy=FAST)
+        assert not report.failed and not report.skipped
+        assert report.retries == 3
+
+        out_dir = str(tmp_path / "supervised")
+        builder.store.save_directory(out_dir)
+        assert store_files(out_dir) == store_files(serial_dir)
+
+    def test_inline_tier_retries_too(self):
+        """jobs=1 (inline, no pool) still runs the retry machinery."""
+        workload = generate_workload(fanout(3), helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project)
+        report = supervised_build(
+            builder, jobs=1, faults=WorkerFaults(
+                crash_units=frozenset({"u002"})),
+            policy=FAST)
+        assert not report.failed
+        assert report.retries == 1
+        assert report.pool == "inline"
+
+
+class TestPoisonAndSkip:
+    SHAPE = [[], [0], [1], [], [3]]  # two chains: 0-1-2 and 3-4
+
+    def build_with_poison(self, meter=None):
+        workload = generate_workload(self.SHAPE, helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project, meter=meter)
+        report = supervised_build(
+            builder, jobs=2, pool="thread",
+            faults=WorkerFaults(poison_units=frozenset({"u001"})),
+            policy=SupervisePolicy(retries=1, backoff_base=0.001))
+        return builder, report
+
+    def test_poison_unit_skips_only_its_dependents(self):
+        builder, report = self.build_with_poison()
+        assert report.failed == ["u001"]
+        assert report.skipped == ["u002"]
+        # The independent subgraph (u003 -> u004) and the poison
+        # unit's own import (u000) all finished.
+        assert sorted(report.compiled) == ["u000", "u003", "u004"]
+
+    def test_ledger_explains_the_skip(self):
+        builder, _report = self.build_with_poison()
+        failed = builder.ledger.get("u001")
+        assert failed.verdict == "failed"
+        assert failed.cause == "failed-after-retries"
+        assert "InjectedCrash" in failed.detail
+        skipped = builder.ledger.get("u002")
+        assert skipped.verdict == "skipped"
+        assert skipped.cause == "poison-import"
+        assert skipped.culprit == "u001"
+        assert "u001" in skipped.describe()
+        assert {d.unit for d in builder.ledger.skipped()} \
+            == {"u001", "u002"}
+        # --explain renders both casualties.
+        text = builder.ledger.render_text()
+        assert "failed-after-retries" in text
+        assert "poison-import" in text
+
+    def test_report_summary_and_stats_name_the_casualties(self):
+        _builder, report = self.build_with_poison()
+        assert "1 failed" in report.summary()
+        assert "1 skipped" in report.summary()
+        stats = report.stats()
+        assert stats["failed"] == 1
+        assert stats["skipped"] == 1
+        assert stats["causes"]["failed-after-retries"] == 1
+        assert stats["causes"]["poison-import"] == 1
+
+    def test_deterministic_failures_are_not_retried(self):
+        """The typed budget: a parse error is not transient, so it
+        poisons immediately without burning retries."""
+        workload = generate_workload([[], [0]], helpers_per_unit=1)
+        workload.project.edit(
+            "u001",
+            "structure Broken = struct val x = no_such_thing end")
+        builder = CutoffBuilder(workload.project)
+        report = supervised_build(builder, jobs=2, pool="thread",
+                                  policy=FAST)
+        assert report.failed == ["u001"]
+        assert report.retries == 0
+        decision = builder.ledger.get("u001")
+        assert "not a retryable failure" in decision.detail
+
+
+class TestResume:
+    def test_killed_build_resumes_without_recompiling(self, tmp_path):
+        bin_dir = str(tmp_path / "bin")
+        shape = layered([3, 3, 3], seed=1)
+
+        # Session 1: "killed" after checkpointing two of three waves.
+        workload = generate_workload(shape, helpers_per_unit=1)
+        first = CutoffBuilder(workload.project)
+        partial = supervised_build(first, jobs=2, pool="thread",
+                                   checkpoint_dir=bin_dir, max_waves=2)
+        finished = set(partial.compiled)
+        assert 0 < len(finished) < len(shape)
+        journal_path = os.path.join(bin_dir, JOURNAL_NAME)
+        assert os.path.exists(journal_path)
+        journal = json.loads(open(journal_path).read())
+        assert set(journal["completed"]) == finished
+
+        # Session 2: resume.  Completed units load from the
+        # checkpointed store; only the missing wave compiles.
+        workload2 = generate_workload(shape, helpers_per_unit=1)
+        store = BinStore.load_directory(bin_dir)
+        assert store.health.ok
+        second = CutoffBuilder(workload2.project, store=store)
+        report = supervised_build(second, jobs=2, pool="thread",
+                                  resume=True, checkpoint_dir=bin_dir)
+        assert not report.failed and not report.skipped
+        assert finished.isdisjoint(report.compiled)
+        assert set(report.loaded) == finished
+        assert report.resumed == len(finished)
+        # The journal is gone once the build completes...
+        assert not os.path.exists(journal_path)
+
+        # ...and the result is byte-identical to a clean serial build.
+        serial_dir = str(tmp_path / "serial")
+        serial_reference(shape, serial_dir)
+        assert store_files(bin_dir) == store_files(serial_dir)
+
+    def test_journal_damage_degrades_to_store_only_resume(self, tmp_path):
+        bin_dir = str(tmp_path / "bin")
+        shape = layered([2, 2], seed=3)
+        workload = generate_workload(shape, helpers_per_unit=1)
+        first = CutoffBuilder(workload.project)
+        supervised_build(first, jobs=2, pool="thread",
+                         checkpoint_dir=bin_dir, max_waves=1)
+        with open(os.path.join(bin_dir, JOURNAL_NAME), "w") as f:
+            f.write("{torn json")
+
+        workload2 = generate_workload(shape, helpers_per_unit=1)
+        store = BinStore.load_directory(bin_dir)
+        second = CutoffBuilder(workload2.project, store=store)
+        report = supervised_build(second, jobs=2, pool="thread",
+                                  resume=True, checkpoint_dir=bin_dir)
+        assert not report.failed
+        # No journal evidence -> resumed count stays 0, but the store
+        # still spares the finished wave a recompile.
+        assert report.resumed == 0
+        assert report.loaded  # wave 0 came from the store
+
+    def test_journal_roundtrip(self, tmp_path):
+        from repro.cm.faults import REAL_FS
+
+        journal = BuildJournal(str(tmp_path), REAL_FS)
+        journal.completed = {"a": "pid1", "b": "pid2"}
+        assert journal.write()
+        loaded = BuildJournal.load(str(tmp_path), REAL_FS)
+        assert loaded.completed == {"a": "pid1", "b": "pid2"}
+        journal.clear()
+        assert BuildJournal.load(str(tmp_path), REAL_FS).completed == {}
+
+
+class TestDegradation:
+    def test_broken_pool_degrades_and_finishes(self):
+        class BrokenExecutor:
+            def submit(self, *args, **kwargs):
+                raise RuntimeError("pool is toast")
+
+            def shutdown(self, **kwargs):
+                pass
+
+        workload = generate_workload(layered([2, 2], seed=2),
+                                     helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project)
+        supervisor = Supervisor(
+            jobs=2, pool="process", policy=FAST,
+            executor_factory=lambda jobs, pool: (BrokenExecutor(),
+                                                 "process"))
+        report = supervisor.build(builder)
+        assert not report.failed and not report.skipped
+        assert len(report.compiled) == 4
+        assert report.degraded >= 1
+        assert report.pool in ("thread", "inline")
+
+    def test_degrades_all_the_way_to_inline(self):
+        """Both pool tiers broken: the build still completes inline."""
+        class BrokenExecutor:
+            def submit(self, *args, **kwargs):
+                raise RuntimeError("no workers anywhere")
+
+            def shutdown(self, **kwargs):
+                pass
+
+        workload = generate_workload([[], [0]], helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project)
+        supervisor = Supervisor(
+            jobs=2, pool="process", policy=FAST,
+            executor_factory=lambda jobs, pool: (BrokenExecutor(),
+                                                 "process"))
+        # Make the degraded thread tier broken too.
+        supervisor_make = supervisor.executor_factory
+        import repro.cm.supervise as supervise_mod
+        original = supervise_mod.make_executor
+        supervise_mod.make_executor = \
+            lambda jobs, pool: (BrokenExecutor(), "thread") \
+            if pool == "thread" else original(jobs, pool)
+        try:
+            report = supervisor.build(builder)
+        finally:
+            supervise_mod.make_executor = original
+        assert not report.failed
+        assert report.pool == "inline"
+        assert report.degraded >= 2
+
+
+class TestObservability:
+    def test_trace_carries_retry_and_timeout_spans(self):
+        tracer = Tracer()
+        workload = generate_workload(fanout(4), helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project, meter=tracer)
+        faults = WorkerFaults(crash_units=frozenset({"u002"}),
+                              slow_units=frozenset({"u003"}),
+                              delay=5.0)
+        report = supervised_build(
+            builder, jobs=3, pool="thread", faults=faults,
+            policy=SupervisePolicy(retries=2, backoff_base=0.001,
+                                   timeout=0.25))
+        assert not report.failed
+        retry_events = tracer.events_named("retry")
+        assert {e.args["unit"] for e in retry_events} \
+            >= {"u002", "u003"}
+        assert tracer.spans_named("retry-backoff")
+        timeout_events = tracer.events_named("timeout")
+        assert [e.args["unit"] for e in timeout_events] == ["u003"]
+        assert tracer.counters.get("supervise.retries", 0) \
+            == report.retries
+
+    def test_poison_and_skip_events(self):
+        tracer = Tracer()
+        workload = generate_workload([[], [0]], helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project, meter=tracer)
+        report = supervised_build(
+            builder, jobs=2, pool="thread",
+            faults=WorkerFaults(poison_units=frozenset({"u000"})),
+            policy=FAST)
+        assert report.failed == ["u000"]
+        assert [e.args["unit"] for e in tracer.events_named("poison")] \
+            == ["u000"]
+        skips = tracer.events_named("skip")
+        assert [(e.args["unit"], e.args["culprit"]) for e in skips] \
+            == [("u001", "u000")]
+
+
+class TestBuilderEntryPoint:
+    def test_build_kwargs_route_through_supervisor(self, tmp_path):
+        """``builder.build(policy=...)`` is the supervised path."""
+        workload = generate_workload(fanout(3), helpers_per_unit=1)
+        builder = CutoffBuilder(workload.project)
+        report = builder.build(jobs=2, pool="thread", policy=FAST,
+                               checkpoint_dir=str(tmp_path / "bin"))
+        assert not report.failed
+        assert len(report.compiled) == 5
+        # The checkpoint really landed.
+        store = BinStore.load_directory(str(tmp_path / "bin"))
+        assert sorted(store.names()) == sorted(builder.units)
