@@ -29,6 +29,7 @@ from repro.cm.store import (
     StoreFullError,
     StoreHealthReport,
     StoreLockedError,
+    sweep_stale_artifacts,
 )
 from repro.cm.report import BuildReport, UnitOutcome
 from repro.cm.make import TimestampBuilder
@@ -36,6 +37,7 @@ from repro.cm.manager import CutoffBuilder
 from repro.cm.smart import SmartBuilder
 from repro.cm.parallel import (
     ParallelBuildError,
+    ReadySet,
     WorkerFaults,
     parallel_build,
     wavefronts,
@@ -45,6 +47,12 @@ from repro.cm.supervise import (
     SupervisePolicy,
     Supervisor,
     supervised_build,
+)
+from repro.cm.daemon import (
+    BuildDaemon,
+    DaemonError,
+    DaemonReply,
+    serve,
 )
 from repro.cm.group import Group, GroupBuilder
 from repro.cm.descfile import DescFileError, load_group_file
@@ -69,6 +77,7 @@ __all__ = [
     "CutoffBuilder",
     "SmartBuilder",
     "ParallelBuildError",
+    "ReadySet",
     "WorkerFaults",
     "parallel_build",
     "wavefronts",
@@ -76,6 +85,11 @@ __all__ = [
     "SupervisePolicy",
     "Supervisor",
     "supervised_build",
+    "sweep_stale_artifacts",
+    "BuildDaemon",
+    "DaemonError",
+    "DaemonReply",
+    "serve",
     "Group",
     "GroupBuilder",
     "DescFileError",

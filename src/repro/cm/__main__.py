@@ -31,6 +31,13 @@ Options:
                                     store + journal checkpoint
     --quarantine                    with --fsck: move damaged record files
                                     aside into .bin/quarantine/
+    --schedule {wavefront,ready}    with --jobs: wave barriers or
+                                    per-unit ready-set dispatch (same
+                                    bytes either way)
+    --serve                         run as a resident build daemon:
+                                    JSON-lines requests on stdin, one
+                                    JSON response per line on stdout
+                                    (see repro.cm.daemon)
 """
 
 from __future__ import annotations
@@ -61,9 +68,10 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.cm",
         description="Build a directory of SML compilation units, or a "
                     ".cm group description file.")
-    parser.add_argument("srcdir",
+    parser.add_argument("srcdir", nargs="?", default=None,
                         help="directory containing *.sml units, or a .cm "
-                             "group description file")
+                             "group description file (optional with "
+                             "--serve: requests may name their group)")
     parser.add_argument("--manager", choices=sorted(MANAGERS),
                         default="cutoff")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -121,7 +129,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --fsck: move damaged record files "
                              "aside into .bin/quarantine/ so the next "
                              "load starts clean")
+    parser.add_argument("--schedule", choices=["wavefront", "ready"],
+                        default="wavefront",
+                        help="how --jobs orders compiles: wave barriers "
+                             "(default) or per-unit ready-set dispatch; "
+                             "store bytes are identical either way")
+    parser.add_argument("--serve", action="store_true",
+                        help="run as a resident build daemon serving "
+                             "JSON-lines requests on stdin (one JSON "
+                             "response per line on stdout; ops: build, "
+                             "ping, explain, shutdown)")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        return _run_serve(args)
+    if args.srcdir is None:
+        parser.error("srcdir is required unless --serve is given")
 
     if args.fsck:
         return _run_fsck(args)
@@ -180,10 +203,12 @@ def _build_directory(args, tracer):
             report = builder.build(jobs=max(1, args.jobs),
                                    pool=args.pool, policy=policy,
                                    resume=args.resume,
-                                   checkpoint_dir=bin_dir)
+                                   checkpoint_dir=bin_dir,
+                                   schedule=args.schedule)
         else:
             report = builder.build(jobs=max(1, args.jobs),
-                                   pool=args.pool)
+                                   pool=args.pool,
+                                   schedule=args.schedule)
     except Exception as err:  # ElabError, DependencyError, ParseError...
         print(f"error: {err}", file=sys.stderr)
         return 1, builder, None
@@ -301,6 +326,19 @@ def _emit_trace(args, tracer, builder, report) -> int:
             return 1
         print(f"trace written to {args.trace_out}")
     return 0
+
+
+def _run_serve(args) -> int:
+    """Run the resident build daemon over stdin/stdout (see
+    :mod:`repro.cm.daemon` for the wire protocol)."""
+    from repro.cm.daemon import BuildDaemon, serve
+
+    daemon = BuildDaemon(manager=args.manager, jobs=max(1, args.jobs),
+                         pool=args.pool, schedule="ready")
+    default_group = args.srcdir if args.srcdir \
+        and os.path.isdir(args.srcdir) else None
+    return serve(daemon, sys.stdin, sys.stdout,
+                 default_group=default_group)
 
 
 def _run_fsck(args) -> int:

@@ -64,14 +64,15 @@ class BaseBuilder:
 
     def build(self, jobs: int = 1, pool: str = "process",
               supervise: bool = False, policy=None, resume: bool = False,
-              checkpoint_dir: str | None = None) -> BuildReport:
+              checkpoint_dir: str | None = None,
+              schedule: str = "wavefront") -> BuildReport:
         """Bring every unit up to date; returns what was done.
 
-        With ``jobs > 1`` the dependency DAG is partitioned into
-        wavefronts (antichains) and ready units are compiled on a worker
-        pool (:mod:`repro.cm.parallel`); the resulting statenv, bin
-        store contents and export pids are byte-identical to a serial
-        build.
+        With ``jobs > 1`` ready units are compiled on a worker pool
+        (:mod:`repro.cm.parallel`) under either ``schedule`` --
+        ``"wavefront"`` antichain barriers or per-unit ``"ready"``
+        dispatch; the resulting statenv, bin store contents and export
+        pids are byte-identical to a serial build either way.
 
         ``supervise=True`` (implied by ``policy``, ``resume`` or
         ``checkpoint_dir``) routes through the fault-tolerant
@@ -85,10 +86,12 @@ class BaseBuilder:
             from repro.cm.supervise import supervised_build
             return supervised_build(self, jobs=jobs, pool=pool,
                                     policy=policy, resume=resume,
-                                    checkpoint_dir=checkpoint_dir)
-        if jobs != 1:
+                                    checkpoint_dir=checkpoint_dir,
+                                    schedule=schedule)
+        if jobs != 1 or schedule == "ready":
             from repro.cm.parallel import parallel_build
-            return parallel_build(self, jobs=jobs, pool=pool)
+            return parallel_build(self, jobs=jobs, pool=pool,
+                                  schedule=schedule)
         meter = self.meter
         t0 = time.perf_counter()
         report = BuildReport()

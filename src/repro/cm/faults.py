@@ -108,6 +108,18 @@ class FileSystem:
     def release_lock(self, path: str) -> None:
         self.remove(path)
 
+    def stat_signature(self, path: str) -> tuple | None:
+        """A cheap change probe: ``(mtime_ns, size)`` of ``path``, or
+        None when it is absent/unreadable.  Two equal signatures mean
+        the file has (almost certainly) not changed; the build daemon
+        uses this to refresh sources and the store incrementally
+        instead of re-reading everything per request."""
+        try:
+            st = os.stat(path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
     def pid_alive(self, pid: int) -> bool:
         """Is a process with this pid running?  Non-positive and
         out-of-range pids are never alive (and never signalled)."""

@@ -28,11 +28,18 @@ matrix in ``tests/cm/test_parallel_determinism.py`` checks this
 byte-for-byte, under fault injection.
 
 Scheduling machinery: :func:`wavefronts` partitions a
-:class:`~repro.cm.depend.DepGraph`; :func:`parallel_build` drives any
-:class:`~repro.cm.base.BaseBuilder` (its ``decide`` seam supplies the
-recompilation policy) over a :class:`ProcessPoolExecutor`, falling back
-to threads where process pools are unavailable.  :class:`WorkerFaults`
-is the deterministic fault seam used by the crash-mid-wave tests.
+:class:`~repro.cm.depend.DepGraph` into wave barriers;
+:class:`ReadySet` is the barrier-free alternative -- a unit becomes
+dispatchable the moment its last in-graph import completes, so a slow
+unit stalls only its own dependent cone, not the whole wave.
+:func:`parallel_build` drives any :class:`~repro.cm.base.BaseBuilder`
+(its ``decide`` seam supplies the recompilation policy) over a
+:class:`ProcessPoolExecutor`, falling back to threads where process
+pools are unavailable, under either schedule (``schedule="wavefront"``
+or ``"ready"`` -- same bytes either way, because record bytes are
+intrinsic per unit and providers always complete before dependents).
+:class:`WorkerFaults` is the deterministic fault seam used by the
+crash-mid-wave tests.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.cm.depend import DepGraph
@@ -122,6 +129,77 @@ def wavefronts(graph: DepGraph) -> list[list[str]]:
             waves.append([])
         waves[wave].append(name)
     return [sorted(wave) for wave in waves]
+
+
+# -- ready-set schedule --------------------------------------------------
+
+
+class ReadySet:
+    """Barrier-free scheduling state over a :class:`DepGraph`.
+
+    Tracks, per unit, how many of its *in-graph* imports have not yet
+    completed (imports outside the graph -- stable-library units,
+    already live -- do not gate, matching :func:`wavefronts`).  A unit
+    with zero outstanding imports is *ready*; :meth:`take` drains the
+    ready units in sorted name order (each offered exactly once) and
+    :meth:`complete` retires a finished unit, releasing any dependents
+    it was the last gate for.
+
+    The dispatch sequence this induces is always a linear extension of
+    the graph: a unit is offered only after ``complete`` was called for
+    every in-graph import.  Completion means "this unit's fate is
+    settled" -- compiled, loaded, cached, failed or skipped all count,
+    which is how the supervisor propagates poison through the ready set
+    without deadlocking.
+    """
+
+    def __init__(self, graph: DepGraph):
+        self._graph = graph
+        in_graph = set(graph.order)
+        #: unit -> number of in-graph imports not yet completed.
+        self._waiting: dict[str, int] = {
+            name: sum(1 for dep in graph.deps.get(name, ())
+                      if dep in in_graph)
+            for name in graph.order
+        }
+        self._ready: list[str] = sorted(
+            name for name, gates in self._waiting.items() if gates == 0)
+        self._offered: set[str] = set()
+        self._done: set[str] = set()
+
+    def take(self) -> list[str]:
+        """Drain the currently ready units (sorted; offered once)."""
+        out, self._ready = self._ready, []
+        self._offered.update(out)
+        return out
+
+    def complete(self, name: str) -> list[str]:
+        """Retire ``name``; returns the units this made ready (sorted).
+        The newly ready units also join the next :meth:`take`."""
+        if name in self._done:
+            return []
+        self._done.add(name)
+        released = []
+        for dependent in self._graph.dependents.get(name, ()):
+            gates = self._waiting.get(dependent)
+            if gates is None:
+                continue
+            self._waiting[dependent] = gates - 1
+            if gates - 1 == 0:
+                released.append(dependent)
+        released.sort()
+        self._ready = sorted(self._ready + released)
+        return released
+
+    def has_ready(self) -> bool:
+        return bool(self._ready)
+
+    def outstanding(self) -> int:
+        """Units not yet completed."""
+        return len(self._waiting) - len(self._done)
+
+    def all_done(self) -> bool:
+        return not self.outstanding()
 
 
 # -- the worker ----------------------------------------------------------
@@ -279,26 +357,37 @@ def make_executor(jobs: int, pool: str = "process"):
 
 
 def parallel_build(builder, jobs: int = 2, pool: str = "process",
-                   faults: WorkerFaults | None = None) -> BuildReport:
-    """Bring ``builder``'s project up to date, compiling each wavefront
-    on a worker pool.
+                   faults: WorkerFaults | None = None,
+                   schedule: str = "wavefront") -> BuildReport:
+    """Bring ``builder``'s project up to date on a worker pool.
 
-    Per wave: ask the builder's ``decide`` seam what each unit needs
+    ``schedule="wavefront"`` (the default) runs wave barriers: per
+    wave, ask the builder's ``decide`` seam what each unit needs
     (cached / load / compile), rehydrate loads in the parent (cheap),
     dispatch compiles to the pool, then apply results in sorted unit
-    order -- so the store the build leaves behind is byte-identical to a
-    serial build's regardless of jobs count or completion order.
+    order.  ``schedule="ready"`` drops the barrier: each unit is
+    decided and dispatched the moment its last in-graph import lands,
+    and results are applied as they complete.  Both leave a store
+    byte-identical to a serial build's regardless of jobs count or
+    completion order -- record bytes are intrinsic per unit, a unit's
+    providers always complete before it is decided, and the on-disk
+    layout (one file pair per unit plus a sorted manifest) does not
+    depend on application order.
 
-    A worker failure raises :class:`ParallelBuildError` after the
-    preceding waves were fully applied; the in-memory store then holds
-    exactly a valid prefix of the build, and saving it degrades to the
-    store's ordinary crash-safety guarantees.
+    A worker failure raises :class:`ParallelBuildError` after every
+    already-landed result was fully applied; the in-memory store then
+    holds exactly a valid prefix of the build, and saving it degrades
+    to the store's ordinary crash-safety guarantees.
     """
+    if schedule not in ("wavefront", "ready"):
+        raise ValueError(f"unknown schedule {schedule!r} "
+                         f"(want 'wavefront' or 'ready')")
     meter = getattr(builder, "meter", NULL_METER)
     t0 = time.perf_counter()
-    report = BuildReport(jobs=jobs)
+    report = BuildReport(jobs=jobs, schedule=schedule)
     with meter.span("build", cat="build",
-                    manager=type(builder).__name__, jobs=jobs) as bsp:
+                    manager=type(builder).__name__, jobs=jobs,
+                    schedule=schedule) as bsp:
         builder._begin_build()
         builder._load_pending_stables(report)
         with meter.span("analyze", cat="build"):
@@ -307,11 +396,15 @@ def parallel_build(builder, jobs: int = 2, pool: str = "process",
         report.pool = using
         bsp.set(pool=using, units=len(graph.order))
         try:
-            for wave_index, wave in enumerate(wavefronts(graph)):
-                with meter.span("wave", cat="wave", index=wave_index,
-                                size=len(wave)) as wsp:
-                    _run_wave(builder, graph, wave, wave_index, executor,
-                              faults, report, meter, wsp)
+            if schedule == "ready":
+                _run_ready(builder, graph, executor, faults, report,
+                           meter)
+            else:
+                for wave_index, wave in enumerate(wavefronts(graph)):
+                    with meter.span("wave", cat="wave", index=wave_index,
+                                    size=len(wave)) as wsp:
+                        _run_wave(builder, graph, wave, wave_index,
+                                  executor, faults, report, meter, wsp)
             report.wall_seconds = time.perf_counter() - t0
         finally:
             if executor is not None:
@@ -326,6 +419,7 @@ def _run_wave(builder, graph: DepGraph, wave: list[str], wave_index: int,
     """Decide, dispatch and apply one wavefront."""
     pending: list[tuple[str, str]] = []
     for name in wave:
+        report.dispatch_order.append(name)
         record = builder.store.get(name)
         imports = [builder.units[d] for d in graph.deps[name]]
         action, reason = builder.decide(name, graph, imports, record)
@@ -388,6 +482,89 @@ def _run_wave(builder, graph: DepGraph, wave: list[str], wave_index: int,
         with meter.span("apply", cat="unit", unit=name):
             report.add(_apply_result(builder, graph, name, reason,
                                      result))
+
+
+def _run_ready(builder, graph: DepGraph, executor,
+               faults: WorkerFaults | None, report: BuildReport,
+               meter) -> None:
+    """Per-unit ready-set dispatch: decide each unit the moment its
+    last in-graph import completes, apply worker results as they land.
+
+    Landed results are applied under the landing loop, in sorted name
+    order within each completion batch -- the order does not matter for
+    store bytes (intrinsic pids, per-unit file pairs, sorted manifest)
+    but keeping it sorted makes traces reproducible for a fixed
+    completion pattern.
+    """
+    ready = ReadySet(graph)
+    active: dict[str, object] = {}  # name -> future
+    reasons: dict[str, str] = {}
+
+    def land(name: str, result: CompileResult) -> None:
+        if meter.enabled and result.worker:
+            meter.complete_span("worker-compile", result.started,
+                                result.ended, cat="worker",
+                                track=result.worker, unit=name)
+        if result.error is not None:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            raise ParallelBuildError(name, *result.error)
+        with meter.span("apply", cat="unit", unit=name):
+            report.add(_apply_result(builder, graph, name,
+                                     reasons.pop(name, ""), result))
+        ready.complete(name)
+
+    while True:
+        for name in ready.take():
+            report.dispatch_order.append(name)
+            record = builder.store.get(name)
+            imports = [builder.units[d] for d in graph.deps[name]]
+            action, reason = builder.decide(name, graph, imports, record)
+            builder.explain(name, action, reason, record, imports)
+            if action == "cached":
+                report.add(UnitOutcome(name, "cached", "up to date"))
+                ready.complete(name)
+            elif action == "load":
+                outcome = builder.load(name, record, imports)
+                if outcome.action == "compiled":
+                    # Unreadable payload degraded to a recompile.
+                    builder.explain(name, "compile", outcome.reason,
+                                    None, imports)
+                    builder.on_compiled(name, graph)
+                report.add(outcome)
+                ready.complete(name)
+            else:
+                if meter.enabled:
+                    meter.event("dispatch", cat="sched", unit=name,
+                                seq=len(report.dispatch_order))
+                reasons[name] = reason
+                if executor is None:
+                    land(name, compile_task(
+                        _make_task(builder, graph, name, faults)))
+                else:
+                    try:
+                        active[name] = executor.submit(
+                            compile_task,
+                            _make_task(builder, graph, name, faults))
+                    except BaseException:
+                        executor.shutdown(wait=False,
+                                          cancel_futures=True)
+                        raise
+        if ready.has_ready():
+            continue  # completions above released more units
+        if not active:
+            break
+        finished, _ = wait(active.values(),
+                           return_when=FIRST_COMPLETED)
+        for name in sorted(n for n, f in active.items()
+                           if f in finished):
+            future = active.pop(name)
+            try:
+                result = future.result()
+            except BaseException:
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
+            land(name, result)
 
 
 def _make_task(builder, graph: DepGraph, name: str,

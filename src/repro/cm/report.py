@@ -40,6 +40,16 @@ class BuildReport:
     #: "process"/"thread"/"inline" for wavefront builds).
     jobs: int = 1
     pool: str = "serial"
+    #: How compiles were ordered: "wavefront" (antichain barriers; also
+    #: what the serial loop degenerates to) or "ready" (per-unit
+    #: ready-set dispatch).  Same store bytes either way.
+    schedule: str = "wavefront"
+    #: The order units were *decided* in -- for wavefront builds this is
+    #: wave-by-wave sorted order; for ready-set builds it is the actual
+    #: dispatch sequence.  Always a linear extension of the dep graph
+    #: (the property test in ``tests/property/test_ready_set.py`` holds
+    #: the scheduler to that).
+    dispatch_order: list[str] = field(default_factory=list)
     #: Why each unit was recompiled or reused (the cutoff-explanation
     #: ledger the builder kept while deciding this pass).
     ledger: ExplanationLedger | None = None

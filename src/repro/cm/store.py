@@ -989,6 +989,81 @@ class BinStore:
         return cls.load_directory(path, fs=fs, lock_timeout=lock_timeout,
                                   quarantine=quarantine).health
 
+    @staticmethod
+    def disk_signature(path: str, fs: FileSystem | None = None) -> tuple:
+        """A cheap change signature of a store directory: the sorted
+        ``(filename, (mtime_ns, size))`` of every record file and the
+        manifest.  Two equal signatures mean no other writer has
+        touched the store since the first was taken; the build daemon
+        takes one after each save and reloads the store only when the
+        on-disk signature has moved (another process built, fsck
+        quarantined something, a test reached in).  Locks, journals,
+        tmp files and quarantine debris are excluded -- they come and
+        go without changing the records clients would load."""
+        fs = fs if fs is not None else REAL_FS
+        if not fs.isdir(path):
+            return ()
+        try:
+            entries = fs.listdir(path)
+        except OSError:
+            return ("unreadable",)
+        out = []
+        for entry in entries:
+            if entry.endswith(TMP_SUFFIX):
+                continue
+            if (entry == MANIFEST_NAME
+                    or entry.endswith(HEADER_SUFFIX)
+                    or entry.endswith(PAYLOAD_SUFFIX)):
+                out.append((entry,
+                            fs.stat_signature(os.path.join(path, entry))))
+        return tuple(out)
+
+
+def sweep_stale_artifacts(path: str,
+                          fs: FileSystem | None = None) -> list[str]:
+    """Sweep a killed prior run's debris out of a store directory.
+
+    Two kinds of leftovers survive a ``kill -9`` mid-build and would
+    otherwise haunt a long-lived daemon forever:
+
+    - a stale ``BUILD_JOURNAL.json``: a build that *completes* clears
+      its journal, so one found lying around at daemon startup is a
+      torn checkpoint from a killed run.  The store itself is already
+      consistent (checkpoint saves are atomic per record), so the
+      journal has nothing left to resume and only makes a later
+      ``--resume`` trust counts from a build that no longer exists;
+    - orphaned ``.rlock`` record locks whose owner pid is dead or
+      unreadable: merge-savers skip records someone else holds, so a
+      dead owner's lock would permanently shadow its record.
+
+    Live locks (owner pid still running) are left alone.  Best effort:
+    an unreadable directory sweeps nothing, a failed remove skips that
+    entry.  Returns the names of the entries removed.
+    """
+    fs = fs if fs is not None else REAL_FS
+    swept: list[str] = []
+    try:
+        if not fs.isdir(path):
+            return swept
+        entries = fs.listdir(path)
+    except OSError:
+        return swept
+    for entry in entries:
+        full = os.path.join(path, entry)
+        try:
+            if entry == JOURNAL_NAME or (entry == JOURNAL_NAME
+                                         + TMP_SUFFIX):
+                fs.remove(full)
+                swept.append(entry)
+            elif entry.endswith(RECORD_LOCK_SUFFIX):
+                owner = _lock_owner(fs, full)
+                if owner is None or not fs.pid_alive(owner):
+                    fs.remove(full)
+                    swept.append(entry)
+        except OSError:
+            continue
+    return swept
+
 
 def _is_str_table(value) -> bool:
     """Is ``value`` a ``{str: str}`` dict (the slice-field shape)?"""

@@ -45,6 +45,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
@@ -52,6 +53,7 @@ from repro.cm.depend import DepGraph
 from repro.cm.faults import FileSystem
 from repro.cm.parallel import (
     CompileResult,
+    ReadySet,
     WorkerFaults,
     _apply_result,
     _make_task,
@@ -170,7 +172,12 @@ class Supervisor:
                  policy: SupervisePolicy | None = None,
                  resume: bool = False, checkpoint_dir: str | None = None,
                  max_waves: int | None = None,
-                 executor_factory=make_executor):
+                 executor_factory=make_executor,
+                 schedule: str = "wavefront",
+                 keep_executor: bool = False):
+        if schedule not in ("wavefront", "ready"):
+            raise ValueError(f"unknown schedule {schedule!r} "
+                             f"(want 'wavefront' or 'ready')")
         self.jobs = jobs
         self.pool = pool
         self.faults = faults
@@ -179,13 +186,21 @@ class Supervisor:
         self.checkpoint_dir = checkpoint_dir
         self.max_waves = max_waves
         self.executor_factory = executor_factory
+        self.schedule = schedule
+        #: When True the executor outlives the build -- the daemon's
+        #: warm-pool seam (:mod:`repro.cm.daemon` hands a cached
+        #: executor in via ``executor_factory`` and shuts it down at
+        #: daemon shutdown).  A pool degradation flips this back off:
+        #: the replacement pool belongs to this supervisor, not the
+        #: caller, and the caller's cached pool is already dead.
+        self.keep_executor = keep_executor
         self.executor = None
         self.using = "inline"
         #: unit -> the *root* poisoned unit whose failure took it down
         #: (a poisoned unit maps to itself).
         self.dead: dict[str, str] = {}
         self.retry_spent = 0
-        self.report = BuildReport(jobs=jobs)
+        self.report = BuildReport(jobs=jobs, schedule=schedule)
         self.journal: BuildJournal | None = None
         self.meter = NULL_METER
 
@@ -197,7 +212,7 @@ class Supervisor:
         report = self.report
         with meter.span("build", cat="build",
                         manager=type(builder).__name__, jobs=self.jobs,
-                        supervised=True) as bsp:
+                        supervised=True, schedule=self.schedule) as bsp:
             builder._begin_build()
             builder._load_pending_stables(report)
             with meter.span("analyze", cat="build"):
@@ -215,19 +230,23 @@ class Supervisor:
                                                 builder.store.fs)
             killed = False
             try:
-                for wave_index, wave in enumerate(wavefronts(graph)):
-                    with meter.span("wave", cat="wave", index=wave_index,
-                                    size=len(wave)) as wsp:
-                        done = self._run_wave(builder, graph, wave,
-                                              wave_index, wsp)
-                    self._checkpoint(builder, done)
-                    if self.max_waves is not None \
-                            and wave_index + 1 >= self.max_waves:
-                        killed = True  # simulated kill (test seam)
-                        break
+                if self.schedule == "ready":
+                    killed = self._run_ready_build(builder, graph)
+                else:
+                    for wave_index, wave in enumerate(wavefronts(graph)):
+                        with meter.span("wave", cat="wave",
+                                        index=wave_index,
+                                        size=len(wave)) as wsp:
+                            done = self._run_wave(builder, graph, wave,
+                                                  wave_index, wsp)
+                        self._checkpoint(builder, done)
+                        if self.max_waves is not None \
+                                and wave_index + 1 >= self.max_waves:
+                            killed = True  # simulated kill (test seam)
+                            break
                 report.wall_seconds = time.perf_counter() - t0
             finally:
-                if self.executor is not None:
+                if self.executor is not None and not self.keep_executor:
                     self.executor.shutdown(wait=True, cancel_futures=True)
             if self.journal is not None and not killed \
                     and not report.failed and not report.skipped:
@@ -310,6 +329,206 @@ class Supervisor:
         if self.resume and self.journal is not None \
                 and name in self.journal.completed:
             self.report.resumed += 1
+
+    # -- supervised ready-set dispatch ------------------------------------
+
+    def _run_ready_build(self, builder, graph: DepGraph) -> bool:
+        """The whole build as one supervised ready-set pump.
+
+        A unit is *admitted* (decided, then dispatched / settled
+        inline) the moment its last in-graph import completes; every
+        fate -- applied, cached, loaded, failed, skipped -- completes
+        the unit in the :class:`~repro.cm.parallel.ReadySet`, so poison
+        flows through the graph exactly as it does wave-by-wave:
+        dependents of a poisoned unit become ready, are admitted, and
+        are skipped with a ledger entry naming the culprit.
+
+        Checkpointing happens at *quiet points*: whenever the admit
+        queue drains and at least one unit finished since the last
+        checkpoint.  ``max_waves`` counts those checkpoints -- the same
+        simulated-kill seam the resume tests use for wave builds.
+        Returns True when the kill seam fired.
+        """
+        meter = self.meter
+        policy = self.policy
+        report = self.report
+        ready = ReadySet(graph)
+        active: dict[str, tuple] = {}  # name -> (future, attempt, deadline, reason)
+        queue: list[tuple] = []  # (resume_at, name, attempt, reason)
+        admit_queue: deque[str] = deque()
+        done_since_checkpoint: list[str] = []
+        checkpoints = 0
+
+        def finish(name: str) -> None:
+            admit_queue.extend(ready.complete(name))
+
+        def settle(name: str, attempt: int, reason: str,
+                   result: CompileResult) -> None:
+            if result.error is None:
+                if meter.enabled and result.worker:
+                    meter.complete_span("worker-compile", result.started,
+                                        result.ended, cat="worker",
+                                        track=result.worker, unit=name,
+                                        attempt=result.attempt)
+                with meter.span("apply", cat="unit", unit=name):
+                    report.add(_apply_result(builder, graph, name,
+                                             reason, result))
+                done_since_checkpoint.append(name)
+                finish(name)
+                return
+            exc_type, message = result.error
+            retryable = exc_type in policy.retryable
+            if retryable and attempt < policy.retries \
+                    and self.retry_spent < policy.retry_total:
+                self.retry_spent += 1
+                report.retries += 1
+                delay = min(policy.backoff_cap,
+                            policy.backoff_base * (2 ** attempt))
+                t = time.perf_counter()
+                if meter.enabled:
+                    meter.event("retry", cat="supervise", unit=name,
+                                attempt=attempt + 1, kind=exc_type)
+                    meter.complete_span("retry-backoff", t, t + delay,
+                                        cat="supervise",
+                                        track="supervisor", unit=name,
+                                        attempt=attempt + 1,
+                                        kind=exc_type)
+                queue.append((t + delay, name, attempt + 1, reason))
+            else:
+                self._poison(builder, name, exc_type, message, attempt,
+                             retryable)
+                finish(name)
+
+        def launch(name: str, attempt: int, reason: str) -> None:
+            if self.executor is None:
+                settle(name, attempt, reason, compile_task(
+                    _make_task(builder, graph, name, self.faults,
+                               attempt=attempt)))
+                return
+            deadline = (time.perf_counter() + policy.timeout
+                        if policy.timeout is not None else None)
+            while self.executor is not None:
+                try:
+                    future = self.executor.submit(
+                        compile_task,
+                        _make_task(builder, graph, name, self.faults,
+                                   attempt=attempt))
+                    active[name] = (future, attempt, deadline, reason)
+                    return
+                except BaseException as err:
+                    self._degrade(f"submit failed: "
+                                  f"{type(err).__name__}: {err}")
+            # Degraded all the way to inline: run it here.
+            settle(name, attempt, reason, compile_task(
+                _make_task(builder, graph, name, self.faults,
+                           attempt=attempt)))
+
+        def admit(name: str) -> None:
+            report.dispatch_order.append(name)
+            culprit = self._poisoned_import(graph, name)
+            if culprit is not None:
+                self._skip(builder, name, culprit)
+                finish(name)
+                return
+            record = builder.store.get(name)
+            imports = [builder.units[d] for d in graph.deps[name]]
+            action, reason = builder.decide(name, graph, imports, record)
+            builder.explain(name, action, reason, record, imports)
+            if action == "cached":
+                report.add(UnitOutcome(name, "cached", "up to date"))
+                self._count_resumed(name)
+                done_since_checkpoint.append(name)
+                finish(name)
+            elif action == "load":
+                outcome = builder.load(name, record, imports)
+                if outcome.action == "compiled":
+                    # Unreadable payload degraded to a recompile.
+                    builder.explain(name, "compile", outcome.reason,
+                                    None, imports)
+                    builder.on_compiled(name, graph)
+                else:
+                    self._count_resumed(name)
+                report.add(outcome)
+                done_since_checkpoint.append(name)
+                finish(name)
+            else:
+                if meter.enabled:
+                    meter.event("dispatch", cat="sched", unit=name,
+                                seq=len(report.dispatch_order))
+                launch(name, 0, reason)
+
+        admit_queue.extend(ready.take())
+        while True:
+            while admit_queue:
+                admit(admit_queue.popleft())
+            if done_since_checkpoint:
+                self._checkpoint(builder, done_since_checkpoint)
+                done_since_checkpoint = []
+                checkpoints += 1
+                if self.max_waves is not None \
+                        and checkpoints >= self.max_waves:
+                    return True  # simulated kill (test seam)
+            if not active and not queue:
+                return False
+            t = time.perf_counter()
+            due = [item for item in queue if item[0] <= t]
+            if due:
+                queue[:] = [item for item in queue if item[0] > t]
+                for _at, name, attempt, reason in due:
+                    launch(name, attempt, reason)
+                continue
+            if not active:
+                time.sleep(max(0.0, min(
+                    min(item[0] for item in queue) - t, 0.05)))
+                continue
+            if self.executor is None:
+                # Degraded to inline mid-build: drain synchronously.
+                for name in sorted(active):
+                    _future, attempt, _deadline, reason = \
+                        active.pop(name)
+                    settle(name, attempt, reason, compile_task(
+                        _make_task(builder, graph, name, self.faults,
+                                   attempt=attempt)))
+                continue
+            deadlines = [entry[2] for entry in active.values()
+                         if entry[2] is not None]
+            timeout = 0.05
+            if deadlines:
+                timeout = max(0.0, min(min(deadlines) - t, timeout))
+            finished, _ = wait([entry[0] for entry in active.values()],
+                               timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+            t = time.perf_counter()
+            for name in sorted(active):
+                future, attempt, deadline, reason = active[name]
+                if future in finished:
+                    del active[name]
+                    try:
+                        result = future.result()
+                    except BaseException as err:
+                        # The pool itself died mid-flight: degrade the
+                        # tier and rerun this very attempt (not charged
+                        # to the unit's retry budget).
+                        self._degrade(f"{type(err).__name__}: {err}")
+                        launch(name, attempt, reason)
+                        continue
+                    settle(name, attempt, reason, result)
+                elif deadline is not None and t >= deadline:
+                    # A hung worker: abandon the attempt (stale result
+                    # ignored) and schedule the unit like a failure.
+                    del active[name]
+                    future.cancel()
+                    report.timeouts += 1
+                    if meter.enabled:
+                        meter.event("timeout", cat="supervise",
+                                    unit=name, attempt=attempt,
+                                    deadline=policy.timeout)
+                    settle(name, attempt, reason, CompileResult(
+                        name, error=(
+                            "TimeoutError",
+                            f"attempt {attempt} exceeded "
+                            f"{policy.timeout:.3f}s wall clock"),
+                        attempt=attempt))
 
     # -- supervised execution of one wave's compiles ----------------------
 
@@ -499,6 +718,9 @@ class Supervisor:
         else:
             self.executor, self.using = make_executor(self.jobs,
                                                       next_kind)
+        # Any replacement pool is ours to shut down, and a caller's
+        # cached pool (daemon warm pool) is already dead.
+        self.keep_executor = False
         self.report.degraded += 1
         self.report.pool = self.using
         if self.meter.enabled:
@@ -535,14 +757,16 @@ def supervised_build(builder, jobs: int = 2, pool: str = "process",
                      resume: bool = False,
                      checkpoint_dir: str | None = None,
                      max_waves: int | None = None,
-                     executor_factory=make_executor) -> BuildReport:
+                     executor_factory=make_executor,
+                     schedule: str = "wavefront") -> BuildReport:
     """Bring ``builder``'s project up to date under supervision.
 
     The fault-tolerant sibling of
-    :func:`repro.cm.parallel.parallel_build`: same wavefront schedule,
-    same decide seam, same byte-identical results -- but worker
-    failures retry with backoff, hung workers time out and reschedule,
-    poison units take down only their dependents, a dying pool degrades
+    :func:`repro.cm.parallel.parallel_build`: same schedules
+    (``"wavefront"`` barriers or per-unit ``"ready"`` dispatch), same
+    decide seam, same byte-identical results -- but worker failures
+    retry with backoff, hung workers time out and reschedule, poison
+    units take down only their dependents, a dying pool degrades
     instead of aborting, and (with a ``checkpoint_dir``) the build is
     resumable after a kill.
     """
@@ -550,5 +774,6 @@ def supervised_build(builder, jobs: int = 2, pool: str = "process",
                             policy=policy, resume=resume,
                             checkpoint_dir=checkpoint_dir,
                             max_waves=max_waves,
-                            executor_factory=executor_factory)
+                            executor_factory=executor_factory,
+                            schedule=schedule)
     return supervisor.build(builder)

@@ -32,7 +32,9 @@ from repro.obs.ledger import (
 from repro.obs.critical import (
     critical_path,
     phase_rollup,
+    request_rollup,
     span_coverage,
+    worker_idle,
     worker_occupancy,
 )
 
@@ -49,6 +51,8 @@ __all__ = [
     "explain_decision",
     "critical_path",
     "phase_rollup",
+    "request_rollup",
     "span_coverage",
+    "worker_idle",
     "worker_occupancy",
 ]

@@ -6,6 +6,12 @@
 - :func:`phase_rollup`: total seconds and call counts per span name.
 - :func:`worker_occupancy`: busy seconds per track, for judging how
   well a wavefront schedule kept the pool fed.
+- :func:`worker_idle`: the schedule-quality rollup -- worker-compile
+  busy seconds vs ``jobs x build wall``, the number the ready-set
+  scheduler exists to improve over wave barriers.
+- :func:`request_rollup`: daemon request analytics from the
+  ``daemon-request`` spans on the ``daemon`` track (count, coalesced
+  joins, latency spread).
 - :func:`span_coverage`: the fraction of a tracer's wall-clock covered
   by root spans -- the acceptance gate that tracing sees (almost)
   everything the build did.
@@ -80,6 +86,58 @@ def worker_occupancy(tracer) -> dict[str, float]:
         out[span.track] = out.get(span.track, 0.0) + span.duration
     return {track: round(seconds, 6)
             for track, seconds in sorted(out.items())}
+
+
+def worker_idle(tracer, jobs: int) -> dict:
+    """How well a schedule kept ``jobs`` workers fed.
+
+    Sums the ``worker-compile`` spans (actual busy time on workers)
+    against the capacity ``jobs x`` the longest ``build`` span's wall
+    clock.  ``occupancy`` is busy/capacity: wave barriers leave it low
+    on unbalanced graphs (every wave waits for its slowest unit);
+    ready-set dispatch exists to raise it.  Durations only -- no
+    claims when the tracer saw no build.
+    """
+    busy = 0.0
+    compiles = 0
+    wall = 0.0
+    for span in tracer.all_spans():
+        if span.name == "worker-compile":
+            busy += span.duration
+            compiles += 1
+        elif span.name == "build":
+            wall = max(wall, span.duration)
+    capacity = jobs * wall
+    return {
+        "jobs": jobs,
+        "compiles": compiles,
+        "busy_seconds": round(busy, 6),
+        "build_wall_seconds": round(wall, 6),
+        "idle_seconds": round(max(0.0, capacity - busy), 6),
+        "occupancy": round(busy / capacity, 6) if capacity > 0 else 0.0,
+    }
+
+
+def request_rollup(tracer) -> dict:
+    """Daemon request analytics from ``daemon-request`` spans.
+
+    Returns the request count, how many were coalesced joins, and the
+    latency spread -- the daemon benchmark's warm-request headline.
+    """
+    spans = [s for s in tracer.all_spans() if s.name == "daemon-request"]
+    out = {
+        "requests": len(spans),
+        "coalesced": sum(1 for s in spans
+                         if s.args.get("coalesced")),
+    }
+    if spans:
+        latencies = sorted(s.duration for s in spans)
+        out["latency_seconds"] = {
+            "min": round(latencies[0], 6),
+            "mean": round(sum(latencies) / len(latencies), 6),
+            "max": round(latencies[-1], 6),
+        }
+    return out
 
 
 def _union_length(intervals: list[tuple[float, float]]) -> float:

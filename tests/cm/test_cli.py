@@ -168,3 +168,53 @@ class TestGroupPrintArgument:
         desc = self.make_group(tmp_path)
         assert main([desc, "--print", "S.v"]) == 0
         assert "S.v = 7" in capsys.readouterr().out
+
+
+class TestScheduleAndServe:
+    def test_ready_schedule_builds(self, srcdir, capsys):
+        assert main([srcdir, "--schedule", "ready", "--jobs", "2",
+                     "--no-link"]) == 0
+        assert "2 compiled" in capsys.readouterr().out
+
+    def test_ready_schedule_incremental(self, srcdir, capsys):
+        assert main([srcdir, "--schedule", "ready", "--no-link"]) == 0
+        capsys.readouterr()
+        assert main([srcdir, "--schedule", "ready", "--no-link"]) == 0
+        assert "0 compiled, 2 loaded" in capsys.readouterr().out
+
+    def test_serve_speaks_the_wire_protocol(self, srcdir, capsys,
+                                            monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        requests = "\n".join([
+            json.dumps({"op": "ping"}),
+            json.dumps({"op": "build"}),
+            json.dumps({"op": "shutdown"}),
+        ]) + "\n"
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(requests))
+        assert main(["--serve", srcdir]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        ping, build, bye = [json.loads(l) for l in lines]
+        assert ping["result"]["schedule"] == "ready"
+        assert build["ok"] is True
+        assert build["result"]["stats"]["compiled"] == 2
+        assert bye["result"] == {"bye": True}
+
+    def test_serve_without_srcdir_requires_group_per_request(
+            self, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO(json.dumps({"op": "build"}) + "\n"))
+        assert main(["--serve"]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is False
+        assert "group" in response["error"]["message"]
+
+    def test_no_srcdir_without_serve_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

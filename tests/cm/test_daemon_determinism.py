@@ -1,0 +1,267 @@
+"""The daemon differential conformance matrix (tier 1).
+
+The contract under test: **every answer the daemon gives is
+byte-identical to the batch build it replaces.**  For every workload
+shape x edit kind x jobs count, a warm :class:`BuildDaemon` serving
+requests against an on-disk source tree must leave exactly the store
+bytes (records, headers, MANIFEST.json) and export pids of a fresh
+``python -m repro.cm --jobs N`` batch run over the same sources --
+despite everything the daemon does differently: persistent sessions,
+incremental mtime-based source refresh, ready-set dispatch instead of
+wave barriers, supervision, per-request checkpoints.
+
+The crash-mid-request variant drives a request through a poisoned
+worker and checks the degradation contract: the store is left a valid,
+fsck-clean prefix (PR-2 crash-safety), the report names the casualties
+(PR-6 supervision), and the next clean request converges to the exact
+batch bytes.
+"""
+
+import os
+
+import pytest
+
+from repro.cm import (
+    BinStore,
+    BuildDaemon,
+    CutoffBuilder,
+    Project,
+    SmartBuilder,
+    SupervisePolicy,
+    TimestampBuilder,
+    WorkerFaults,
+)
+from repro.cm.store import JOURNAL_NAME, LOCK_NAME, RECORD_LOCK_SUFFIX
+from repro.workload import generate_workload
+from repro.workload.shapes import chain, diamond, fanout
+
+SHAPES = {
+    "chain": lambda: chain(5),
+    "diamond": lambda: diamond(2, 2),
+    "fanout": lambda: fanout(5),
+}
+
+#: edit name -> (workload edit method, unit to edit)
+EDITS = {
+    "clean": None,
+    "comment-edit": ("edit_comment", "u001"),
+    "interface-edit": ("edit_interface", "u000"),
+}
+
+JOBS = [1, 2, 4]
+
+#: Fast supervision for tests (tiny backoffs; behaviourally identical).
+POLICY = SupervisePolicy(retries=1, backoff_base=0.001, backoff_cap=0.01)
+
+
+def store_files(store_dir):
+    """Every store file's bytes; locks excluded (transient by design)."""
+    out = {}
+    for entry in sorted(os.listdir(store_dir)):
+        if entry == LOCK_NAME or entry.endswith(RECORD_LOCK_SUFFIX):
+            continue
+        full = os.path.join(store_dir, entry)
+        if not os.path.isfile(full):
+            continue
+        with open(full, "rb") as f:
+            out[entry] = f.read()
+    return out
+
+
+def write_tree(srcdir, project, only=None):
+    """Render a project to ``.sml`` files; ``only`` limits the write to
+    the named units (so untouched files keep their mtimes, exactly like
+    a real editor session)."""
+    os.makedirs(srcdir, exist_ok=True)
+    for name in project.names():
+        if only is not None and name not in only:
+            continue
+        with open(os.path.join(srcdir, name + ".sml"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(project.source(name))
+
+
+def batch_build(srcdir, jobs, cls=CutoffBuilder):
+    """One fresh-process batch build: load store, build, save.  Returns
+    the builder (its units carry the export pids)."""
+    bin_dir = os.path.join(srcdir, ".bin")
+    store = (BinStore.load_directory(bin_dir)
+             if os.path.isdir(bin_dir) else BinStore())
+    builder = cls(Project.from_directory(srcdir), store=store)
+    builder.build(jobs=jobs, pool="thread")
+    store.save_directory(bin_dir)
+    return builder
+
+
+def daemon_flow(shape, edit, jobs, srcdir, cls_name="cutoff"):
+    """Clean request + (optionally) edit + warm request, one daemon."""
+    workload = generate_workload(SHAPES[shape](), helpers_per_unit=1)
+    write_tree(srcdir, workload.project)
+    daemon = BuildDaemon(manager=cls_name, jobs=jobs, pool="thread",
+                         policy=POLICY)
+    try:
+        daemon.request(srcdir)
+        if EDITS[edit] is not None:
+            method, unit = EDITS[edit]
+            getattr(workload, method)(unit)
+            write_tree(srcdir, workload.project, only={unit})
+            daemon.request(srcdir)
+        state = daemon._state_for(srcdir)
+        builder = state.builders[cls_name]
+        pids = {n: u.export_pid for n, u in builder.units.items()}
+    finally:
+        daemon.shutdown()
+    return pids, store_files(os.path.join(srcdir, ".bin"))
+
+
+def batch_flow(shape, edit, jobs, srcdir, cls=CutoffBuilder):
+    """The same incremental flow served by fresh batch builds."""
+    workload = generate_workload(SHAPES[shape](), helpers_per_unit=1)
+    write_tree(srcdir, workload.project)
+    builder = batch_build(srcdir, jobs, cls=cls)
+    if EDITS[edit] is not None:
+        method, unit = EDITS[edit]
+        getattr(workload, method)(unit)
+        write_tree(srcdir, workload.project, only={unit})
+        builder = batch_build(srcdir, jobs, cls=cls)
+    pids = {n: u.export_pid for n, u in builder.units.items()}
+    return pids, store_files(os.path.join(srcdir, ".bin"))
+
+
+_batch_memo = {}
+
+
+def batch_reference(shape, edit, tmp_path_factory, cls=CutoffBuilder):
+    """Batch bytes are jobs-invariant (PR 3's matrix), so one serial
+    batch flow per (shape, edit, manager) anchors every daemon cell."""
+    key = (shape, edit, cls.__name__)
+    if key not in _batch_memo:
+        dest = str(tmp_path_factory.mktemp("batch"))
+        _batch_memo[key] = batch_flow(shape, edit, 1, dest, cls=cls)
+    return _batch_memo[key]
+
+
+class TestDaemonMatrix:
+    @pytest.mark.parametrize("shape", sorted(SHAPES))
+    @pytest.mark.parametrize("edit", sorted(EDITS))
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_daemon_matches_batch_byte_for_byte(
+            self, tmp_path, tmp_path_factory, shape, edit, jobs):
+        want_pids, want_files = batch_reference(shape, edit,
+                                                tmp_path_factory)
+        got_pids, got_files = daemon_flow(shape, edit, jobs,
+                                          str(tmp_path / "served"))
+        assert got_pids == want_pids
+        assert got_files == want_files  # headers, payloads, MANIFEST
+
+    @pytest.mark.parametrize("cls,name",
+                             [(SmartBuilder, "smart"),
+                              (TimestampBuilder, "make")],
+                             ids=["smart", "make"])
+    def test_other_managers_deterministic_too(self, tmp_path,
+                                              tmp_path_factory, cls,
+                                              name):
+        want = batch_reference("diamond", "interface-edit",
+                               tmp_path_factory, cls=cls)
+        got = daemon_flow("diamond", "interface-edit", 2,
+                          str(tmp_path / "served"), cls_name=name)
+        assert got == want
+
+    def test_warm_request_is_all_cached(self, tmp_path):
+        """The warm path really is warm: an unchanged tree re-requested
+        on the same daemon is 100% cached verdicts -- no store reads,
+        no recompiles -- and the second request leaves the bytes
+        untouched."""
+        srcdir = str(tmp_path / "src")
+        workload = generate_workload(SHAPES["diamond"](),
+                                     helpers_per_unit=1)
+        write_tree(srcdir, workload.project)
+        daemon = BuildDaemon(jobs=2, pool="thread", policy=POLICY)
+        try:
+            first = daemon.request(srcdir)
+            before = store_files(os.path.join(srcdir, ".bin"))
+            second = daemon.request(srcdir)
+        finally:
+            daemon.shutdown()
+        assert len(first.report.compiled) == len(workload.project)
+        assert len(second.report.cached) == len(workload.project)
+        assert second.sources_refreshed == 0
+        assert not second.store_reloaded
+        assert store_files(os.path.join(srcdir, ".bin")) == before
+
+    def test_touch_does_not_rebuild(self, tmp_path):
+        """A pure mtime bump (same text) is re-read but compiles
+        nothing -- matching batch behaviour, where an unchanged digest
+        never recompiles."""
+        srcdir = str(tmp_path / "src")
+        workload = generate_workload(SHAPES["chain"](),
+                                     helpers_per_unit=1)
+        write_tree(srcdir, workload.project)
+        daemon = BuildDaemon(jobs=1, policy=POLICY)
+        try:
+            daemon.request(srcdir)
+            target = os.path.join(srcdir, "u001.sml")
+            os.utime(target, ns=(os.stat(target).st_mtime_ns + 10_000,
+                                 os.stat(target).st_mtime_ns + 10_000))
+            reply = daemon.request(srcdir)
+        finally:
+            daemon.shutdown()
+        assert reply.sources_refreshed == 1  # re-read, text unchanged
+        assert not reply.report.compiled
+
+
+class TestCrashMidRequest:
+    def test_poisoned_request_degrades_then_converges(
+            self, tmp_path, tmp_path_factory):
+        """A request through a poisoned worker degrades to the PR-2 /
+        PR-6 guarantees -- valid store prefix, named casualties -- and
+        the next clean request converges to exact batch bytes."""
+        srcdir = str(tmp_path / "served")
+        workload = generate_workload(SHAPES["fanout"](),
+                                     helpers_per_unit=1)
+        write_tree(srcdir, workload.project)
+        daemon = BuildDaemon(jobs=2, pool="thread", policy=POLICY)
+        try:
+            broken = daemon.request(
+                srcdir, faults=WorkerFaults(
+                    poison_units=frozenset({"u003"})))
+            # Degraded, not corrupted: the poisoned unit failed, its
+            # dependents were skipped, everything else built.
+            assert broken.report.failed == ["u003"]
+            assert "u006" in broken.report.skipped  # the fanout top
+            bin_dir = os.path.join(srcdir, ".bin")
+            assert BinStore.fsck(bin_dir).ok
+            loaded = BinStore.load_directory(bin_dir)
+            assert loaded.health.ok
+            assert "u003" not in loaded.names()
+
+            # The fault plan was per-request: the next clean request
+            # finishes the build and matches batch byte-for-byte.
+            fixed = daemon.request(srcdir)
+            assert not fixed.report.failed and not fixed.report.skipped
+        finally:
+            daemon.shutdown()
+        want_pids, want_files = batch_reference("fanout", "clean",
+                                                tmp_path_factory)
+        assert store_files(bin_dir) == want_files
+
+    def test_failed_request_leaves_resumable_journal(self, tmp_path):
+        """A request with casualties keeps its checkpoint journal (the
+        resume contract); the next successful request clears it."""
+        srcdir = str(tmp_path / "served")
+        workload = generate_workload(SHAPES["chain"](),
+                                     helpers_per_unit=1)
+        write_tree(srcdir, workload.project)
+        daemon = BuildDaemon(jobs=2, pool="thread", policy=POLICY)
+        try:
+            broken = daemon.request(
+                srcdir, faults=WorkerFaults(
+                    poison_units=frozenset({"u002"})))
+            assert broken.report.failed
+            journal = os.path.join(srcdir, ".bin", JOURNAL_NAME)
+            assert os.path.exists(journal)
+            fixed = daemon.request(srcdir)
+            assert not fixed.report.failed
+            assert not os.path.exists(journal)
+        finally:
+            daemon.shutdown()

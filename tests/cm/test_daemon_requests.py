@@ -1,0 +1,332 @@
+"""Multi-client daemon behaviour and the wire protocol.
+
+Three contracts:
+
+- **Coalescing**: concurrent requests for the same (group, manager,
+  jobs, pool) join one build -- exactly one compile pass, one shared
+  report -- proven deterministically via the daemon's ``build_hook`` /
+  ``_Inflight.joined`` seams and the meter counters.
+- **Isolation**: requests for disjoint groups run concurrently (both
+  leaders are in flight at once) and never cross-talk stores.
+- **Wire format**: the stdio protocol (``serve`` / ``wire_encode``) is
+  golden-tested byte-for-byte -- compact key-sorted JSON, stable
+  response envelopes, per-request error envelopes that never kill the
+  daemon.
+"""
+
+import io
+import json
+import os
+import threading
+
+from repro.cm import (
+    BuildDaemon,
+    SupervisePolicy,
+    WorkerFaults,
+)
+from repro.cm.daemon import PROTOCOL_VERSION, reply_to_wire, serve, wire_encode
+from repro.obs import Tracer, request_rollup
+from repro.workload import generate_workload
+from repro.workload.shapes import chain, diamond
+
+POLICY = SupervisePolicy(retries=1, backoff_base=0.001, backoff_cap=0.01)
+
+
+def write_tree(srcdir, project):
+    os.makedirs(srcdir, exist_ok=True)
+    for name in project.names():
+        with open(os.path.join(srcdir, name + ".sml"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(project.source(name))
+
+
+def make_group(srcdir, shape=None):
+    workload = generate_workload(shape if shape is not None
+                                 else diamond(2, 2), helpers_per_unit=1)
+    write_tree(srcdir, workload.project)
+    return workload
+
+
+class TestCoalescing:
+    def test_duplicate_inflight_requests_join_one_build(self, tmp_path):
+        """Two concurrent same-group requests: the leader parks (via
+        the build_hook seam) until the duplicate has joined, so the
+        race is forced, then exactly one build serves both."""
+        srcdir = str(tmp_path / "grp")
+        workload = make_group(srcdir)
+        tracer = Tracer()
+
+        def park_until_joined(key, inflight):
+            assert inflight.joined.wait(timeout=10.0), \
+                "duplicate request never joined"
+
+        daemon = BuildDaemon(jobs=2, pool="thread", policy=POLICY,
+                             meter=tracer, build_hook=park_until_joined)
+        replies = []
+        errors = []
+
+        def client():
+            try:
+                replies.append(daemon.request(srcdir))
+            except BaseException as err:  # surface in the test thread
+                errors.append(err)
+
+        try:
+            threads = [threading.Thread(target=client) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+        finally:
+            daemon.shutdown()
+        assert not errors
+        assert len(replies) == 2
+        coalesced = [r for r in replies if r.coalesced]
+        leaders = [r for r in replies if not r.coalesced]
+        assert len(coalesced) == 1 and len(leaders) == 1
+        # One build, shared verbatim: the joiner gets the leader's
+        # report object, and every unit compiled exactly once.
+        assert coalesced[0].report is leaders[0].report
+        assert len(leaders[0].report.compiled) == len(workload.project)
+        assert tracer.counters["daemon.requests"] == 2
+        assert tracer.counters["daemon.builds"] == 1
+        assert tracer.counters["daemon.coalesced"] == 1
+        rollup = request_rollup(tracer)
+        assert rollup["requests"] == 2
+        assert rollup["coalesced"] == 1
+
+    def test_fault_injected_requests_never_coalesce(self, tmp_path):
+        """Fault plans are per-build instrumentation: a request carrying
+        one must not join (or be joined by) another build, even when a
+        same-key build is already in flight."""
+        srcdir = str(tmp_path / "grp")
+        make_group(srcdir)
+        tracer = Tracer()
+        inflights = []
+
+        def hook(key, inflight):
+            inflights.append(inflight)
+            if len(inflights) == 1:
+                # The first leader parks; only a *second leader*
+                # reaching this hook releases it -- a joiner never
+                # would (it sets the event on the shared inflight, and
+                # the faulty request's inflight is private).
+                inflight.joined.wait(timeout=10.0)
+            else:
+                inflights[0].joined.set()
+
+        daemon = BuildDaemon(jobs=2, pool="thread", policy=POLICY,
+                             meter=tracer, build_hook=hook)
+        replies = []
+        errors = []
+
+        def client(faults):
+            try:
+                replies.append(daemon.request(srcdir, faults=faults))
+            except BaseException as err:
+                errors.append(err)
+
+        try:
+            plain = threading.Thread(target=client, args=(None,))
+            faulty = threading.Thread(
+                target=client, args=(WorkerFaults(),))
+            plain.start()
+            faulty.start()
+            plain.join(timeout=30.0)
+            faulty.join(timeout=30.0)
+        finally:
+            daemon.shutdown()
+        assert not errors
+        assert len(inflights) == 2, "faulty request coalesced"
+        assert [r.coalesced for r in replies] == [False, False]
+        assert tracer.counters["daemon.builds"] == 2
+        assert "daemon.coalesced" not in tracer.counters
+
+
+class TestDisjointGroups:
+    def test_disjoint_groups_build_concurrently(self, tmp_path):
+        """Two different groups' leaders must be in flight at the same
+        time (a shared barrier in the build hook would deadlock under
+        a global build lock), and their stores must not cross-talk."""
+        a_dir = str(tmp_path / "a")
+        b_dir = str(tmp_path / "b")
+        wl_a = make_group(a_dir, chain(3))
+        wl_b = make_group(b_dir, diamond(2, 2))
+        barrier = threading.Barrier(2)
+
+        def rendezvous(key, inflight):
+            barrier.wait(timeout=10.0)  # both leaders, concurrently
+
+        daemon = BuildDaemon(jobs=2, pool="thread", policy=POLICY,
+                             build_hook=rendezvous)
+        replies = {}
+        errors = []
+
+        def client(srcdir):
+            try:
+                replies[srcdir] = daemon.request(srcdir)
+            except BaseException as err:
+                errors.append(err)
+
+        try:
+            threads = [threading.Thread(target=client, args=(d,))
+                       for d in (a_dir, b_dir)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+        finally:
+            daemon.shutdown()
+        assert not errors
+        assert len(replies[a_dir].report.compiled) == len(wl_a.project)
+        assert len(replies[b_dir].report.compiled) == len(wl_b.project)
+        # No cross-talk: each bin dir holds exactly its own units.
+        for srcdir, workload in ((a_dir, wl_a), (b_dir, wl_b)):
+            headers = sorted(
+                e[:-len(".bin.json")]
+                for e in os.listdir(os.path.join(srcdir, ".bin"))
+                if e.endswith(".bin.json"))
+            assert headers == sorted(workload.project.names())
+
+
+class TestWireFormat:
+    def serve_lines(self, daemon, requests, default_group=None):
+        out = io.StringIO()
+        rc = serve(daemon, [json.dumps(r) if isinstance(r, dict) else r
+                            for r in requests],
+                   out, default_group=default_group)
+        return rc, out.getvalue().splitlines()
+
+    def test_ping_golden_bytes(self, tmp_path):
+        daemon = BuildDaemon(jobs=1)
+        rc, lines = self.serve_lines(daemon, [{"op": "ping", "id": "c1"}])
+        assert rc == 0
+        assert lines == [
+            '{"id":"c1","ok":true,"op":"ping","result":'
+            '{"manager":"cutoff","protocol":%d,"schedule":"ready"}}'
+            % PROTOCOL_VERSION
+        ]
+
+    def test_build_response_golden(self, tmp_path):
+        """The whole build envelope, byte-stable modulo wall clock."""
+        srcdir = str(tmp_path / "grp")
+        make_group(srcdir, chain(3))
+        daemon = BuildDaemon(jobs=1, policy=POLICY)
+        rc, lines = self.serve_lines(daemon, [{"op": "build"}],
+                                     default_group=srcdir)
+        assert rc == 0 and len(lines) == 1
+        response = json.loads(lines[0])
+        # Re-encoding the parsed object reproduces the wire bytes
+        # exactly: compact separators, sorted keys, nothing volatile
+        # about the encoding itself.
+        assert wire_encode(response) == lines[0]
+        result = response.pop("result")
+        assert response == {"id": 1, "ok": True, "op": "build"}
+        assert isinstance(result.pop("wall_seconds"), float)
+        assert result == {
+            "group": srcdir,
+            "coalesced": False,
+            "store_reloaded": False,
+            "sources_refreshed": 3,
+            "swept": [],
+            "schedule": "ready",
+            "jobs": 1,
+            "pool": "inline",
+            "stats": {
+                "compiled": 3,
+                "loaded": 0,
+                "cached": 0,
+                "cache_hits": 0,
+                "cutoff_stops": 0,
+                "causes": {"store-miss": 3},
+            },
+            "outcomes": [
+                {"name": "u000", "action": "compiled",
+                 "reason": "no bin file"},
+                {"name": "u001", "action": "compiled",
+                 "reason": "no bin file"},
+                {"name": "u002", "action": "compiled",
+                 "reason": "no bin file"},
+            ],
+        }
+
+    def test_wire_encode_is_insertion_order_independent(self):
+        a = wire_encode({"b": 1, "a": {"d": 2, "c": 3}})
+        b = wire_encode({"a": {"c": 3, "d": 2}, "b": 1})
+        assert a == b == '{"a":{"c":3,"d":2},"b":1}'
+
+    def test_reply_to_wire_matches_request_object(self, tmp_path):
+        """The object API and the wire agree: serializing a DaemonReply
+        gives the same payload the server would have written."""
+        srcdir = str(tmp_path / "grp")
+        make_group(srcdir, chain(3))
+        daemon = BuildDaemon(jobs=1, policy=POLICY)
+        try:
+            reply = daemon.request(srcdir)
+        finally:
+            daemon.shutdown()
+        wired = reply_to_wire(reply)
+        assert wired["group"] == os.path.abspath(srcdir)
+        assert wired["stats"]["compiled"] == 3
+        assert [o["name"] for o in wired["outcomes"]] == \
+            ["u000", "u001", "u002"]
+
+    def test_errors_are_per_request_not_fatal(self, tmp_path):
+        """Bad line, unknown op, missing group: each gets an ok:false
+        envelope and the daemon keeps serving (the ping after them
+        still answers)."""
+        srcdir = str(tmp_path / "grp")
+        make_group(srcdir, chain(3))
+        daemon = BuildDaemon(jobs=1, policy=POLICY)
+        rc, lines = self.serve_lines(daemon, [
+            "this is not json",
+            {"op": "frobnicate", "id": 7},
+            {"op": "build"},  # no group, no default
+            {"op": "explain", "group": srcdir},  # no build yet
+            {"op": "ping"},
+        ])
+        assert rc == 0 and len(lines) == 5
+        bad_json, bad_op, no_group, no_build, ping = \
+            [json.loads(l) for l in lines]
+        assert bad_json["ok"] is False
+        assert bad_json["id"] == 1  # ordinal fallback
+        assert bad_op == {"id": 7, "ok": False,
+                          "error": {"type": "DaemonError",
+                                    "message": "unknown op 'frobnicate'"}}
+        assert no_group["ok"] is False
+        assert "group" in no_group["error"]["message"]
+        assert no_build["ok"] is False
+        assert no_build["error"]["type"] == "DaemonError"
+        assert ping["ok"] is True
+
+    def test_shutdown_op_stops_serving(self, tmp_path):
+        srcdir = str(tmp_path / "grp")
+        make_group(srcdir, chain(3))
+        daemon = BuildDaemon(jobs=1, policy=POLICY)
+        rc, lines = self.serve_lines(daemon, [
+            {"op": "shutdown"},
+            {"op": "ping"},  # after shutdown: must never be served
+        ], default_group=srcdir)
+        assert rc == 0
+        assert len(lines) == 1
+        assert json.loads(lines[0])["result"] == {"bye": True}
+        # The daemon is really down, not just out of the loop.
+        try:
+            daemon.request(srcdir)
+            raise AssertionError("shut-down daemon served a request")
+        except Exception as err:
+            assert "shut down" in str(err)
+
+    def test_explain_over_the_wire(self, tmp_path):
+        srcdir = str(tmp_path / "grp")
+        make_group(srcdir, chain(3))
+        daemon = BuildDaemon(jobs=1, policy=POLICY)
+        rc, lines = self.serve_lines(daemon, [
+            {"op": "build"},
+            {"op": "explain", "unit": "u000"},
+        ], default_group=srcdir)
+        assert rc == 0
+        explain = json.loads(lines[1])
+        assert explain["ok"] is True
+        assert "u000" in explain["result"]["text"]
+        assert "recompiled" in explain["result"]["text"]
