@@ -20,6 +20,13 @@ Three builders implement the recompilation spectrum the paper discusses:
 
 from repro.cm.project import Project
 from repro.cm.depend import DependencyError, DepGraph, analyze
+from repro.cm.backend import (
+    DirectoryBackend,
+    ShardedBackend,
+    StoreBackend,
+    detect_dir_backend,
+    make_backend,
+)
 from repro.cm.store import (
     BinRecord,
     BinStore,
@@ -30,6 +37,13 @@ from repro.cm.store import (
     StoreHealthReport,
     StoreLockedError,
     sweep_stale_artifacts,
+)
+from repro.cm.remote import (
+    RemoteBackend,
+    StoreServer,
+    register_loopback,
+    serve_socket,
+    unregister_loopback,
 )
 from repro.cm.report import BuildReport, UnitOutcome
 from repro.cm.make import TimestampBuilder
@@ -65,6 +79,16 @@ __all__ = [
     "analyze",
     "BinRecord",
     "BinStore",
+    "StoreBackend",
+    "DirectoryBackend",
+    "ShardedBackend",
+    "RemoteBackend",
+    "StoreServer",
+    "detect_dir_backend",
+    "make_backend",
+    "register_loopback",
+    "unregister_loopback",
+    "serve_socket",
     "CorruptRecord",
     "SaveStats",
     "StoreError",

@@ -139,6 +139,19 @@ def main(argv: list[str] | None = None) -> int:
                              "JSON-lines requests on stdin (one JSON "
                              "response per line on stdout; ops: build, "
                              "ping, explain, shutdown)")
+    parser.add_argument("--store-backend", dest="store_backend",
+                        choices=["auto", "flat", "sharded", "remote"],
+                        default="auto",
+                        help="bin store layout: flat directory, "
+                             "sharded-by-pid-prefix directories, or a "
+                             "remote cache server (needs --store-url); "
+                             "auto detects an existing local layout")
+    parser.add_argument("--store-url", dest="store_url", metavar="URL",
+                        default=None,
+                        help="remote store server (rbs://host:port or "
+                             "loopback://name); the local .bin "
+                             "directory becomes its write-through "
+                             "cache")
     args = parser.parse_args(argv)
 
     if args.serve:
@@ -170,6 +183,16 @@ def main(argv: list[str] | None = None) -> int:
     return rc or trace_rc
 
 
+def _store_backend_for(args, bin_dir):
+    """The configured store backend for ``bin_dir``, or None when the
+    defaults apply (auto-detected local layout, no URL)."""
+    from repro.cm.backend import make_backend
+
+    if args.store_backend == "auto" and not args.store_url:
+        return None
+    return make_backend(args.store_backend, bin_dir, url=args.store_url)
+
+
 def _build_directory(args, tracer):
     """Build a source directory; returns ``(exit code, builder, report)``
     so trace emission can consult the ledger and dependency graph."""
@@ -177,8 +200,13 @@ def _build_directory(args, tracer):
 
     meter = tracer if tracer is not None else NULL_METER
     bin_dir = os.path.join(args.srcdir, ".bin")
-    store = (BinStore.load_directory(bin_dir, meter=meter)
-             if os.path.isdir(bin_dir) else BinStore())
+    backend = _store_backend_for(args, bin_dir)
+    if backend is not None:
+        store = BinStore.load_directory(bin_dir, meter=meter,
+                                        backend=backend)
+    else:
+        store = (BinStore.load_directory(bin_dir, meter=meter)
+                 if os.path.isdir(bin_dir) else BinStore())
     if not store.health.ok:
         damaged = store.health.quarantined()
         print(f"warning: quarantined {len(store.health.corrupt)} damaged "
@@ -334,7 +362,9 @@ def _run_serve(args) -> int:
     from repro.cm.daemon import BuildDaemon, serve
 
     daemon = BuildDaemon(manager=args.manager, jobs=max(1, args.jobs),
-                         pool=args.pool, schedule="ready")
+                         pool=args.pool, schedule="ready",
+                         store_backend=args.store_backend,
+                         store_url=args.store_url)
     default_group = args.srcdir if args.srcdir \
         and os.path.isdir(args.srcdir) else None
     return serve(daemon, sys.stdin, sys.stdout,
@@ -354,7 +384,13 @@ def _run_fsck(args) -> int:
             bin_dir = target
         else:
             bin_dir = os.path.join(target, ".bin")
-        report = BinStore.fsck(bin_dir, quarantine=args.quarantine)
+        # Backend-aware: a sharded layout is detected from the
+        # directory, and --store-url checks the remote store (damage is
+        # fetched, classified with the same taxonomy, and -- with
+        # --quarantine -- healed on the server).
+        backend = _store_backend_for(args, bin_dir)
+        report = BinStore.fsck(bin_dir, quarantine=args.quarantine,
+                               backend=backend)
         if args.json:
             print(json_mod.dumps(report.to_json(), indent=1,
                                  sort_keys=True))

@@ -1,0 +1,855 @@
+"""Store backends: where bin-record pairs physically live.
+
+:class:`repro.cm.store.BinStore` implements the *semantics* of the bin
+store -- integrity verification, the damage taxonomy, incremental and
+merge saves, quarantine -- but delegates the *placement* of bytes to a
+:class:`StoreBackend`: get/put/has/list/delete over record pairs plus
+manifest read-modify-write.  Everything the store guarantees (every
+corruption is a quarantined miss, racing merge writers converge to the
+union) is therefore proven per backend by one parameterized conformance
+suite (``tests/cm/test_store_backend_conformance.py``) instead of once
+for a hard-coded directory walk.
+
+Backends in this module are the local ones:
+
+- :class:`DirectoryBackend` -- the classic flat ``.bin`` directory:
+  ``<stem>.bin`` / ``<stem>.bin.json`` pairs next to ``MANIFEST.json``.
+- :class:`ShardedBackend` -- the same pairs under
+  ``shards/<hh>/`` subdirectories, where ``hh`` is the first two hex
+  digits of the CRC-128 of the record's key.  Same manifest bytes, same
+  export pids, same locks; only placement differs.  This is the layout
+  a fleet-scale store wants: no directory ever holds more than a
+  fraction of the records.
+
+The remote backend (a socket/loopback client with a local write-through
+cache) lives in :mod:`repro.cm.remote`; :func:`make_backend` is the one
+factory the CLI, the daemon and the supervisor share.
+
+A backend's pair operations are *byte-level*: header and payload are
+opaque blobs here.  Verification (checksums, digests, manifest
+reconciliation) stays in :class:`~repro.cm.store.BinStore`, so every
+backend inherits the PR 2 damage taxonomy by construction.  Local
+backends route all IO through the :class:`repro.cm.faults.FileSystem`
+seam, so the crash/ENOSPC/interleaving fault harnesses drive any of
+them unchanged.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+
+from repro.cm.faults import REAL_FS, FileSystem
+from repro.pids.crc128 import crc128_hex
+
+#: On-disk header format version; bump when the pickle registry or the
+#: record layout changes incompatibly.  Unsupported records are skipped
+#: at load (treated as cache misses).  v4 added the interface-slicing
+#: fields ``binding_pids`` / ``used_bindings``.
+FORMAT_VERSION = 4
+#: Versions the store still reads.  v3 records predate slicing; they
+#: load with empty slice fields, so the smart builder degrades to
+#: whole-pid cutoff for them.  Saves always write
+#: :data:`FORMAT_VERSION`.
+COMPAT_FORMATS = (3, 4)
+
+HEADER_SUFFIX = ".bin.json"
+PAYLOAD_SUFFIX = ".bin"
+TMP_SUFFIX = ".tmp"
+MANIFEST_NAME = "MANIFEST.json"
+LOCK_NAME = "store.lock"
+#: Per-record lock files (merge saves): ``<stem>.rlock``.
+RECORD_LOCK_SUFFIX = ".rlock"
+#: The supervised-build resume journal (see :mod:`repro.cm.supervise`);
+#: rides in the store directory but is not a record.
+JOURNAL_NAME = "BUILD_JOURNAL.json"
+#: Where damaged record files are moved aside (``quarantine=True``).
+QUARANTINE_DIR = "quarantine"
+#: The sharded layout's record subdirectory.
+SHARDS_DIR = "shards"
+#: The remote backend's local-cache LRU index; rides in the cache
+#: directory but is not a record (see :mod:`repro.cm.remote`).
+CACHE_INDEX_NAME = "CACHE_INDEX.json"
+
+#: Store-directory entries that are never record files and are left
+#: alone by listing and pruning.
+_SKIP_ENTRIES = frozenset({
+    MANIFEST_NAME, LOCK_NAME, JOURNAL_NAME, QUARANTINE_DIR,
+    CACHE_INDEX_NAME,
+})
+
+
+class StoreError(Exception):
+    """Base class for bin-store failures."""
+
+
+class StoreLockedError(StoreError):
+    """The store's lock file is held by a live process."""
+
+
+class StoreFullError(StoreError):
+    """A save ran out of disk space and aborted *cleanly*.
+
+    The tmp file of the failed write is swept (best effort), the dirty
+    set is untouched (a later save retries everything), and every
+    record pair already on disk is either fully old or fully new -- a
+    half-updated pair (new payload, old header) fails its whole-record
+    digest on load and degrades to a quarantined cache miss, never a
+    corrupt load.
+    """
+
+
+def _disk_full(err: OSError) -> bool:
+    return err.errno in (errno.ENOSPC, errno.EDQUOT)
+
+
+# -- record filenames ----------------------------------------------------
+
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def escape_name(name: str) -> str:
+    """Escape a unit name into a safe filename stem.
+
+    Injective: anything outside ``[A-Za-z0-9._-]`` (including ``%`` and
+    path separators) is percent-encoded byte-wise, a leading dot is
+    escaped (no hidden/relative filenames), and the empty name maps to
+    the otherwise-unreachable stem ``"%"``.
+    """
+    out: list[str] = []
+    for ch in name:
+        if ch in _SAFE_CHARS:
+            out.append(ch)
+        else:
+            out.extend("%%%02X" % b for b in ch.encode("utf-8"))
+    escaped = "".join(out)
+    if not escaped:
+        return "%"
+    if escaped[0] == ".":
+        escaped = "%2E" + escaped[1:]
+    return escaped
+
+
+def unescape_name(stem: str) -> str:
+    """Best-effort inverse of :func:`escape_name` (for labelling damage
+    whose header is unreadable; healthy names come from the header)."""
+    if stem == "%":
+        return ""
+    out = bytearray()
+    i = 0
+    while i < len(stem):
+        ch = stem[i]
+        if ch == "%" and i + 3 <= len(stem):
+            try:
+                out.append(int(stem[i + 1:i + 3], 16))
+                i += 3
+                continue
+            except ValueError:
+                pass
+        out.extend(ch.encode("utf-8"))
+        i += 1
+    try:
+        return out.decode("utf-8")
+    except UnicodeDecodeError:
+        return stem
+
+
+def shard_of(stem: str) -> str:
+    """The shard a record key lives in: the first two hex digits of the
+    key's CRC-128.  Content-hash distribution, so no shard directory
+    ever holds more than a fraction of the records."""
+    return crc128_hex(stem.encode("utf-8"))[:2]
+
+
+def record_stem(entry: str) -> str | None:
+    """The record stem of a store-managed filename, or None if the file
+    is not one of ours."""
+    if entry.endswith(TMP_SUFFIX):
+        entry = entry[:-len(TMP_SUFFIX)]
+    if entry.endswith(HEADER_SUFFIX):
+        return entry[:-len(HEADER_SUFFIX)]
+    if entry.endswith(PAYLOAD_SUFFIX):
+        return entry[:-len(PAYLOAD_SUFFIX)]
+    return None
+
+
+# -- manifest bytes ------------------------------------------------------
+
+
+def encode_manifest(records: dict[str, str]) -> bytes:
+    """The canonical manifest bytes for a ``{stem: unit name}`` table.
+    Every backend writes exactly these bytes, which is what makes
+    flat and sharded manifests byte-identical for the same records."""
+    return json.dumps({"format": FORMAT_VERSION, "records": dict(records)},
+                      indent=1, sort_keys=True).encode("utf-8")
+
+
+def parse_manifest(data: bytes) -> dict[str, str]:
+    """Parse manifest bytes into ``{stem: unit name}``; raises
+    ``ValueError`` on damage or a stale format (callers decide whether
+    that is quarantinable damage or merely 'no manifest')."""
+    payload = json.loads(data.decode("utf-8"))
+    if payload["format"] not in COMPAT_FORMATS:
+        raise ValueError("stale-format manifest")
+    records = payload["records"]
+    if not (isinstance(records, dict)
+            and all(isinstance(k, str) and isinstance(v, str)
+                    for k, v in records.items())):
+        raise ValueError("records is not a name table")
+    return records
+
+
+# -- the store lock ------------------------------------------------------
+
+
+class StoreLock:
+    """A pid-stamped lock file guarding a store directory (or, with a
+    ``filename`` of ``<stem>.rlock``, a single record in it).
+
+    Stale locks (owner dead, or content torn beyond parsing) are broken
+    and noted.  A lock held by a live process blocks until ``timeout``;
+    then ``acquire(required=True)`` raises :class:`StoreLockedError`
+    while ``required=False`` (read paths) proceeds without the lock and
+    records a note.  Liveness, not just process identity, is what the
+    breaker tests: a *live* writer that is merely slow keeps its lock
+    (see the SlowFS tests).
+    """
+
+    def __init__(self, dir_path: str, fs: FileSystem | None = None,
+                 timeout: float = 5.0, poll: float = 0.02,
+                 filename: str = LOCK_NAME):
+        self.fs = fs if fs is not None else REAL_FS
+        self.lock_path = os.path.join(dir_path, filename)
+        self.timeout = timeout
+        self.poll = poll
+        self.notes: list[str] = []
+        self.held = False
+
+    def acquire(self, required: bool = True) -> bool:
+        fs = self.fs
+        content = json.dumps({"pid": os.getpid()}).encode()
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if fs.create_exclusive(self.lock_path, content):
+                self.held = True
+                return True
+            owner = self._owner()
+            if owner is None or not fs.pid_alive(owner):
+                self.notes.append(
+                    f"broke stale store lock (owner pid {owner})")
+                fs.remove(self.lock_path)
+                continue
+            if time.monotonic() >= deadline:
+                if required:
+                    raise StoreLockedError(
+                        f"store is locked by live pid {owner} "
+                        f"({self.lock_path})")
+                self.notes.append(
+                    f"store locked by live pid {owner}; "
+                    f"reading without the lock")
+                return False
+            time.sleep(self.poll)
+
+    def _owner(self) -> int | None:
+        return lock_owner(self.fs, self.lock_path)
+
+    def release(self) -> None:
+        if self.held:
+            self.fs.release_lock(self.lock_path)
+            self.held = False
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class NullLock:
+    """The no-lock lock: a backend whose server already serializes
+    writers (the remote backend's store-level lock) hands these out.
+    Same surface as :class:`StoreLock`, no filesystem traffic."""
+
+    def __init__(self):
+        self.notes: list[str] = []
+        self.held = False
+
+    def acquire(self, required: bool = True) -> bool:
+        self.held = True
+        return True
+
+    def release(self) -> None:
+        self.held = False
+
+    def __enter__(self) -> "NullLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def lock_owner(fs: FileSystem, lock_path: str) -> int | None:
+    """The pid recorded in a lock file, or None when the lock is
+    unreadable/torn (treated as stale by every breaker)."""
+    try:
+        data = json.loads(fs.read_bytes(lock_path))
+        return int(data["pid"])
+    except Exception:
+        return None
+
+
+# -- the protocol --------------------------------------------------------
+
+
+class StoreBackend:
+    """Where one bin store's bytes live (see the module docstring).
+
+    The core surface is get/put/has/list/delete over record *pairs*
+    (header bytes + payload bytes, keyed by the escaped-name stem) plus
+    manifest read-modify-write; the rest -- locks, pruning, quarantine,
+    signatures, stale-artifact sweeps -- exists so fsck, merge saves,
+    the daemon's change detection and the supervisor's checkpoints work
+    against any backend.
+
+    Attributes every backend carries:
+
+    - ``kind``: ``"flat"`` / ``"sharded"`` / ``"remote"``;
+    - ``fs``: the *local* filesystem seam (the remote backend's is its
+      cache's) -- journals and checkpoints ride through it;
+    - ``root``: the local anchor directory (store dir, or the remote
+      backend's cache dir): the journal, the resume checkpoint and the
+      store lock live here;
+    - ``key``: the backend's identity for "is this save going where the
+      load came from" bookkeeping;
+    - ``label``: what health reports print as the store's location;
+    - ``notes``: informational messages (e.g. "remote store offline")
+      the store drains into its health report.
+    """
+
+    kind = "?"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def open(self) -> None:
+        """Make the backend writable (create the root directory)."""
+        raise NotImplementedError
+
+    def exists(self) -> bool:
+        """Is there a store here at all (for 'no store directory'
+        notes)?"""
+        raise NotImplementedError
+
+    # -- record pairs ------------------------------------------------------
+
+    def list_pairs(self, notes: list[str] | None = None
+                   ) -> tuple[set[str], set[str]]:
+        """``(header stems, payload stems)`` of every record half
+        present; appends "ignoring ..." informational notes."""
+        raise NotImplementedError
+
+    def read_header(self, stem: str) -> bytes:
+        raise NotImplementedError
+
+    def read_payload(self, stem: str) -> bytes:
+        raise NotImplementedError
+
+    def has_payload(self, stem: str) -> bool:
+        raise NotImplementedError
+
+    def put(self, stem: str, header_bytes: bytes,
+            payload: bytes) -> None:
+        """Write one record pair, payload first, each half atomically;
+        a disk-full aborts cleanly as :class:`StoreFullError`."""
+        raise NotImplementedError
+
+    def delete(self, stem: str) -> None:
+        """Remove both halves of a pair (absence is not an error)."""
+        raise NotImplementedError
+
+    # -- manifest ----------------------------------------------------------
+
+    def manifest_present(self) -> bool:
+        raise NotImplementedError
+
+    def manifest_label(self) -> str:
+        """A human-readable location for the manifest (health-report
+        ``path`` fields)."""
+        raise NotImplementedError
+
+    def read_manifest_bytes(self) -> bytes | None:
+        """The manifest bytes, or None when absent; raises ``OSError``
+        on an unreadable manifest."""
+        raise NotImplementedError
+
+    def write_manifest(self, data: bytes) -> None:
+        """Replace the manifest atomically (single-writer saves)."""
+        raise NotImplementedError
+
+    def merge_manifest(self, adds: dict[str, str],
+                       removes: set[str]) -> int:
+        """Read-modify-write: drop ``removes``, add ``adds``, keep
+        everything else (records another writer manifested).  Returns
+        the merged manifest's byte size.  Callers hold the store lock;
+        backends whose server serializes do it in one atomic op."""
+        raise NotImplementedError
+
+    # -- locks -------------------------------------------------------------
+
+    def store_lock(self, timeout: float):
+        raise NotImplementedError
+
+    def record_lock(self, stem: str, timeout: float):
+        raise NotImplementedError
+
+    # -- maintenance -------------------------------------------------------
+
+    def prune(self, live_stems: set[str]) -> list[str]:
+        """Single-writer cleanup after a plain save: remove tmp debris,
+        record pairs not in ``live_stems``, and record locks with dead
+        owners.  Returns what was removed."""
+        raise NotImplementedError
+
+    def sweep_dead_record_locks(self) -> list[str]:
+        """Remove ``.rlock`` files whose owner pid is dead (merge saves
+        must not prune anything else -- a file this writer does not
+        recognize may be another live writer's work)."""
+        raise NotImplementedError
+
+    def sweep_stale(self) -> list[str]:
+        """Sweep a killed prior run's debris: stale resume journals and
+        dead record locks (see
+        :func:`repro.cm.store.sweep_stale_artifacts`)."""
+        raise NotImplementedError
+
+    def ensure_quarantine_dir(self) -> str | None:
+        """Create the quarantine directory; returns an error string on
+        failure (quarantine-aside is then skipped)."""
+        raise NotImplementedError
+
+    def quarantine_pair(self, stem: str) -> tuple[bool, str | None]:
+        """Move a damaged pair aside; never half-moves (a failure rolls
+        the moved half back).  Returns ``(moved, error)``."""
+        raise NotImplementedError
+
+    def signature(self) -> tuple:
+        """A cheap change signature: two equal signatures mean no other
+        writer touched the store in between (the daemon's incremental
+        refresh probe)."""
+        raise NotImplementedError
+
+    # -- addressing and bookkeeping ---------------------------------------
+
+    def describe(self, stem: str, suffix: str) -> str:
+        """A human-readable location for one record file (health-report
+        ``path`` fields)."""
+        raise NotImplementedError
+
+    def covers(self, path: str) -> bool:
+        """Does a save/checkpoint aimed at directory ``path`` belong to
+        this backend?  (The supervisor and daemon address checkpoints
+        by the store directory; the store routes them here.)"""
+        return os.path.abspath(path) == os.path.abspath(self.root)
+
+    # -- save-session hooks (eviction safety) ------------------------------
+
+    def begin_save(self) -> None:
+        """Hook: a save is starting; records put until :meth:`end_save`
+        must survive it (the remote cache must not evict them)."""
+
+    def end_save(self) -> None:
+        """Hook: the save committed."""
+
+
+# -- local directory backends --------------------------------------------
+
+
+class DirectoryBackend(StoreBackend):
+    """The flat directory layout: record pairs at the store root."""
+
+    kind = "flat"
+
+    def __init__(self, root: str, fs: FileSystem | None = None):
+        self.fs = fs if fs is not None else REAL_FS
+        self.root = root
+        self.key = os.path.abspath(root)
+        self.label = root
+        self.notes: list[str] = []
+
+    # -- placement --------------------------------------------------------
+
+    def dir_of(self, stem: str) -> str:
+        return self.root
+
+    def path_of(self, stem: str, suffix: str) -> str:
+        return os.path.join(self.dir_of(stem), stem + suffix)
+
+    def describe(self, stem: str, suffix: str) -> str:
+        return self.path_of(stem, suffix)
+
+    def record_dirs(self) -> list[str]:
+        """Every directory that may hold record pairs."""
+        return [self.root]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def open(self) -> None:
+        self.fs.makedirs(self.root)
+
+    def exists(self) -> bool:
+        return self.fs.isdir(self.root)
+
+    # -- record pairs ------------------------------------------------------
+
+    def _classify(self, entry: str, rel: str, header: set, payload: set,
+                  notes: list[str] | None) -> None:
+        if entry.endswith(RECORD_LOCK_SUFFIX):
+            return  # a merge writer's per-record lock
+        if entry.endswith(TMP_SUFFIX):
+            if notes is not None:
+                notes.append(f"ignoring leftover temp file {rel}")
+            return
+        if entry.endswith(HEADER_SUFFIX):
+            header.add(entry[:-len(HEADER_SUFFIX)])
+        elif entry.endswith(PAYLOAD_SUFFIX):
+            payload.add(entry[:-len(PAYLOAD_SUFFIX)])
+        elif notes is not None:
+            notes.append(f"ignoring unrecognized file {rel}")
+
+    def list_pairs(self, notes: list[str] | None = None
+                   ) -> tuple[set[str], set[str]]:
+        header: set[str] = set()
+        payload: set[str] = set()
+        for entry in self.fs.listdir(self.root):
+            if entry in _SKIP_ENTRIES or entry == SHARDS_DIR:
+                continue
+            self._classify(entry, entry, header, payload, notes)
+        return header, payload
+
+    def read_header(self, stem: str) -> bytes:
+        return self.fs.read_bytes(self.path_of(stem, HEADER_SUFFIX))
+
+    def read_payload(self, stem: str) -> bytes:
+        return self.fs.read_bytes(self.path_of(stem, PAYLOAD_SUFFIX))
+
+    def has_payload(self, stem: str) -> bool:
+        return self.fs.exists(self.path_of(stem, PAYLOAD_SUFFIX))
+
+    def put(self, stem: str, header_bytes: bytes, payload: bytes) -> None:
+        fs = self.fs
+        directory = self.dir_of(stem)
+        if directory != self.root:
+            fs.makedirs(directory)
+        payload_file = os.path.join(directory, stem + PAYLOAD_SUFFIX)
+        header_file = os.path.join(directory, stem + HEADER_SUFFIX)
+        try:
+            fs.write_bytes(payload_file + TMP_SUFFIX, payload)
+            fs.replace(payload_file + TMP_SUFFIX, payload_file)
+            fs.write_bytes(header_file + TMP_SUFFIX, header_bytes)
+            fs.replace(header_file + TMP_SUFFIX, header_file)
+        except OSError as err:
+            if not _disk_full(err):
+                raise
+            self._sweep_tmps((payload_file, header_file))
+            raise StoreFullError(
+                f"disk full while saving record {stem!r} in {self.root}: "
+                f"{err}") from err
+
+    def delete(self, stem: str) -> None:
+        self.fs.remove(self.path_of(stem, HEADER_SUFFIX))
+        self.fs.remove(self.path_of(stem, PAYLOAD_SUFFIX))
+
+    def _sweep_tmps(self, files: tuple[str, ...]) -> None:
+        """Best-effort removal of tmp files after a failed write (frees
+        the very space the failed save was starved of)."""
+        for name in files:
+            try:
+                self.fs.remove(name + TMP_SUFFIX)
+            except OSError:
+                pass
+
+    # -- manifest ----------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def manifest_present(self) -> bool:
+        return self.fs.exists(self._manifest_path())
+
+    def manifest_label(self) -> str:
+        return self._manifest_path()
+
+    def read_manifest_bytes(self) -> bytes | None:
+        if not self.manifest_present():
+            return None
+        return self.fs.read_bytes(self._manifest_path())
+
+    def write_manifest(self, data: bytes) -> None:
+        fs = self.fs
+        manifest_file = self._manifest_path()
+        try:
+            fs.write_bytes(manifest_file + TMP_SUFFIX, data)
+            fs.replace(manifest_file + TMP_SUFFIX, manifest_file)
+        except OSError as err:
+            if not _disk_full(err):
+                raise
+            self._sweep_tmps((manifest_file,))
+            raise StoreFullError(
+                f"disk full while writing manifest in {self.root}: "
+                f"{err}") from err
+
+    def merge_manifest(self, adds: dict[str, str],
+                       removes: set[str]) -> int:
+        try:
+            raw = self.read_manifest_bytes()
+            merged = parse_manifest(raw) if raw is not None else {}
+        except (OSError, ValueError):
+            merged = {}
+        for stem in removes:
+            merged.pop(stem, None)
+        merged.update(adds)
+        data = encode_manifest(merged)
+        self.write_manifest(data)
+        return len(data)
+
+    # -- locks -------------------------------------------------------------
+
+    def store_lock(self, timeout: float) -> StoreLock:
+        return StoreLock(self.root, fs=self.fs, timeout=timeout)
+
+    def record_lock(self, stem: str, timeout: float) -> StoreLock:
+        directory = self.dir_of(stem)
+        if directory != self.root:
+            self.fs.makedirs(directory)
+        return StoreLock(directory, fs=self.fs, timeout=timeout,
+                         filename=stem + RECORD_LOCK_SUFFIX)
+
+    # -- maintenance -------------------------------------------------------
+
+    def _prune_dir(self, directory: str, rel_prefix: str,
+                   live_stems: set[str], pruned: list[str]) -> None:
+        fs = self.fs
+        for entry in fs.listdir(directory):
+            if entry in _SKIP_ENTRIES or entry == SHARDS_DIR:
+                continue
+            full = os.path.join(directory, entry)
+            if entry.endswith(RECORD_LOCK_SUFFIX):
+                owner = lock_owner(fs, full)
+                if owner is None or not fs.pid_alive(owner):
+                    fs.remove(full)
+                    pruned.append(rel_prefix + entry)
+                continue
+            stem = record_stem(entry)
+            if stem is None:
+                continue  # not a store-managed file: leave it alone
+            if entry.endswith(TMP_SUFFIX) or stem not in live_stems:
+                fs.remove(full)
+                pruned.append(rel_prefix + entry)
+
+    def prune(self, live_stems: set[str]) -> list[str]:
+        pruned: list[str] = []
+        self._prune_dir(self.root, "", live_stems, pruned)
+        return pruned
+
+    def _sweep_locks_dir(self, directory: str, rel_prefix: str,
+                         swept: list[str]) -> None:
+        fs = self.fs
+        for entry in fs.listdir(directory):
+            if entry.endswith(RECORD_LOCK_SUFFIX):
+                owner = lock_owner(fs, os.path.join(directory, entry))
+                if owner is None or not fs.pid_alive(owner):
+                    fs.remove(os.path.join(directory, entry))
+                    swept.append(rel_prefix + entry)
+
+    def sweep_dead_record_locks(self) -> list[str]:
+        swept: list[str] = []
+        self._sweep_locks_dir(self.root, "", swept)
+        return swept
+
+    def sweep_stale(self) -> list[str]:
+        fs = self.fs
+        swept: list[str] = []
+        try:
+            if not self.exists():
+                return swept
+            entries = fs.listdir(self.root)
+        except OSError:
+            return swept
+        for entry in entries:
+            full = os.path.join(self.root, entry)
+            try:
+                if entry in (JOURNAL_NAME, JOURNAL_NAME + TMP_SUFFIX):
+                    fs.remove(full)
+                    swept.append(entry)
+                elif entry.endswith(RECORD_LOCK_SUFFIX):
+                    owner = lock_owner(fs, full)
+                    if owner is None or not fs.pid_alive(owner):
+                        fs.remove(full)
+                        swept.append(entry)
+            except OSError:
+                continue
+        for directory in self.record_dirs():
+            if directory == self.root:
+                continue
+            try:
+                self._sweep_locks_dir(
+                    directory,
+                    os.path.relpath(directory, self.root) + os.sep,
+                    swept)
+            except OSError:
+                continue
+        return swept
+
+    def ensure_quarantine_dir(self) -> str | None:
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            self.fs.makedirs(qdir)
+        except OSError as err:
+            return f"cannot create {qdir}: {err}"
+        return None
+
+    def quarantine_pair(self, stem: str) -> tuple[bool, str | None]:
+        fs = self.fs
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        done: list[tuple[str, str]] = []
+        for suffix in (PAYLOAD_SUFFIX, HEADER_SUFFIX):
+            src = self.path_of(stem, suffix)
+            dst = os.path.join(qdir, stem + suffix)
+            try:
+                if not fs.exists(src):
+                    continue
+                fs.replace(src, dst)
+            except OSError as err:
+                # Roll the already-moved half back: never half-move.
+                for m_src, m_dst in reversed(done):
+                    try:
+                        fs.replace(m_dst, m_src)
+                    except OSError:
+                        pass
+                return False, str(err)
+            done.append((src, dst))
+        return bool(done), None
+
+    def signature(self) -> tuple:
+        fs = self.fs
+        if not fs.isdir(self.root):
+            return ()
+        out = []
+        for directory in self.record_dirs():
+            rel = ("" if directory == self.root
+                   else os.path.relpath(directory, self.root) + os.sep)
+            try:
+                entries = fs.listdir(directory)
+            except OSError:
+                return ("unreadable",)
+            for entry in entries:
+                if entry.endswith(TMP_SUFFIX):
+                    continue
+                if (entry == MANIFEST_NAME
+                        or entry.endswith(HEADER_SUFFIX)
+                        or entry.endswith(PAYLOAD_SUFFIX)):
+                    out.append((rel + entry, fs.stat_signature(
+                        os.path.join(directory, entry))))
+        return tuple(out)
+
+
+class ShardedBackend(DirectoryBackend):
+    """Record pairs under ``shards/<hh>/`` where ``hh`` is
+    :func:`shard_of` the record key.  Manifest, locks, journal and
+    quarantine stay at the root, so checkpoints, resume and fsck work
+    unchanged; only pair placement (and therefore directory fan-out)
+    differs from the flat layout."""
+
+    kind = "sharded"
+
+    def dir_of(self, stem: str) -> str:
+        return os.path.join(self.root, SHARDS_DIR, shard_of(stem))
+
+    def record_dirs(self) -> list[str]:
+        shards_root = os.path.join(self.root, SHARDS_DIR)
+        if not self.fs.isdir(shards_root):
+            return [self.root]
+        try:
+            shards = self.fs.listdir(shards_root)
+        except OSError:
+            return [self.root]
+        return [self.root] + [os.path.join(shards_root, shard)
+                              for shard in shards
+                              if self.fs.isdir(os.path.join(shards_root,
+                                                            shard))]
+
+    def list_pairs(self, notes: list[str] | None = None
+                   ) -> tuple[set[str], set[str]]:
+        header: set[str] = set()
+        payload: set[str] = set()
+        for directory in self.record_dirs():
+            rel = ("" if directory == self.root
+                   else os.path.relpath(directory, self.root) + os.sep)
+            for entry in self.fs.listdir(directory):
+                if entry in _SKIP_ENTRIES or entry == SHARDS_DIR:
+                    continue
+                self._classify(entry, rel + entry, header, payload, notes)
+        return header, payload
+
+    def prune(self, live_stems: set[str]) -> list[str]:
+        pruned: list[str] = []
+        for directory in self.record_dirs():
+            rel = ("" if directory == self.root
+                   else os.path.relpath(directory, self.root) + os.sep)
+            self._prune_dir(directory, rel, live_stems, pruned)
+        return pruned
+
+    def sweep_dead_record_locks(self) -> list[str]:
+        swept: list[str] = []
+        for directory in self.record_dirs():
+            rel = ("" if directory == self.root
+                   else os.path.relpath(directory, self.root) + os.sep)
+            try:
+                self._sweep_locks_dir(directory, rel, swept)
+            except OSError:
+                continue
+        return swept
+
+
+# -- detection and the factory -------------------------------------------
+
+
+def detect_dir_backend(path: str,
+                       fs: FileSystem | None = None) -> DirectoryBackend:
+    """The right local backend for an existing store directory: sharded
+    iff it has a ``shards/`` subdirectory, flat otherwise (including
+    when it does not exist yet)."""
+    fs = fs if fs is not None else REAL_FS
+    if fs.isdir(os.path.join(path, SHARDS_DIR)):
+        return ShardedBackend(path, fs=fs)
+    return DirectoryBackend(path, fs=fs)
+
+
+def make_backend(kind: str, path: str, url: str | None = None,
+                 fs: FileSystem | None = None,
+                 cache_cap_bytes: int | None = None,
+                 compress: bool = True) -> StoreBackend:
+    """The one backend factory the CLI, daemon and tests share.
+
+    ``kind`` is ``auto`` (detect from the directory), ``flat``,
+    ``sharded`` or ``remote`` (requires ``url``; ``path`` becomes the
+    local write-through cache directory)."""
+    if kind == "remote" or (kind == "auto" and url):
+        if not url:
+            raise StoreError("remote backend requires a store URL")
+        from repro.cm.remote import remote_backend_from_url
+        return remote_backend_from_url(
+            url, cache_dir=path, fs=fs,
+            cache_cap_bytes=cache_cap_bytes, compress=compress)
+    if kind == "auto":
+        return detect_dir_backend(path, fs=fs)
+    if kind == "flat":
+        return DirectoryBackend(path, fs=fs)
+    if kind == "sharded":
+        return ShardedBackend(path, fs=fs)
+    raise StoreError(f"unknown store backend {kind!r} "
+                     f"(want auto, flat, sharded or remote)")

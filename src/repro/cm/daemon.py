@@ -135,6 +135,9 @@ class _GroupState:
     opened: bool = False
     project: Project | None = None
     store: BinStore | None = None
+    #: The configured store backend (None = auto-detected local layout;
+    #: created lazily from the daemon's store_backend/store_url).
+    backend: object = None
     #: manager name -> warm builder (session, live units, dep cache).
     builders: dict = field(default_factory=dict)
     #: source filename -> (mtime_ns, size) at last read.
@@ -165,7 +168,8 @@ class BuildDaemon:
                  policy: SupervisePolicy | None = None, meter=None,
                  checkpoint: bool = True,
                  faults: WorkerFaults | None = None,
-                 build_hook=None):
+                 build_hook=None, store_backend: str = "auto",
+                 store_url: str | None = None):
         if manager not in MANAGERS:
             raise DaemonError(f"unknown manager {manager!r} "
                               f"(want one of {sorted(MANAGERS)})")
@@ -173,6 +177,8 @@ class BuildDaemon:
         self.jobs = max(1, jobs)
         self.pool = pool
         self.schedule = schedule
+        self.store_backend = store_backend
+        self.store_url = store_url
         self.policy = policy if policy is not None else SupervisePolicy()
         self.meter = meter if meter is not None else NULL_METER
         self.checkpoint = checkpoint
@@ -307,20 +313,39 @@ class BuildDaemon:
                 self._states[key] = state
         return state
 
+    def _backend_for(self, state: _GroupState):
+        """The group's configured store backend, created lazily; None
+        when the defaults apply (auto-detected local layout, no URL) so
+        the classic load/save paths run untouched."""
+        if state.backend is not None:
+            return state.backend
+        if self.store_backend == "auto" and not self.store_url:
+            return None
+        from repro.cm.backend import make_backend
+        state.backend = make_backend(self.store_backend, state.bin_dir,
+                                     url=self.store_url)
+        return state.backend
+
     def _open(self, state: _GroupState) -> None:
         """First contact with a group: sweep debris, load the store."""
-        state.swept = sweep_stale_artifacts(state.bin_dir)
+        backend = self._backend_for(state)
+        state.swept = sweep_stale_artifacts(state.bin_dir,
+                                            backend=backend)
         if state.swept and self.meter.enabled:
             self.meter.event("daemon-sweep", cat="daemon",
                              group=state.srcdir,
                              swept=list(state.swept))
-        if os.path.isdir(state.bin_dir):
+        if backend is not None:
+            state.store = BinStore.load_directory(state.bin_dir,
+                                                  backend=backend)
+        elif os.path.isdir(state.bin_dir):
             state.store = BinStore.load_directory(state.bin_dir)
         else:
             state.store = BinStore()
         if self.meter is not NULL_METER:
             state.store.meter = self.meter
-        state.store_sig = BinStore.disk_signature(state.bin_dir)
+        state.store_sig = BinStore.disk_signature(state.bin_dir,
+                                                  backend=backend)
         state.opened = True
 
     def _refresh_sources(self, state: _GroupState) -> int:
@@ -365,12 +390,17 @@ class BuildDaemon:
         return refreshed
 
     def _refresh_store(self, state: _GroupState) -> bool:
-        """Reload the store iff its on-disk signature moved since we
-        last loaded/saved it (another process wrote the directory)."""
-        sig = BinStore.disk_signature(state.bin_dir)
+        """Reload the store iff its signature moved since we last
+        loaded/saved it (another process -- or, through a remote
+        backend, another *machine* -- wrote it)."""
+        backend = self._backend_for(state)
+        sig = BinStore.disk_signature(state.bin_dir, backend=backend)
         if sig == state.store_sig:
             return False
-        if os.path.isdir(state.bin_dir):
+        if backend is not None:
+            state.store = BinStore.load_directory(state.bin_dir,
+                                                  backend=backend)
+        elif os.path.isdir(state.bin_dir):
             state.store = BinStore.load_directory(state.bin_dir)
         else:
             state.store = BinStore()
@@ -408,7 +438,8 @@ class BuildDaemon:
             keep_executor=True)
         report = supervisor.build(builder)
         builder.store.save_directory(state.bin_dir)
-        state.store_sig = BinStore.disk_signature(state.bin_dir)
+        state.store_sig = BinStore.disk_signature(
+            state.bin_dir, backend=self._backend_for(state))
         if report.degraded:
             # The supervisor shut our cached pool down on its way down
             # the ladder; forget it so the next request makes a new one.

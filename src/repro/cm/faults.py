@@ -35,6 +35,14 @@ Further fault modes ride the same seam:
   :func:`search_schedules` drives a check over the whole space --
   bounded exhaustive schedule *search* instead of hand-picked strings.
 
+The *network* seam gets the same treatment: the remote store backend
+(:mod:`repro.cm.remote`) moves bytes through a ``send(request) ->
+response`` transport object, and :class:`FaultyTransport` wraps any of
+them to drop, time out, truncate or garble the N-th response (latched --
+a dead cache server stays dead).  Truncation and garbling mangle the
+serialized frame, so the frame codec's own CRC is what must catch them,
+exactly as on a real wire.
+
 For damage *at rest* (a disk that lies, an editor that truncated a
 file), the module also provides post-hoc corruptors -- truncate,
 bit-flip, delete, garbage-header -- plus helpers to locate a named
@@ -599,6 +607,82 @@ def fault_seed(default: int = 0) -> int:
         return default
 
 
+# -- the network seam ----------------------------------------------------
+
+
+class TransportError(Exception):
+    """A remote-store request failed at the transport layer: the
+    connection dropped, the response frame was truncated, or its
+    integrity check failed.  The remote backend converts every one of
+    these into *offline-and-local-miss* -- a build never sees this
+    exception (see :mod:`repro.cm.remote`)."""
+
+
+class TransportTimeout(TransportError):
+    """A remote-store request exceeded its deadline."""
+
+
+@dataclass
+class TransportPlan:
+    """A deterministic network fault: break the ``fault_at``-th response
+    (1-based) in ``mode`` -- and, latched, every response after it, the
+    way a dead cache server stays dead.
+
+    Modes:
+
+    - ``"drop"``: the connection dies (:class:`TransportError`);
+    - ``"timeout"``: the request hangs past its deadline
+      (:class:`TransportTimeout`);
+    - ``"truncate"``: the response comes back cut in half (the frame
+      codec's integrity check turns this into :class:`TransportError`);
+    - ``"garble"``: the response arrives bit-flipped (ditto).
+    """
+
+    fault_at: int = 0  # 0 = never fault
+    mode: str = "drop"
+
+
+class FaultyTransport:
+    """Wraps a transport and injects :class:`TransportPlan` faults on
+    the response path.  Byte-level: truncation and garbling mangle the
+    serialized response frame, so the *frame codec's* CRC -- not the
+    store's record checksums -- is what must catch them, exactly as on
+    a real wire."""
+
+    def __init__(self, inner, plan: TransportPlan | None = None):
+        self.inner = inner
+        self.plan = plan if plan is not None else TransportPlan()
+        self.responses = 0
+        self.faults_fired = 0
+
+    def send(self, request: bytes) -> bytes:
+        response = self.inner.send(request)
+        self.responses += 1
+        plan = self.plan
+        if not plan.fault_at or self.responses < plan.fault_at:
+            return response
+        self.faults_fired += 1  # latched: the Nth and every one after
+        if plan.mode == "drop":
+            raise TransportError(
+                f"injected connection drop on response {self.responses}")
+        if plan.mode == "timeout":
+            raise TransportTimeout(
+                f"injected timeout on response {self.responses}")
+        if plan.mode == "truncate":
+            return response[:max(1, len(response) // 2)]
+        if plan.mode == "garble":
+            mangled = bytearray(response)
+            for i in range(0, len(mangled), 37):
+                mangled[i] ^= 0x5A
+            return bytes(mangled)
+        raise ValueError(f"unknown transport fault mode {plan.mode!r}")
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+
 # -- post-hoc corruptors (damage at rest) --------------------------------
 
 
@@ -648,15 +732,29 @@ def plant_stale_lock(store_dir: str, pid: int = -1,
     return path
 
 
+def _record_dir(store_dir: str, name: str) -> str:
+    """The directory the record named ``name`` lives in: layout-aware,
+    so corruptors damage the right file in flat *and* sharded stores."""
+    from repro.cm.backend import SHARDS_DIR, escape_name, shard_of
+
+    shard_dir = os.path.join(store_dir, SHARDS_DIR,
+                             shard_of(escape_name(name)))
+    if os.path.isdir(os.path.join(store_dir, SHARDS_DIR)):
+        return shard_dir
+    return store_dir
+
+
 def header_path(store_dir: str, name: str) -> str:
     """The on-disk header file of the record named ``name``."""
     from repro.cm.store import HEADER_SUFFIX, escape_name
 
-    return os.path.join(store_dir, escape_name(name) + HEADER_SUFFIX)
+    return os.path.join(_record_dir(store_dir, name),
+                        escape_name(name) + HEADER_SUFFIX)
 
 
 def payload_path(store_dir: str, name: str) -> str:
     """The on-disk payload file of the record named ``name``."""
     from repro.cm.store import PAYLOAD_SUFFIX, escape_name
 
-    return os.path.join(store_dir, escape_name(name) + PAYLOAD_SUFFIX)
+    return os.path.join(_record_dir(store_dir, name),
+                        escape_name(name) + PAYLOAD_SUFFIX)

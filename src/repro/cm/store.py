@@ -2,12 +2,16 @@
 
 A :class:`BinRecord` is one bin file: header (name, source digest, export
 pid, import pid list, logical build time, builder-specific extras) plus
-the dehydrated payload.  :class:`BinStore` is the ``.bin`` directory; it
-survives "sessions" (builder instances), which is the whole point --
-cross-session reuse is what dehydration buys.
+the dehydrated payload.  :class:`BinStore` is the store; it survives
+"sessions" (builder instances), which is the whole point -- cross-session
+reuse is what dehydration buys.
 
-The on-disk form is engineered so that *no* damage can cost more than a
-recompile, and every kind of damage is detected and named:
+The store's *semantics* live here; the *placement* of bytes lives in a
+:class:`repro.cm.backend.StoreBackend` (flat directory, sharded
+directory, or a remote server fronted by a local cache -- see
+:mod:`repro.cm.backend` and :mod:`repro.cm.remote`).  The on-disk form
+is engineered so that *no* damage can cost more than a recompile, and
+every kind of damage is detected and named:
 
 - **Integrity.** Every header carries a CRC-128 of its payload plus a
   whole-record digest over the canonical header and the payload (the
@@ -33,45 +37,49 @@ recompile, and every kind of damage is detected and named:
 
 All disk access goes through the :class:`repro.cm.faults.FileSystem`
 seam, so the fault-injection harness can kill a save at every possible
-point and prove recovery.
+point -- against any backend -- and prove recovery.
 """
 
 from __future__ import annotations
 
-import errno
 import json
 import os
-import time
 from dataclasses import dataclass, field
 
+from repro.cm.backend import (  # noqa: F401  (re-exported surface)
+    CACHE_INDEX_NAME,
+    COMPAT_FORMATS,
+    FORMAT_VERSION,
+    HEADER_SUFFIX,
+    JOURNAL_NAME,
+    LOCK_NAME,
+    MANIFEST_NAME,
+    PAYLOAD_SUFFIX,
+    QUARANTINE_DIR,
+    RECORD_LOCK_SUFFIX,
+    SHARDS_DIR,
+    TMP_SUFFIX,
+    DirectoryBackend,
+    NullLock,
+    ShardedBackend,
+    StoreBackend,
+    StoreError,
+    StoreFullError,
+    StoreLock,
+    StoreLockedError,
+    detect_dir_backend,
+    encode_manifest,
+    escape_name,
+    make_backend,
+    shard_of,
+    unescape_name,
+    _disk_full,
+)
+from repro.cm.backend import lock_owner as _lock_owner  # noqa: F401
+from repro.cm.backend import record_stem as _record_stem
 from repro.cm.faults import REAL_FS, FileSystem
 from repro.obs.meter import NULL_METER, BuildMeter
 from repro.pids.crc128 import CRC128, crc128_hex
-
-#: On-disk header format version; bump when the pickle registry or the
-#: record layout changes incompatibly.  Unsupported records are skipped
-#: at load (treated as cache misses).  v4 added the interface-slicing
-#: fields ``binding_pids`` / ``used_bindings``.
-FORMAT_VERSION = 4
-#: Versions :meth:`BinStore.load_directory` still reads.  v3 records
-#: predate slicing; they load with empty slice fields, so the smart
-#: builder degrades to whole-pid cutoff for them.  Saves always write
-#: :data:`FORMAT_VERSION`.
-COMPAT_FORMATS = (3, 4)
-
-HEADER_SUFFIX = ".bin.json"
-PAYLOAD_SUFFIX = ".bin"
-TMP_SUFFIX = ".tmp"
-MANIFEST_NAME = "MANIFEST.json"
-LOCK_NAME = "store.lock"
-#: Per-record lock files (merge saves): ``<stem>.rlock``.
-RECORD_LOCK_SUFFIX = ".rlock"
-#: The supervised-build resume journal (see :mod:`repro.cm.supervise`);
-#: rides in the store directory but is not a record.
-JOURNAL_NAME = "BUILD_JOURNAL.json"
-#: Where :meth:`BinStore.load_directory` moves damaged record files
-#: aside when asked to (``quarantine=True``).
-QUARANTINE_DIR = "quarantine"
 
 #: Damage kinds whose on-disk files quarantine-aside may move (the
 #: rest either have no files -- ``missing-record`` -- or describe the
@@ -85,82 +93,6 @@ _QUARANTINABLE_KINDS = frozenset({
 #: Header fields a loadable record must carry.
 _REQUIRED_FIELDS = ("name", "source_digest", "export_pid", "imports",
                     "built_at", "payload_crc", "record_digest")
-
-
-class StoreError(Exception):
-    """Base class for bin-store failures."""
-
-
-class StoreLockedError(StoreError):
-    """The store's lock file is held by a live process."""
-
-
-class StoreFullError(StoreError):
-    """A save ran out of disk space and aborted *cleanly*.
-
-    The tmp file of the failed write is swept (best effort), the dirty
-    set is untouched (a later save retries everything), and every
-    record pair already on disk is either fully old or fully new -- a
-    half-updated pair (new payload, old header) fails its whole-record
-    digest on load and degrades to a quarantined cache miss, never a
-    corrupt load.
-    """
-
-
-def _disk_full(err: OSError) -> bool:
-    return err.errno in (errno.ENOSPC, errno.EDQUOT)
-
-
-# -- record filenames ----------------------------------------------------
-
-_SAFE_CHARS = frozenset(
-    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
-
-
-def escape_name(name: str) -> str:
-    """Escape a unit name into a safe filename stem.
-
-    Injective: anything outside ``[A-Za-z0-9._-]`` (including ``%`` and
-    path separators) is percent-encoded byte-wise, a leading dot is
-    escaped (no hidden/relative filenames), and the empty name maps to
-    the otherwise-unreachable stem ``"%"``.
-    """
-    out: list[str] = []
-    for ch in name:
-        if ch in _SAFE_CHARS:
-            out.append(ch)
-        else:
-            out.extend("%%%02X" % b for b in ch.encode("utf-8"))
-    escaped = "".join(out)
-    if not escaped:
-        return "%"
-    if escaped[0] == ".":
-        escaped = "%2E" + escaped[1:]
-    return escaped
-
-
-def unescape_name(stem: str) -> str:
-    """Best-effort inverse of :func:`escape_name` (for labelling damage
-    whose header is unreadable; healthy names come from the header)."""
-    if stem == "%":
-        return ""
-    out = bytearray()
-    i = 0
-    while i < len(stem):
-        ch = stem[i]
-        if ch == "%" and i + 3 <= len(stem):
-            try:
-                out.append(int(stem[i + 1:i + 3], 16))
-                i += 3
-                continue
-            except ValueError:
-                pass
-        out.extend(ch.encode("utf-8"))
-        i += 1
-    try:
-        return out.decode("utf-8")
-    except UnicodeDecodeError:
-        return stem
 
 
 # -- health reporting ----------------------------------------------------
@@ -265,83 +197,6 @@ class SaveStats:
     pruned: list[str] = field(default_factory=list)
 
 
-# -- the store lock ------------------------------------------------------
-
-
-class StoreLock:
-    """A pid-stamped lock file guarding a store directory (or, with a
-    ``filename`` of ``<stem>.rlock``, a single record in it).
-
-    Stale locks (owner dead, or content torn beyond parsing) are broken
-    and noted.  A lock held by a live process blocks until ``timeout``;
-    then ``acquire(required=True)`` raises :class:`StoreLockedError`
-    while ``required=False`` (read paths) proceeds without the lock and
-    records a note.  Liveness, not just process identity, is what the
-    breaker tests: a *live* writer that is merely slow keeps its lock
-    (see the SlowFS tests).
-    """
-
-    def __init__(self, dir_path: str, fs: FileSystem | None = None,
-                 timeout: float = 5.0, poll: float = 0.02,
-                 filename: str = LOCK_NAME):
-        self.fs = fs if fs is not None else REAL_FS
-        self.lock_path = os.path.join(dir_path, filename)
-        self.timeout = timeout
-        self.poll = poll
-        self.notes: list[str] = []
-        self.held = False
-
-    def acquire(self, required: bool = True) -> bool:
-        fs = self.fs
-        content = json.dumps({"pid": os.getpid()}).encode()
-        deadline = time.monotonic() + self.timeout
-        while True:
-            if fs.create_exclusive(self.lock_path, content):
-                self.held = True
-                return True
-            owner = self._owner()
-            if owner is None or not fs.pid_alive(owner):
-                self.notes.append(
-                    f"broke stale store lock (owner pid {owner})")
-                fs.remove(self.lock_path)
-                continue
-            if time.monotonic() >= deadline:
-                if required:
-                    raise StoreLockedError(
-                        f"store is locked by live pid {owner} "
-                        f"({self.lock_path})")
-                self.notes.append(
-                    f"store locked by live pid {owner}; "
-                    f"reading without the lock")
-                return False
-            time.sleep(self.poll)
-
-    def _owner(self) -> int | None:
-        return _lock_owner(self.fs, self.lock_path)
-
-    def release(self) -> None:
-        if self.held:
-            self.fs.release_lock(self.lock_path)
-            self.held = False
-
-    def __enter__(self) -> "StoreLock":
-        self.acquire()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.release()
-
-
-def _lock_owner(fs: FileSystem, lock_path: str) -> int | None:
-    """The pid recorded in a lock file, or None when the lock is
-    unreadable/torn (treated as stale by every breaker)."""
-    try:
-        data = json.loads(fs.read_bytes(lock_path))
-        return int(data["pid"])
-    except Exception:
-        return None
-
-
 # -- records -------------------------------------------------------------
 
 
@@ -377,8 +232,14 @@ def _record_digest(header: dict, payload: bytes) -> str:
 class BinStore:
     """A collection of bin records, keyed by unit name."""
 
-    def __init__(self, fs: FileSystem | None = None):
-        self.fs = fs if fs is not None else REAL_FS
+    def __init__(self, fs: FileSystem | None = None,
+                 backend: StoreBackend | None = None):
+        self.fs = fs if fs is not None else (
+            backend.fs if backend is not None else REAL_FS)
+        #: Where this store's bytes live; None until the first
+        #: save/load pins one (a plain directory save pins the local
+        #: backend for that path).
+        self.backend: StoreBackend | None = backend
         #: Telemetry seam (no-op unless a tracing builder attaches one).
         self.meter: BuildMeter = NULL_METER
         self._records: dict[str, BinRecord] = {}
@@ -388,10 +249,10 @@ class BinStore:
         #: Unit names removed since the last save (their on-disk files
         #: are pruned at the next save).
         self._removed: set[str] = set()
-        #: Directory this store's clean records mirror, if any.
+        #: Backend key this store's clean records mirror, if any.
         self._loaded_from: str | None = None
-        #: The loaded directory's manifest was torn or stale-format:
-        #: the next save must rewrite it even if no record is dirty.
+        #: The loaded manifest was torn or stale-format: the next save
+        #: must rewrite it even if no record is dirty.
         self._manifest_stale: bool = False
         #: What the last load found; trivially healthy for a fresh store.
         self.health = StoreHealthReport()
@@ -450,67 +311,34 @@ class BinStore:
         header["record_digest"] = _record_digest(header, record.payload)
         return header
 
-    def _write_pair(self, path: str, stem: str, header_bytes: bytes,
-                    payload: bytes) -> None:
-        """Write one record's payload+header pair (payload first, each
-        via tmp-file + atomic rename).
-
-        A disk-full ``OSError`` aborts *cleanly* as
-        :class:`StoreFullError`: the failed tmp file is swept (best
-        effort) and the on-disk pair is left either fully old, fully
-        new, or mixed-but-detectable (a new payload under an old header
-        fails its whole-record digest on load -> quarantined miss)."""
-        fs = self.fs
-        payload_file = os.path.join(path, stem + PAYLOAD_SUFFIX)
-        header_file = os.path.join(path, stem + HEADER_SUFFIX)
-        try:
-            fs.write_bytes(payload_file + TMP_SUFFIX, payload)
-            fs.replace(payload_file + TMP_SUFFIX, payload_file)
-            fs.write_bytes(header_file + TMP_SUFFIX, header_bytes)
-            fs.replace(header_file + TMP_SUFFIX, header_file)
-        except OSError as err:
-            if not _disk_full(err):
-                raise
-            self._sweep_tmps(path, (payload_file, header_file))
-            raise StoreFullError(
-                f"disk full while saving record {stem!r} in {path}: "
-                f"{err}") from err
-
-    def _write_manifest_file(self, path: str,
-                             manifest_bytes: bytes) -> None:
-        """Replace MANIFEST.json atomically; disk-full aborts cleanly
-        (old manifest intact) as :class:`StoreFullError`."""
-        fs = self.fs
-        manifest_file = os.path.join(path, MANIFEST_NAME)
-        try:
-            fs.write_bytes(manifest_file + TMP_SUFFIX, manifest_bytes)
-            fs.replace(manifest_file + TMP_SUFFIX, manifest_file)
-        except OSError as err:
-            if not _disk_full(err):
-                raise
-            self._sweep_tmps(path, (manifest_file,))
-            raise StoreFullError(
-                f"disk full while writing manifest in {path}: "
-                f"{err}") from err
-
-    def _sweep_tmps(self, path: str, files: tuple[str, ...]) -> None:
-        """Best-effort removal of tmp files after a failed write (frees
-        the very space the failed save was starved of)."""
-        for name in files:
-            try:
-                self.fs.remove(name + TMP_SUFFIX)
-            except OSError:
-                pass
+    def _backend_for(self, path: str) -> StoreBackend:
+        """The backend a save/checkpoint aimed at ``path`` should use:
+        this store's pinned backend when the path is its anchor (the
+        supervisor and daemon address checkpoints by the store
+        directory), otherwise the detected local backend for ``path``."""
+        if self.backend is not None and self.backend.covers(path):
+            backend = self.backend
+            if (isinstance(backend, DirectoryBackend)
+                    and backend.fs is not self.fs):
+                # The caller swapped ``store.fs`` (fault harnesses do):
+                # rebuild the same-layout backend over the new seam.
+                backend = type(backend)(backend.root, fs=self.fs)
+            return backend
+        return detect_dir_backend(path, fs=self.fs)
 
     def save_directory(self, path: str, lock_timeout: float = 5.0,
                        merge: bool = False) -> SaveStats:
         """Write the store to ``path`` atomically and incrementally.
 
-        Only dirty records are rewritten (payload first, header second,
-        each via tmp-file + atomic rename); removed units' files and
-        unknown record debris are pruned; the manifest is refreshed.
-        The whole save runs under the store lock.  Returns what was
-        actually written.
+        ``path`` addresses a backend: this store's own backend when the
+        path is its anchor directory (so daemon saves and supervisor
+        checkpoints transparently hit sharded/remote stores), otherwise
+        the detected local backend for that directory.  Only dirty
+        records are rewritten (payload first, header second, each via
+        tmp-file + atomic rename); removed units' files and unknown
+        record debris are pruned; the manifest is refreshed.  The whole
+        save runs under the store lock.  Returns what was actually
+        written.
 
         With ``merge=True`` the save is safe against *other live
         writers* on the same store: each record's header+payload pair is
@@ -521,12 +349,17 @@ class BinStore:
         preserved, so two builders racing on one store converge to the
         union of their work, never corruption.
         """
+        backend = self._backend_for(path)
         with self.meter.span("store.save", cat="store", path=path,
                              merge=merge) as sp:
-            if merge:
-                stats = self._save_merge(path, lock_timeout)
-            else:
-                stats = self._save_plain(path, lock_timeout)
+            backend.begin_save()
+            try:
+                if merge:
+                    stats = self._save_merge(backend, lock_timeout)
+                else:
+                    stats = self._save_plain(backend, lock_timeout)
+            finally:
+                backend.end_save()
             sp.set(records=stats.records_written,
                    bytes=stats.bytes_written, pruned=len(stats.pruned))
             if self.meter.enabled:
@@ -534,67 +367,50 @@ class BinStore:
                                    stats.bytes_written)
             return stats
 
-    def _save_plain(self, path: str, lock_timeout: float) -> SaveStats:
+    def _save_plain(self, backend: StoreBackend,
+                    lock_timeout: float) -> SaveStats:
         """The single-writer save: everything under the store lock."""
-        fs = self.fs
-        fs.makedirs(path)
-        target = os.path.abspath(path)
+        backend.open()
         stats = SaveStats()
-        lock = StoreLock(path, fs=fs, timeout=lock_timeout)
+        lock = backend.store_lock(lock_timeout)
         lock.acquire(required=True)
         try:
-            dirty = (set(self._records) if target != self._loaded_from
+            dirty = (set(self._records)
+                     if backend.key != self._loaded_from
                      else set(self._dirty))
             changed = bool(dirty or self._removed
-                           or target != self._loaded_from
+                           or backend.key != self._loaded_from
                            or self._manifest_stale)
             for name in sorted(dirty):
                 record = self._records[name]
                 stem = escape_name(name)
                 header_bytes = json.dumps(
                     self._header_for(record), indent=1).encode("utf-8")
-                self._write_pair(path, stem, header_bytes, record.payload)
+                backend.put(stem, header_bytes, record.payload)
                 stats.records_written += 1
                 stats.bytes_written += len(record.payload) + len(header_bytes)
             stats.records_skipped = len(self._records) - len(dirty)
 
             if changed:
-                manifest = {
-                    "format": FORMAT_VERSION,
-                    "records": {escape_name(n): n for n in self._records},
-                }
-                manifest_bytes = json.dumps(
-                    manifest, indent=1, sort_keys=True).encode("utf-8")
-                self._write_manifest_file(path, manifest_bytes)
+                manifest_bytes = encode_manifest(
+                    {escape_name(n): n for n in self._records})
+                backend.write_manifest(manifest_bytes)
                 stats.bytes_written += len(manifest_bytes)
 
             live = {escape_name(n) for n in self._records}
-            for entry in fs.listdir(path):
-                if entry in (MANIFEST_NAME, LOCK_NAME, JOURNAL_NAME,
-                             QUARANTINE_DIR):
-                    continue
-                if entry.endswith(RECORD_LOCK_SUFFIX):
-                    owner = _lock_owner(fs, os.path.join(path, entry))
-                    if owner is None or not fs.pid_alive(owner):
-                        fs.remove(os.path.join(path, entry))
-                        stats.pruned.append(entry)
-                    continue
-                stem = _record_stem(entry)
-                if stem is None:
-                    continue  # not a store-managed file: leave it alone
-                if entry.endswith(TMP_SUFFIX) or stem not in live:
-                    fs.remove(os.path.join(path, entry))
-                    stats.pruned.append(entry)
+            stats.pruned.extend(backend.prune(live))
 
             self._dirty.clear()
             self._removed.clear()
-            self._loaded_from = target
+            self._loaded_from = backend.key
             self._manifest_stale = False
+            self.backend = backend
             return stats
         finally:
             lock.release()
 
-    def _save_merge(self, path: str, lock_timeout: float) -> SaveStats:
+    def _save_merge(self, backend: StoreBackend,
+                    lock_timeout: float) -> SaveStats:
         """The concurrent-writer save: per-record locks around each
         header+payload pair, then a read-modify-write manifest merge
         under the store lock.
@@ -615,59 +431,43 @@ class BinStore:
         just-written record that is not yet manifested.  Only stale
         record locks (dead owners) are swept.
         """
-        fs = self.fs
-        fs.makedirs(path)
-        target = os.path.abspath(path)
+        backend.open()
         stats = SaveStats()
-        dirty = (set(self._records) if target != self._loaded_from
+        dirty = (set(self._records) if backend.key != self._loaded_from
                  else set(self._dirty))
         for name in sorted(dirty):
             record = self._records[name]
             stem = escape_name(name)
             header_bytes = json.dumps(
                 self._header_for(record), indent=1).encode("utf-8")
-            rlock = StoreLock(path, fs=fs, timeout=lock_timeout,
-                              filename=stem + RECORD_LOCK_SUFFIX)
+            rlock = backend.record_lock(stem, lock_timeout)
             rlock.acquire(required=True)
             try:
-                self._write_pair(path, stem, header_bytes, record.payload)
+                backend.put(stem, header_bytes, record.payload)
             finally:
                 rlock.release()
             stats.records_written += 1
             stats.bytes_written += len(record.payload) + len(header_bytes)
         stats.records_skipped = len(self._records) - len(dirty)
 
-        lock = StoreLock(path, fs=fs, timeout=lock_timeout)
+        lock = backend.store_lock(lock_timeout)
         lock.acquire(required=True)
         try:
-            entries = fs.listdir(path)
-            merged = _read_manifest(fs, path, entries,
-                                    StoreHealthReport()) or {}
             for name in sorted(self._removed):
                 stem = escape_name(name)
-                merged.pop(stem, None)
-                fs.remove(os.path.join(path, stem + HEADER_SUFFIX))
-                fs.remove(os.path.join(path, stem + PAYLOAD_SUFFIX))
+                backend.delete(stem)
                 stats.pruned.append(stem)
-            for name in self._records:
-                merged[escape_name(name)] = name
-            manifest = {"format": FORMAT_VERSION, "records": merged}
-            manifest_bytes = json.dumps(
-                manifest, indent=1, sort_keys=True).encode("utf-8")
-            self._write_manifest_file(path, manifest_bytes)
-            stats.bytes_written += len(manifest_bytes)
+            adds = {escape_name(n): n for n in self._records}
+            removes = {escape_name(n) for n in self._removed}
+            stats.bytes_written += backend.merge_manifest(adds, removes)
 
-            for entry in entries:
-                if entry.endswith(RECORD_LOCK_SUFFIX):
-                    owner = _lock_owner(fs, os.path.join(path, entry))
-                    if owner is None or not fs.pid_alive(owner):
-                        fs.remove(os.path.join(path, entry))
-                        stats.pruned.append(entry)
+            stats.pruned.extend(backend.sweep_dead_record_locks())
 
             self._dirty.clear()
             self._removed.clear()
-            self._loaded_from = target
+            self._loaded_from = backend.key
             self._manifest_stale = False
+            self.backend = backend
             return stats
         finally:
             lock.release()
@@ -676,14 +476,17 @@ class BinStore:
     def load_directory(cls, path: str, fs: FileSystem | None = None,
                        lock_timeout: float = 5.0,
                        meter: BuildMeter = NULL_METER,
-                       quarantine: bool = False) -> "BinStore":
-        """Load a store directory, quarantining every kind of damage.
+                       quarantine: bool = False,
+                       backend: StoreBackend | None = None) -> "BinStore":
+        """Load a store, quarantining every kind of damage.
 
-        Never raises on damage: a corrupt, torn, orphaned or unreadable
-        record becomes a :class:`CorruptRecord` in ``store.health`` and
-        the affected unit is simply absent (a cache miss).  ``meter``
-        observes the scan and every quarantine decision; it stays
-        attached to the returned store.
+        ``path`` names a local store directory (the layout -- flat or
+        sharded -- is detected); pass ``backend`` explicitly for a
+        remote store.  Never raises on damage: a corrupt, torn,
+        orphaned or unreadable record becomes a :class:`CorruptRecord`
+        in ``store.health`` and the affected unit is simply absent (a
+        cache miss).  ``meter`` observes the scan and every quarantine
+        decision; it stays attached to the returned store.
 
         With ``quarantine=True`` the damaged record files are also
         moved *aside* into a ``quarantine/`` subdirectory for later
@@ -694,7 +497,7 @@ class BinStore:
         """
         with meter.span("store.load", cat="store", path=path) as sp:
             store = cls._load_directory(path, fs, lock_timeout, meter,
-                                        quarantine)
+                                        quarantine, backend)
             sp.set(records=len(store._records),
                    corrupt=len(store.health.corrupt),
                    stale=len(store.health.stale))
@@ -707,60 +510,49 @@ class BinStore:
     @classmethod
     def _load_directory(cls, path: str, fs: FileSystem | None,
                         lock_timeout: float, meter: BuildMeter,
-                        quarantine: bool = False) -> "BinStore":
-        fs = fs if fs is not None else REAL_FS
-        store = cls(fs=fs)
+                        quarantine: bool = False,
+                        backend: StoreBackend | None = None) -> "BinStore":
+        fs = fs if fs is not None else (
+            backend.fs if backend is not None else REAL_FS)
+        if backend is None:
+            backend = detect_dir_backend(path, fs=fs)
+        store = cls(fs=fs, backend=backend)
         store.meter = meter
         report = store.health
-        report.path = path
-        if not fs.isdir(path):
-            report.notes.append(f"no store directory at {path}")
+        report.path = backend.label
+        if not backend.exists():
+            report.notes.extend(backend.notes)
+            del backend.notes[:]
+            report.notes.append(f"no store directory at {backend.label}")
             return store
 
-        lock = StoreLock(path, fs=fs, timeout=lock_timeout)
+        lock = backend.store_lock(lock_timeout)
         got = lock.acquire(required=False)
         report.notes.extend(lock.notes)
         try:
             try:
-                entries = fs.listdir(path)
+                header_stems, payload_stems = backend.list_pairs(
+                    notes=report.notes)
             except OSError as err:
-                report.add("", "io-error", path, str(err))
+                report.add("", "io-error", backend.label, str(err))
+                report.notes.extend(backend.notes)
+                del backend.notes[:]
                 return store
 
-            manifest = _read_manifest(fs, path, entries, report)
-            if manifest is None and MANIFEST_NAME in entries:
+            manifest = _read_manifest(backend, report)
+            if manifest is None and backend.manifest_present():
                 # A torn or stale-format manifest survives a no-op
                 # session unless the next save is forced to heal it.
                 store._manifest_stale = True
-
-            header_stems: set[str] = set()
-            payload_stems: set[str] = set()
-            for entry in entries:
-                if entry in (MANIFEST_NAME, LOCK_NAME, JOURNAL_NAME,
-                             QUARANTINE_DIR):
-                    continue
-                if entry.endswith(RECORD_LOCK_SUFFIX):
-                    continue  # a merge writer's per-record lock
-                if entry.endswith(TMP_SUFFIX):
-                    report.notes.append(
-                        f"ignoring leftover temp file {entry}")
-                    continue
-                if entry.endswith(HEADER_SUFFIX):
-                    header_stems.add(entry[:-len(HEADER_SUFFIX)])
-                elif entry.endswith(PAYLOAD_SUFFIX):
-                    payload_stems.add(entry[:-len(PAYLOAD_SUFFIX)])
-                else:
-                    report.notes.append(
-                        f"ignoring unrecognized file {entry}")
 
             report.scanned = len(header_stems)
             loaded_stems: dict[str, str] = {}  # stem -> unit name
             for stem in sorted(header_stems):
                 try:
-                    name = store._load_record(path, stem, report)
+                    name = store._load_record(backend, stem, report)
                 except Exception as err:  # absolute no-raise guarantee
                     report.add(unescape_name(stem), "unreadable",
-                               os.path.join(path, stem + HEADER_SUFFIX),
+                               backend.describe(stem, HEADER_SUFFIX),
                                f"{type(err).__name__}: {err}")
                     name = None
                 if name is not None:
@@ -768,7 +560,7 @@ class BinStore:
 
             for stem in sorted(payload_stems - header_stems):
                 report.add(unescape_name(stem), "orphaned-payload",
-                           os.path.join(path, stem + PAYLOAD_SUFFIX),
+                           backend.describe(stem, PAYLOAD_SUFFIX),
                            "payload file has no header")
 
             if manifest is not None:
@@ -778,7 +570,7 @@ class BinStore:
                             stem not in payload_stems and \
                             name not in known:
                         report.add(name, "missing-record",
-                                   os.path.join(path, stem + HEADER_SUFFIX),
+                                   backend.describe(stem, HEADER_SUFFIX),
                                    "listed in manifest but not on disk")
                 for stem, name in sorted(loaded_stems.items()):
                     if stem not in manifest:
@@ -790,17 +582,19 @@ class BinStore:
                             f"(crash leftover)")
 
             if quarantine and report.corrupt:
-                store._quarantine_aside(path, report)
+                store._quarantine_aside(backend, report)
 
+            report.notes.extend(backend.notes)
+            del backend.notes[:]
             report.loaded = sorted(store._records)
-            store._loaded_from = os.path.abspath(path)
+            store._loaded_from = backend.key
             store.bytes_written = 0
             return store
         finally:
             if got:
                 lock.release()
 
-    def _quarantine_aside(self, path: str,
+    def _quarantine_aside(self, backend: StoreBackend,
                           report: StoreHealthReport) -> None:
         """Move damaged record file pairs into ``quarantine/``.
 
@@ -811,7 +605,6 @@ class BinStore:
         raises.  Moved stems are healed out of the manifest so the next
         load does not report them as ``missing-record``.
         """
-        fs = self.fs
         stems: dict[str, str] = {}  # stem -> unit name (for notes)
         for c in report.corrupt:
             if c.kind not in _QUARANTINABLE_KINDS or not c.path:
@@ -821,38 +614,19 @@ class BinStore:
                 stems[stem] = c.name
         if not stems:
             return
-        qdir = os.path.join(path, QUARANTINE_DIR)
-        try:
-            fs.makedirs(qdir)
-        except OSError as err:
-            report.notes.append(
-                f"quarantine-aside skipped: cannot create {qdir}: {err}")
+        err = backend.ensure_quarantine_dir()
+        if err is not None:
+            report.notes.append(f"quarantine-aside skipped: {err}")
             return
         moved: list[str] = []
         for stem in sorted(stems):
-            done: list[tuple[str, str]] = []
-            failed = False
-            for suffix in (PAYLOAD_SUFFIX, HEADER_SUFFIX):
-                src = os.path.join(path, stem + suffix)
-                dst = os.path.join(qdir, stem + suffix)
-                try:
-                    if not fs.exists(src):
-                        continue
-                    fs.replace(src, dst)
-                except OSError as err:
-                    # Roll the already-moved half back: never half-move.
-                    for m_src, m_dst in reversed(done):
-                        try:
-                            fs.replace(m_dst, m_src)
-                        except OSError:
-                            pass
-                    report.notes.append(
-                        f"quarantine-aside failed for {stem!r}: {err}; "
-                        f"record left in place (in-memory miss)")
-                    failed = True
-                    break
-                done.append((src, dst))
-            if not failed and done:
+            did_move, move_err = backend.quarantine_pair(stem)
+            if move_err is not None:
+                report.notes.append(
+                    f"quarantine-aside failed for {stem!r}: {move_err}; "
+                    f"record left in place (in-memory miss)")
+                continue
+            if did_move:
                 moved.append(stem)
                 if self.meter.enabled:
                     self.meter.event("store.quarantine_aside",
@@ -862,40 +636,33 @@ class BinStore:
             report.notes.append(
                 f"moved {len(moved)} damaged record(s) aside to "
                 f"{QUARANTINE_DIR}/")
-            self._heal_manifest(path, moved, report)
+            self._heal_manifest(backend, moved, report)
 
-    def _heal_manifest(self, path: str, moved: list[str],
+    def _heal_manifest(self, backend: StoreBackend, moved: list[str],
                        report: StoreHealthReport) -> None:
         """Drop moved stems from MANIFEST.json (best effort; a failed
         heal just means the next load reports ``missing-record``)."""
-        fs = self.fs
         try:
-            entries = fs.listdir(path)
-            manifest = _read_manifest(fs, path, entries,
-                                      StoreHealthReport())
+            manifest = _read_manifest(backend, StoreHealthReport())
             if manifest is None:
                 return
             gone = set(moved)
             healed = {s: n for s, n in manifest.items() if s not in gone}
             if healed == manifest:
                 return
-            data = json.dumps(
-                {"format": FORMAT_VERSION, "records": healed},
-                indent=1, sort_keys=True).encode("utf-8")
-            self._write_manifest_file(path, data)
+            backend.write_manifest(encode_manifest(healed))
         except (OSError, StoreError) as err:
             report.notes.append(
                 f"quarantine-aside: manifest heal skipped: {err}")
 
-    def _load_record(self, path: str, stem: str,
+    def _load_record(self, backend: StoreBackend, stem: str,
                      report: StoreHealthReport) -> str | None:
         """Verify and load one record; returns its unit name when
         healthy, otherwise records the damage and returns None."""
-        fs = self.fs
-        header_file = os.path.join(path, stem + HEADER_SUFFIX)
+        header_file = backend.describe(stem, HEADER_SUFFIX)
         display = unescape_name(stem)
         try:
-            raw = fs.read_bytes(header_file)
+            raw = backend.read_header(stem)
         except OSError as err:
             report.add(display, "io-error", header_file, str(err))
             return None
@@ -923,13 +690,13 @@ class BinStore:
                        f"in file {stem + HEADER_SUFFIX!r}")
             return None
 
-        payload_file = os.path.join(path, stem + PAYLOAD_SUFFIX)
-        if not fs.exists(payload_file):
+        payload_file = backend.describe(stem, PAYLOAD_SUFFIX)
+        if not backend.has_payload(stem):
             report.add(name, "orphaned-header", header_file,
                        "payload file missing")
             return None
         try:
-            payload = fs.read_bytes(payload_file)
+            payload = backend.read_payload(stem)
         except OSError as err:
             report.add(name, "io-error", payload_file, str(err))
             return None
@@ -982,16 +749,20 @@ class BinStore:
     @classmethod
     def fsck(cls, path: str, fs: FileSystem | None = None,
              lock_timeout: float = 5.0,
-             quarantine: bool = False) -> StoreHealthReport:
-        """Check a store directory's health without building anything.
-        ``quarantine=True`` also moves damaged files aside (see
-        :meth:`load_directory`)."""
+             quarantine: bool = False,
+             backend: StoreBackend | None = None) -> StoreHealthReport:
+        """Check a store's health without building anything.  Detects
+        the local layout (flat/sharded) from the directory; pass
+        ``backend`` for a remote store.  ``quarantine=True`` also moves
+        damaged files aside (see :meth:`load_directory`)."""
         return cls.load_directory(path, fs=fs, lock_timeout=lock_timeout,
-                                  quarantine=quarantine).health
+                                  quarantine=quarantine,
+                                  backend=backend).health
 
     @staticmethod
-    def disk_signature(path: str, fs: FileSystem | None = None) -> tuple:
-        """A cheap change signature of a store directory: the sorted
+    def disk_signature(path: str, fs: FileSystem | None = None,
+                       backend: StoreBackend | None = None) -> tuple:
+        """A cheap change signature of a store: the sorted
         ``(filename, (mtime_ns, size))`` of every record file and the
         manifest.  Two equal signatures mean no other writer has
         touched the store since the first was taken; the build daemon
@@ -1000,28 +771,15 @@ class BinStore:
         quarantined something, a test reached in).  Locks, journals,
         tmp files and quarantine debris are excluded -- they come and
         go without changing the records clients would load."""
-        fs = fs if fs is not None else REAL_FS
-        if not fs.isdir(path):
-            return ()
-        try:
-            entries = fs.listdir(path)
-        except OSError:
-            return ("unreadable",)
-        out = []
-        for entry in entries:
-            if entry.endswith(TMP_SUFFIX):
-                continue
-            if (entry == MANIFEST_NAME
-                    or entry.endswith(HEADER_SUFFIX)
-                    or entry.endswith(PAYLOAD_SUFFIX)):
-                out.append((entry,
-                            fs.stat_signature(os.path.join(path, entry))))
-        return tuple(out)
+        if backend is None:
+            backend = detect_dir_backend(path, fs=fs)
+        return backend.signature()
 
 
 def sweep_stale_artifacts(path: str,
-                          fs: FileSystem | None = None) -> list[str]:
-    """Sweep a killed prior run's debris out of a store directory.
+                          fs: FileSystem | None = None,
+                          backend: StoreBackend | None = None) -> list[str]:
+    """Sweep a killed prior run's debris out of a store.
 
     Two kinds of leftovers survive a ``kill -9`` mid-build and would
     otherwise haunt a long-lived daemon forever:
@@ -1040,29 +798,9 @@ def sweep_stale_artifacts(path: str,
     an unreadable directory sweeps nothing, a failed remove skips that
     entry.  Returns the names of the entries removed.
     """
-    fs = fs if fs is not None else REAL_FS
-    swept: list[str] = []
-    try:
-        if not fs.isdir(path):
-            return swept
-        entries = fs.listdir(path)
-    except OSError:
-        return swept
-    for entry in entries:
-        full = os.path.join(path, entry)
-        try:
-            if entry == JOURNAL_NAME or (entry == JOURNAL_NAME
-                                         + TMP_SUFFIX):
-                fs.remove(full)
-                swept.append(entry)
-            elif entry.endswith(RECORD_LOCK_SUFFIX):
-                owner = _lock_owner(fs, full)
-                if owner is None or not fs.pid_alive(owner):
-                    fs.remove(full)
-                    swept.append(entry)
-        except OSError:
-            continue
-    return swept
+    if backend is None:
+        backend = detect_dir_backend(path, fs=fs)
+    return backend.sweep_stale()
 
 
 def _is_str_table(value) -> bool:
@@ -1072,27 +810,16 @@ def _is_str_table(value) -> bool:
                     for k, v in value.items()))
 
 
-def _record_stem(entry: str) -> str | None:
-    """The record stem of a store-managed filename, or None if the file
-    is not one of ours."""
-    if entry.endswith(TMP_SUFFIX):
-        entry = entry[:-len(TMP_SUFFIX)]
-    if entry.endswith(HEADER_SUFFIX):
-        return entry[:-len(HEADER_SUFFIX)]
-    if entry.endswith(PAYLOAD_SUFFIX):
-        return entry[:-len(PAYLOAD_SUFFIX)]
-    return None
-
-
-def _read_manifest(fs: FileSystem, path: str, entries: list[str],
+def _read_manifest(backend: StoreBackend,
                    report: StoreHealthReport) -> dict[str, str] | None:
-    """Parse MANIFEST.json into {stem: unit name}; damage is reported
+    """Parse the manifest into {stem: unit name}; damage is reported
     and treated as 'no manifest' (every healthy record then loads)."""
-    if MANIFEST_NAME not in entries:
-        return None
-    manifest_file = os.path.join(path, MANIFEST_NAME)
+    manifest_file = backend.manifest_label()
     try:
-        data = json.loads(fs.read_bytes(manifest_file).decode("utf-8"))
+        raw = backend.read_manifest_bytes()
+        if raw is None:
+            return None
+        data = json.loads(raw.decode("utf-8"))
         records = data["records"]
         if data["format"] not in COMPAT_FORMATS:
             report.notes.append("stale-format manifest ignored")

@@ -1,8 +1,123 @@
 """Shared fixtures and helpers for the test suite."""
 
+import os
+
 import pytest
 
 from repro.basis import make_basis
+
+# -- store-backend matrix ------------------------------------------------
+#
+# Tests that request the ``backend_kind`` fixture run against a store
+# backend implementation (see repro.cm.backend).  By default tier 1
+# exercises only the flat directory backend -- the layout every other
+# suite already covers implicitly.  The full differential matrix runs
+# either on demand (``pytest --backend sharded``) or wholesale
+# (``REPRO_ALL_BACKENDS=1 pytest``), which parameterizes every such
+# test across flat, sharded, and remote.
+
+BACKEND_KINDS = ("flat", "sharded", "remote")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend", action="store", default=None, choices=BACKEND_KINDS,
+        help="run backend-marked tests against this store backend only")
+
+
+def pytest_generate_tests(metafunc):
+    if "backend_kind" in metafunc.fixturenames:
+        chosen = metafunc.config.getoption("--backend")
+        if chosen:
+            kinds = [chosen]
+        elif os.environ.get("REPRO_ALL_BACKENDS"):
+            kinds = list(BACKEND_KINDS)
+        else:
+            kinds = ["flat"]
+        metafunc.parametrize("backend_kind", kinds)
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "backend_kind" in getattr(item, "fixturenames", ()):
+            item.add_marker(pytest.mark.backend)
+
+
+_HARNESS_SEQ = [0]
+
+
+class BackendHarness:
+    """One persistent store reachable through a chosen backend kind.
+
+    Hides the kind-specific plumbing so differential tests are written
+    once: :meth:`backend` hands out client backends over the same
+    underlying storage (for ``remote``, a loopback server plus one
+    write-through cache per client), and :attr:`at_rest_dir` names the
+    directory holding the *authoritative* record pairs -- the place
+    at-rest damage must be injected to reach every client.
+    """
+
+    def __init__(self, kind: str, base_dir):
+        self.kind = kind
+        self.base = str(base_dir)
+        self.server = None
+        self.url = None
+        self._clients = 0
+        if kind == "remote":
+            from repro.cm import StoreServer, register_loopback
+
+            self.server_root = os.path.join(self.base, "server")
+            _HARNESS_SEQ[0] += 1
+            self._loopback = f"conformance-{_HARNESS_SEQ[0]}"
+            self.server = StoreServer(self.server_root)
+            register_loopback(self._loopback, self.server)
+            self.url = f"loopback://{self._loopback}"
+
+    def backend(self, fs=None, fresh_cache=False,
+                cache_cap_bytes=None, compress=True):
+        """A client backend over this harness's store.
+
+        ``fs`` routes the *client-side* writes (cache writes for
+        remote) through a fault-injection filesystem.  For remote,
+        ``fresh_cache=True`` simulates a brand-new machine: an empty
+        local cache that must fetch everything from the server.
+        """
+        from repro.cm import DirectoryBackend, ShardedBackend
+        from repro.cm.remote import remote_backend_from_url
+
+        # Store/cache dirs are named ".bin" so the CLI's fsck mode can
+        # target them directly (it treats any other name as a srcdir).
+        if self.kind == "flat":
+            return DirectoryBackend(os.path.join(self.base, ".bin"), fs=fs)
+        if self.kind == "sharded":
+            return ShardedBackend(os.path.join(self.base, ".bin"), fs=fs)
+        if fresh_cache:
+            self._clients += 1
+        cache_dir = os.path.join(self.base, f"cache{self._clients}", ".bin")
+        return remote_backend_from_url(self.url, cache_dir, fs=fs,
+                                       cache_cap_bytes=cache_cap_bytes,
+                                       compress=compress)
+
+    @property
+    def at_rest_dir(self) -> str:
+        """Where the authoritative record pair files live on disk."""
+        if self.kind == "remote":
+            return self.server_root
+        return os.path.join(self.base, ".bin")
+
+    def close(self):
+        if self.kind == "remote":
+            from repro.cm import unregister_loopback
+
+            unregister_loopback(self._loopback)
+
+
+@pytest.fixture
+def store_harness(backend_kind, tmp_path):
+    """A :class:`BackendHarness` for the parameterized backend kind."""
+    harness = BackendHarness(backend_kind, tmp_path)
+    yield harness
+    harness.close()
 from repro.dynamic.evaluate import eval_decs
 from repro.elab.topdec import elaborate_decs
 from repro.lang.parser import parse_program
