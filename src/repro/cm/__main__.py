@@ -19,10 +19,23 @@ Options:
     --explain [UNIT]                print the cutoff-explanation ledger:
                                     why each unit (or one unit) was
                                     recompiled or reused
+    --explain-diff [UNIT]           diff this build's decisions against
+                                    the previous recorded build profile:
+                                    what changed since last time and why
     --trace                         print the span-tree trace report and
                                     the critical path after building
-    --trace-out FILE                write a Chrome trace_event JSON file
-                                    (chrome://tracing / ui.perfetto.dev)
+    --trace-out FILE                write a trace file after building
+                                    (chrome://tracing / ui.perfetto.dev,
+                                    or OTLP/JSON with --trace-format)
+    --trace-format {chrome,otlp}    trace file format for --trace-out
+                                    (default chrome)
+    --trace-sample N                without --trace/--trace-out: record
+                                    full spans for 1-in-N builds and
+                                    cheap counters for the rest
+    --priority {name,longest-first} with --schedule ready: order ready
+                                    units by name, or longest compile
+                                    first using recorded build profiles
+                                    (same store bytes either way)
     --retries N                     supervised build: retry transient
                                     worker failures up to N times per unit
     --timeout SECONDS               supervised build: per-attempt wall
@@ -103,13 +116,42 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="UNIT",
                         help="print why each unit (or just UNIT) was "
                              "recompiled or reused")
+    parser.add_argument("--explain-diff", dest="explain_diff",
+                        nargs="?", const="*", default=None,
+                        metavar="UNIT",
+                        help="diff this build's decisions against the "
+                             "previous recorded build profile: which "
+                             "units' verdicts or culprit imports "
+                             "changed since last time")
     parser.add_argument("--trace", action="store_true",
                         help="print the span-tree trace report and the "
                              "critical path after building")
     parser.add_argument("--trace-out", dest="trace_out", metavar="FILE",
-                        help="write a Chrome trace_event JSON file "
-                             "(also embeds the decision ledger and "
-                             "critical path)")
+                        help="write a trace file (Chrome trace_event "
+                             "JSON embedding the decision ledger and "
+                             "critical path, or OTLP with "
+                             "--trace-format otlp)")
+    parser.add_argument("--trace-format", dest="trace_format",
+                        choices=["chrome", "otlp"], default="chrome",
+                        help="file format for --trace-out: Chrome "
+                             "trace_event JSON (default) or an "
+                             "OTLP/JSON ExportTraceServiceRequest "
+                             "with span links from recompiled units "
+                             "to their culprit imports")
+    parser.add_argument("--trace-sample", dest="trace_sample",
+                        type=int, default=0, metavar="N",
+                        help="sampled always-on tracing: record full "
+                             "spans for 1-in-N builds (by profile "
+                             "sequence) and cheap counters otherwise; "
+                             "ignored when --trace/--trace-out force "
+                             "a full tracer")
+    parser.add_argument("--priority", choices=["name", "longest-first"],
+                        default="name",
+                        help="with --schedule ready: offer ready units "
+                             "by name order (default) or longest "
+                             "compile first, using per-unit times from "
+                             "recorded build profiles; store bytes are "
+                             "identical either way")
     parser.add_argument("--retries", type=int, default=None, metavar="N",
                         help="supervise the build: retry transient "
                              "worker failures up to N times per unit "
@@ -138,7 +180,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="run as a resident build daemon serving "
                              "JSON-lines requests on stdin (one JSON "
                              "response per line on stdout; ops: build, "
-                             "ping, explain, shutdown)")
+                             "ping, explain, explain-diff, stats, "
+                             "shutdown)")
     parser.add_argument("--store-backend", dest="store_backend",
                         choices=["auto", "flat", "sharded", "remote"],
                         default="auto",
@@ -174,13 +217,33 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
-    if tracer is None:
+    meter = tracer
+    if meter is None and args.trace_sample > 0:
+        meter = _sampled_meter(args)
+
+    if meter is None:
         rc, _builder, _report = _build_directory(args, None)
         return rc
-    with tracer.span("run", cat="build", srcdir=args.srcdir):
-        rc, builder, report = _build_directory(args, tracer)
-    trace_rc = _emit_trace(args, tracer, builder, report)
-    return rc or trace_rc
+    with meter.span("run", cat="build", srcdir=args.srcdir):
+        rc, builder, report = _build_directory(args, meter)
+    if tracer is not None:
+        trace_rc = _emit_trace(args, tracer, builder, report)
+        return rc or trace_rc
+    return rc
+
+
+def _sampled_meter(args):
+    """The ``--trace-sample N`` meter for this batch build: a full
+    tracer when the next profile sequence number lands on the 1-in-N
+    sample grid (builds 1, N+1, 2N+1, ...), cheap counters otherwise."""
+    from repro.obs.history import BuildHistory
+    from repro.obs.sampling import CounterMeter
+
+    history = BuildHistory(os.path.join(args.srcdir, ".bin"))
+    if (history.next_seq() - 1) % args.trace_sample == 0:
+        from repro.obs.tracer import Tracer
+        return Tracer()
+    return CounterMeter()
 
 
 def _store_backend_for(args, bin_dir):
@@ -220,6 +283,21 @@ def _build_directory(args, tracer):
         return 2, None, None
     builder = MANAGERS[args.manager](project, store=store, meter=tracer)
 
+    # Build history: the prior profile is the --explain-diff baseline
+    # and feeds --priority longest-first; this build's profile is
+    # recorded after a successful store save.
+    from repro.obs.history import (
+        BuildHistory,
+        longest_first_key,
+        profile_from_report,
+    )
+    history = BuildHistory(bin_dir, fs=store.fs)
+    prior_profile = history.latest(args.manager)
+    offer_key = None
+    if args.priority == "longest-first":
+        offer_key = longest_first_key(
+            history.compile_seconds(args.manager))
+
     supervised = (args.retries is not None or args.timeout is not None
                   or args.resume)
     try:
@@ -232,11 +310,13 @@ def _build_directory(args, tracer):
                                    pool=args.pool, policy=policy,
                                    resume=args.resume,
                                    checkpoint_dir=bin_dir,
-                                   schedule=args.schedule)
+                                   schedule=args.schedule,
+                                   offer_key=offer_key)
         else:
             report = builder.build(jobs=max(1, args.jobs),
                                    pool=args.pool,
-                                   schedule=args.schedule)
+                                   schedule=args.schedule,
+                                   offer_key=offer_key)
     except Exception as err:  # ElabError, DependencyError, ParseError...
         print(f"error: {err}", file=sys.stderr)
         return 1, builder, None
@@ -250,11 +330,21 @@ def _build_directory(args, tracer):
     if args.explain is not None:
         unit = None if args.explain == "*" else args.explain
         print(builder.ledger.render_text(unit))
+    if args.explain_diff is not None:
+        from repro.obs.diff import diff_against_profile
+        unit = None if args.explain_diff == "*" else args.explain_diff
+        diff = diff_against_profile(builder.ledger, prior_profile)
+        print(diff.render_text(unit))
     try:
         store.save_directory(bin_dir)  # self-instruments via store.meter
     except StoreLockedError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1, builder, report
+    history.record(profile_from_report(
+        report, ledger=builder.ledger,
+        export_pids={name: unit.export_pid
+                     for name, unit in builder.units.items()},
+        group=args.srcdir, manager=args.manager))
 
     if report.failed or report.skipped:
         # A supervised build finished what it could; the casualties
@@ -330,23 +420,26 @@ def _emit_trace(args, tracer, builder, report) -> int:
                   + " -> ".join(chain))
 
     if args.trace_out:
-        extra = {
-            "wallSeconds": round(tracer.wall(), 6),
-            "criticalPath": {
-                "chain": chain,
-                "seconds": round(chain_seconds, 6),
-            },
-            "phaseRollup": phase_rollup(tracer),
-        }
-        if report is not None:
-            extra["phaseTotals"] = report.phase_totals()
-            extra["buildStats"] = report.stats()
-        if builder is not None and builder.ledger is not None:
-            extra["buildDecisions"] = builder.ledger.to_json()
+        if getattr(args, "trace_format", "chrome") == "otlp":
+            payload = _otlp_payload(args, tracer, builder)
+        else:
+            extra = {
+                "wallSeconds": round(tracer.wall(), 6),
+                "criticalPath": {
+                    "chain": chain,
+                    "seconds": round(chain_seconds, 6),
+                },
+                "phaseRollup": phase_rollup(tracer),
+            }
+            if report is not None:
+                extra["phaseTotals"] = report.phase_totals()
+                extra["buildStats"] = report.stats()
+            if builder is not None and builder.ledger is not None:
+                extra["buildDecisions"] = builder.ledger.to_json()
+            payload = tracer.to_chrome_trace(extra)
         try:
             with open(args.trace_out, "w", encoding="utf-8") as fh:
-                json_mod.dump(tracer.to_chrome_trace(extra), fh,
-                              indent=1, sort_keys=True)
+                json_mod.dump(payload, fh, indent=1, sort_keys=True)
                 fh.write("\n")
         except OSError as err:
             print(f"error: cannot write {args.trace_out}: {err}",
@@ -354,6 +447,26 @@ def _emit_trace(args, tracer, builder, report) -> int:
             return 1
         print(f"trace written to {args.trace_out}")
     return 0
+
+
+def _otlp_payload(args, tracer, builder) -> dict:
+    """The OTLP/JSON export for ``--trace-format otlp``: spans with
+    resource attributes identifying the build, plus span links from
+    each recompiled unit to its culprit imports."""
+    import time
+
+    from repro.obs.export import to_otlp
+
+    resource = {
+        "build.group": args.srcdir,
+        "build.manager": args.manager,
+        "build.schedule": args.schedule,
+        "build.jobs": max(1, args.jobs),
+    }
+    ledger = builder.ledger if builder is not None else None
+    base = max(0, time.time_ns() - int(tracer.wall() * 1e9))
+    return to_otlp(tracer, resource=resource, ledger=ledger,
+                   base_unix_nano=base)
 
 
 def _run_serve(args) -> int:
@@ -364,7 +477,9 @@ def _run_serve(args) -> int:
     daemon = BuildDaemon(manager=args.manager, jobs=max(1, args.jobs),
                          pool=args.pool, schedule="ready",
                          store_backend=args.store_backend,
-                         store_url=args.store_url)
+                         store_url=args.store_url,
+                         priority=args.priority,
+                         trace_sample=max(0, args.trace_sample))
     default_group = args.srcdir if args.srcdir \
         and os.path.isdir(args.srcdir) else None
     return serve(daemon, sys.stdin, sys.stdout,

@@ -65,7 +65,8 @@ class BaseBuilder:
     def build(self, jobs: int = 1, pool: str = "process",
               supervise: bool = False, policy=None, resume: bool = False,
               checkpoint_dir: str | None = None,
-              schedule: str = "wavefront") -> BuildReport:
+              schedule: str = "wavefront",
+              offer_key=None) -> BuildReport:
         """Bring every unit up to date; returns what was done.
 
         With ``jobs > 1`` ready units are compiled on a worker pool
@@ -73,6 +74,10 @@ class BaseBuilder:
         ``"wavefront"`` antichain barriers or per-unit ``"ready"``
         dispatch; the resulting statenv, bin store contents and export
         pids are byte-identical to a serial build either way.
+        ``offer_key`` (ready schedule only) reorders the ready set's
+        offers, e.g. longest-prior-compile-first from a build profile
+        (:func:`repro.obs.history.longest_first_key`) -- a pure
+        scheduling hint, same bytes for every key.
 
         ``supervise=True`` (implied by ``policy``, ``resume`` or
         ``checkpoint_dir``) routes through the fault-tolerant
@@ -87,11 +92,13 @@ class BaseBuilder:
             return supervised_build(self, jobs=jobs, pool=pool,
                                     policy=policy, resume=resume,
                                     checkpoint_dir=checkpoint_dir,
-                                    schedule=schedule)
+                                    schedule=schedule,
+                                    offer_key=offer_key)
         if jobs != 1 or schedule == "ready":
             from repro.cm.parallel import parallel_build
             return parallel_build(self, jobs=jobs, pool=pool,
-                                  schedule=schedule)
+                                  schedule=schedule,
+                                  offer_key=offer_key)
         meter = self.meter
         t0 = time.perf_counter()
         report = BuildReport()

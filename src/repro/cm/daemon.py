@@ -65,6 +65,12 @@ from repro.cm.report import BuildReport
 from repro.cm.smart import SmartBuilder
 from repro.cm.store import BinStore, sweep_stale_artifacts
 from repro.cm.supervise import SupervisePolicy, Supervisor
+from repro.obs.diff import diff_against_profile
+from repro.obs.history import (
+    BuildHistory,
+    longest_first_key,
+    profile_from_report,
+)
 from repro.obs.meter import NULL_METER
 
 #: The manager table the CLI and the daemon share.
@@ -147,6 +153,18 @@ class _GroupState:
     #: the store directory's disk signature after our last load/save.
     store_sig: tuple = ()
     swept: list = field(default_factory=list)
+    #: the group's build-profile ring buffer (created on first open).
+    history: BuildHistory | None = None
+    #: manager name -> the latest recorded profile (kept warm so the
+    #: priority key and explain-diff never re-read disk per request).
+    profiles: dict = field(default_factory=dict)
+    #: manager name -> the profile *before* the latest build -- what
+    #: ``explain-diff`` compares the latest ledger against.
+    prior_profiles: dict = field(default_factory=dict)
+    #: manager name -> per-unit compile seconds merged across profiles
+    #: (the longest-first priority's input), loaded from disk once per
+    #: manager and updated in memory after every build.
+    seconds: dict = field(default_factory=dict)
 
 
 class BuildDaemon:
@@ -169,17 +187,31 @@ class BuildDaemon:
                  checkpoint: bool = True,
                  faults: WorkerFaults | None = None,
                  build_hook=None, store_backend: str = "auto",
-                 store_url: str | None = None):
+                 store_url: str | None = None,
+                 priority: str = "name", trace_sample: int = 0):
         if manager not in MANAGERS:
             raise DaemonError(f"unknown manager {manager!r} "
                               f"(want one of {sorted(MANAGERS)})")
+        if priority not in ("name", "longest-first"):
+            raise DaemonError(f"unknown priority {priority!r} "
+                              f"(want 'name' or 'longest-first')")
         self.manager = manager
         self.jobs = max(1, jobs)
         self.pool = pool
         self.schedule = schedule
         self.store_backend = store_backend
         self.store_url = store_url
+        #: Ready-set offer order: plain sorted names, or longest prior
+        #: compile time first from the group's build history.
+        self.priority = priority
         self.policy = policy if policy is not None else SupervisePolicy()
+        if meter is None and trace_sample > 0:
+            # Sampled always-on tracing: full spans 1-in-N builds,
+            # cheap aggregate counters for everything (the ``stats``
+            # request's data source).
+            from repro.obs.sampling import SamplingMeter
+            meter = SamplingMeter(sample=trace_sample)
+        self.trace_sample = trace_sample
         self.meter = meter if meter is not None else NULL_METER
         self.checkpoint = checkpoint
         self.faults = faults
@@ -290,6 +322,52 @@ class BuildDaemon:
                     f"no build of {srcdir} under {manager!r} yet")
             return builder.ledger.render_text(unit)
 
+    def explain_diff(self, srcdir: str, unit: str | None = None,
+                     manager: str | None = None) -> str:
+        """Diff the group's latest build decisions against the
+        previous build's profile: why did a unit rebuild *this* time
+        but not last time (see :mod:`repro.obs.diff`)."""
+        manager = manager if manager else self.manager
+        state = self._state_for(srcdir)
+        with state.lock:
+            builder = state.builders.get(manager)
+            if builder is None:
+                raise DaemonError(
+                    f"no build of {srcdir} under {manager!r} yet")
+            prior = state.prior_profiles.get(manager)
+            diff = diff_against_profile(builder.ledger, prior)
+            return diff.render_text(unit)
+
+    def stats(self) -> dict:
+        """The daemon's rolled-up telemetry: request/coalesce/build
+        counts, cache hit rate, worker occupancy -- cheap enough to
+        serve permanently (the counters tier of ``--trace-sample``
+        keeps them for *every* build, sampled or not)."""
+        with self._lock:
+            out: dict = {
+                "groups": len(self._states),
+                "requests_served": self._request_seq,
+            }
+        rollup = getattr(self.meter, "rollup", None)
+        if rollup is None:
+            return out
+        data = rollup()
+        counters = data.get("counters", {})
+        spans = data.get("spans", {})
+        compiled = counters.get("units.compiled", 0)
+        loaded = counters.get("units.loaded", 0)
+        cached = counters.get("units.cached", 0)
+        total = compiled + loaded + cached
+        if total:
+            out["hit_rate"] = round((loaded + cached) / total, 6)
+        busy = spans.get("worker-compile", {}).get("seconds", 0.0)
+        wall = spans.get("build", {}).get("seconds", 0.0)
+        if wall > 0:
+            out["occupancy"] = round(
+                min(1.0, busy / (self.jobs * wall)), 6)
+        out["telemetry"] = data
+        return out
+
     def shutdown(self) -> None:
         """Shut the warm pools down and refuse further requests."""
         with self._lock:
@@ -346,6 +424,9 @@ class BuildDaemon:
             state.store.meter = self.meter
         state.store_sig = BinStore.disk_signature(state.bin_dir,
                                                   backend=backend)
+        # Profile IO rides the store's fs seam, so fault injection on
+        # the store covers history writes too (best-effort either way).
+        state.history = BuildHistory(state.bin_dir, fs=state.store.fs)
         state.opened = True
 
     def _refresh_sources(self, state: _GroupState) -> int:
@@ -429,23 +510,53 @@ class BuildDaemon:
             builder = MANAGERS[manager](state.project, store=state.store,
                                         meter=self.meter)
             state.builders[manager] = builder
+        offer_key = None
+        if self.priority == "longest-first":
+            if manager not in state.seconds:
+                # One disk read per (group, manager) lifetime; kept
+                # warm (and updated) in memory after every build.
+                state.seconds[manager] = \
+                    state.history.compile_seconds(manager)
+            offer_key = longest_first_key(state.seconds[manager])
         supervisor = Supervisor(
             jobs=jobs, pool=pool,
             faults=faults if faults is not None else self.faults,
             policy=self.policy, schedule=self.schedule,
             checkpoint_dir=state.bin_dir if self.checkpoint else None,
             executor_factory=self._executor_factory,
-            keep_executor=True)
+            keep_executor=True, offer_key=offer_key)
         report = supervisor.build(builder)
         builder.store.save_directory(state.bin_dir)
         state.store_sig = BinStore.disk_signature(
             state.bin_dir, backend=self._backend_for(state))
+        self._record_profile(state, manager, builder, report)
         if report.degraded:
             # The supervisor shut our cached pool down on its way down
             # the ladder; forget it so the next request makes a new one.
             with self._lock:
                 self._executors.pop((jobs, pool), None)
         return report, reloaded, refreshed, swept
+
+    def _record_profile(self, state: _GroupState, manager: str,
+                        builder, report) -> None:
+        """Persist this build's profile and roll the warm history
+        state forward: the previously-latest profile becomes the
+        ``explain-diff`` baseline, the new one feeds the next
+        longest-first priority key.  Best effort -- profile IO never
+        fails a build."""
+        prior = state.profiles.get(manager)
+        if prior is None and manager not in state.profiles:
+            prior = state.history.latest(manager)
+        state.prior_profiles[manager] = prior
+        profile = profile_from_report(
+            report, ledger=builder.ledger,
+            export_pids={name: unit.export_pid
+                         for name, unit in builder.units.items()},
+            group=state.srcdir, manager=manager)
+        state.history.record(profile)
+        state.profiles[manager] = profile
+        state.seconds.setdefault(manager, {}).update(
+            profile.compile_seconds())
 
     def _executor_factory(self, jobs: int, pool: str):
         """Warm-pool seam handed to the supervisor: reuse a cached
@@ -498,7 +609,8 @@ def serve(daemon: BuildDaemon, lines, out,
     test's list); ``out`` is a writable text stream.  One request
     object per line in, one :func:`wire_encode`-d response per line
     out.  Requests carry ``op`` (``build`` / ``ping`` / ``explain`` /
-    ``shutdown``) and an optional client-chosen ``id`` echoed back
+    ``explain-diff`` / ``stats`` / ``shutdown``) and an optional
+    client-chosen ``id`` echoed back
     (defaulting to the request's ordinal).  Any per-request failure --
     unparseable line, unknown op, :class:`DaemonError`, build machinery
     error -- is an ``"ok": false`` response, never a dead daemon.
@@ -531,6 +643,15 @@ def serve(daemon: BuildDaemon, lines, out,
                                        jobs=request.get("jobs"),
                                        pool=request.get("pool"))
                 result = reply_to_wire(reply)
+                if request.get("trace"):
+                    report = reply.report
+                    result["trace"] = {
+                        "ledger": (report.ledger.to_json()
+                                   if report.ledger is not None else {}),
+                        "phase_totals": report.phase_totals(),
+                        "dispatch_order": list(report.dispatch_order),
+                        "wall_seconds": round(report.wall_seconds, 6),
+                    }
             elif op == "explain":
                 group = request.get("group", default_group)
                 if not group:
@@ -539,6 +660,16 @@ def serve(daemon: BuildDaemon, lines, out,
                 result = {"text": daemon.explain(
                     group, unit=request.get("unit"),
                     manager=request.get("manager"))}
+            elif op == "explain-diff":
+                group = request.get("group", default_group)
+                if not group:
+                    raise DaemonError(
+                        'no group: pass "group" or serve with a srcdir')
+                result = {"text": daemon.explain_diff(
+                    group, unit=request.get("unit"),
+                    manager=request.get("manager"))}
+            elif op == "stats":
+                result = daemon.stats()
             elif op == "shutdown":
                 closing = True
                 result = {"bye": True}

@@ -151,10 +151,18 @@ class ReadySet:
     settled" -- compiled, loaded, cached, failed or skipped all count,
     which is how the supervisor propagates poison through the ready set
     without deadlocking.
+
+    ``key`` overrides the offer order *within* the ready units (e.g.
+    :func:`repro.obs.history.longest_first_key`: longest prior compile
+    time first).  The order is pure scheduling: any offer order yields
+    a linear extension, and record bytes are intrinsic per unit, so
+    every key produces byte-identical stores
+    (``tests/property/test_priority.py`` holds it to that).
     """
 
-    def __init__(self, graph: DepGraph):
+    def __init__(self, graph: DepGraph, key=None):
         self._graph = graph
+        self._key = key
         in_graph = set(graph.order)
         #: unit -> number of in-graph imports not yet completed.
         self._waiting: dict[str, int] = {
@@ -162,20 +170,26 @@ class ReadySet:
                       if dep in in_graph)
             for name in graph.order
         }
-        self._ready: list[str] = sorted(
+        self._ready: list[str] = self._sorted(
             name for name, gates in self._waiting.items() if gates == 0)
         self._offered: set[str] = set()
         self._done: set[str] = set()
 
+    def _sorted(self, names) -> list[str]:
+        return sorted(names, key=self._key) if self._key is not None \
+            else sorted(names)
+
     def take(self) -> list[str]:
-        """Drain the currently ready units (sorted; offered once)."""
+        """Drain the currently ready units (offer order; offered
+        once)."""
         out, self._ready = self._ready, []
         self._offered.update(out)
         return out
 
     def complete(self, name: str) -> list[str]:
-        """Retire ``name``; returns the units this made ready (sorted).
-        The newly ready units also join the next :meth:`take`."""
+        """Retire ``name``; returns the units this made ready (offer
+        order).  The newly ready units also join the next
+        :meth:`take`."""
         if name in self._done:
             return []
         self._done.add(name)
@@ -187,8 +201,8 @@ class ReadySet:
             self._waiting[dependent] = gates - 1
             if gates - 1 == 0:
                 released.append(dependent)
-        released.sort()
-        self._ready = sorted(self._ready + released)
+        released = self._sorted(released)
+        self._ready = self._sorted(self._ready + released)
         return released
 
     def has_ready(self) -> bool:
@@ -358,7 +372,8 @@ def make_executor(jobs: int, pool: str = "process"):
 
 def parallel_build(builder, jobs: int = 2, pool: str = "process",
                    faults: WorkerFaults | None = None,
-                   schedule: str = "wavefront") -> BuildReport:
+                   schedule: str = "wavefront",
+                   offer_key=None) -> BuildReport:
     """Bring ``builder``'s project up to date on a worker pool.
 
     ``schedule="wavefront"`` (the default) runs wave barriers: per
@@ -373,6 +388,12 @@ def parallel_build(builder, jobs: int = 2, pool: str = "process",
     providers always complete before it is decided, and the on-disk
     layout (one file pair per unit plus a sorted manifest) does not
     depend on application order.
+
+    ``offer_key`` (ready schedule only) reorders the ready set's
+    offers -- e.g. longest-prior-compile-first from a build profile
+    (:func:`repro.obs.history.longest_first_key`); None keeps sorted
+    name order.  Purely a scheduling hint: store bytes are identical
+    for every key.
 
     A worker failure raises :class:`ParallelBuildError` after every
     already-landed result was fully applied; the in-memory store then
@@ -398,7 +419,7 @@ def parallel_build(builder, jobs: int = 2, pool: str = "process",
         try:
             if schedule == "ready":
                 _run_ready(builder, graph, executor, faults, report,
-                           meter)
+                           meter, offer_key=offer_key)
             else:
                 for wave_index, wave in enumerate(wavefronts(graph)):
                     with meter.span("wave", cat="wave", index=wave_index,
@@ -486,7 +507,7 @@ def _run_wave(builder, graph: DepGraph, wave: list[str], wave_index: int,
 
 def _run_ready(builder, graph: DepGraph, executor,
                faults: WorkerFaults | None, report: BuildReport,
-               meter) -> None:
+               meter, offer_key=None) -> None:
     """Per-unit ready-set dispatch: decide each unit the moment its
     last in-graph import completes, apply worker results as they land.
 
@@ -496,7 +517,7 @@ def _run_ready(builder, graph: DepGraph, executor,
     but keeping it sorted makes traces reproducible for a fixed
     completion pattern.
     """
-    ready = ReadySet(graph)
+    ready = ReadySet(graph, key=offer_key)
     active: dict[str, object] = {}  # name -> future
     reasons: dict[str, str] = {}
 

@@ -174,7 +174,8 @@ class Supervisor:
                  max_waves: int | None = None,
                  executor_factory=make_executor,
                  schedule: str = "wavefront",
-                 keep_executor: bool = False):
+                 keep_executor: bool = False,
+                 offer_key=None):
         if schedule not in ("wavefront", "ready"):
             raise ValueError(f"unknown schedule {schedule!r} "
                              f"(want 'wavefront' or 'ready')")
@@ -187,6 +188,10 @@ class Supervisor:
         self.max_waves = max_waves
         self.executor_factory = executor_factory
         self.schedule = schedule
+        #: Ready-set offer order override (e.g. longest-first from a
+        #: build profile); None keeps sorted name order.  Scheduling
+        #: only -- store bytes are identical for every key.
+        self.offer_key = offer_key
         #: When True the executor outlives the build -- the daemon's
         #: warm-pool seam (:mod:`repro.cm.daemon` hands a cached
         #: executor in via ``executor_factory`` and shuts it down at
@@ -352,7 +357,7 @@ class Supervisor:
         meter = self.meter
         policy = self.policy
         report = self.report
-        ready = ReadySet(graph)
+        ready = ReadySet(graph, key=self.offer_key)
         active: dict[str, tuple] = {}  # name -> (future, attempt, deadline, reason)
         queue: list[tuple] = []  # (resume_at, name, attempt, reason)
         admit_queue: deque[str] = deque()
@@ -758,7 +763,8 @@ def supervised_build(builder, jobs: int = 2, pool: str = "process",
                      checkpoint_dir: str | None = None,
                      max_waves: int | None = None,
                      executor_factory=make_executor,
-                     schedule: str = "wavefront") -> BuildReport:
+                     schedule: str = "wavefront",
+                     offer_key=None) -> BuildReport:
     """Bring ``builder``'s project up to date under supervision.
 
     The fault-tolerant sibling of
@@ -775,5 +781,5 @@ def supervised_build(builder, jobs: int = 2, pool: str = "process",
                             checkpoint_dir=checkpoint_dir,
                             max_waves=max_waves,
                             executor_factory=executor_factory,
-                            schedule=schedule)
+                            schedule=schedule, offer_key=offer_key)
     return supervisor.build(builder)

@@ -19,6 +19,15 @@ damage, or pure builder policy (make's transitive cascade).
 Post-build analytics live in :mod:`repro.obs.critical`: critical-path
 extraction over the dependency DAG (the chain that bounds parallel
 wall-clock), per-phase rollups and worker occupancy.
+
+Across builds, :mod:`repro.obs.history` persists a compact
+:class:`~repro.obs.history.BuildProfile` per build (a ring buffer
+under ``.bin/profiles/``), :mod:`repro.obs.diff` structurally compares
+the current ledger against the prior profile (``--explain-diff``:
+"why did this unit rebuild today but not yesterday"),
+:mod:`repro.obs.export` serializes spans to OTLP/JSON with zero new
+dependencies, and :mod:`repro.obs.sampling` keeps full spans for
+1-in-N builds with cheap always-on counters for the rest.
 """
 
 from repro.obs.meter import NULL_METER, BuildMeter, NullMeter, NullSpan
@@ -37,6 +46,16 @@ from repro.obs.critical import (
     worker_idle,
     worker_occupancy,
 )
+from repro.obs.history import (
+    BuildHistory,
+    BuildProfile,
+    UnitProfile,
+    longest_first_key,
+    profile_from_report,
+)
+from repro.obs.diff import ProfileDiff, UnitDiff, diff_against_profile
+from repro.obs.export import to_otlp, validate_otlp
+from repro.obs.sampling import CounterMeter, SamplingMeter
 
 __all__ = [
     "BuildMeter",
@@ -55,4 +74,16 @@ __all__ = [
     "span_coverage",
     "worker_idle",
     "worker_occupancy",
+    "BuildHistory",
+    "BuildProfile",
+    "UnitProfile",
+    "longest_first_key",
+    "profile_from_report",
+    "ProfileDiff",
+    "UnitDiff",
+    "diff_against_profile",
+    "to_otlp",
+    "validate_otlp",
+    "CounterMeter",
+    "SamplingMeter",
 ]

@@ -80,41 +80,55 @@ def phase_rollup(tracer) -> dict[str, dict]:
 
 
 def worker_occupancy(tracer) -> dict[str, float]:
-    """Busy seconds per track, from each track's root spans."""
-    out: dict[str, float] = {}
+    """Busy seconds per track, from each track's root spans.
+
+    Overlapping spans on one track (retried attempts landing on the
+    supervisor track, abandoned-then-finished workers) are counted by
+    *interval union*, not summed -- a track can never report more busy
+    time than wall clock.
+    """
+    by_track: dict[str, list[tuple[float, float]]] = {}
     for span in tracer.roots:
-        out[span.track] = out.get(span.track, 0.0) + span.duration
-    return {track: round(seconds, 6)
-            for track, seconds in sorted(out.items())}
+        by_track.setdefault(span.track, []).append(
+            (span.start, span.end))
+    return {track: round(_union_length(intervals), 6)
+            for track, intervals in sorted(by_track.items())}
 
 
 def worker_idle(tracer, jobs: int) -> dict:
     """How well a schedule kept ``jobs`` workers fed.
 
-    Sums the ``worker-compile`` spans (actual busy time on workers)
-    against the capacity ``jobs x`` the longest ``build`` span's wall
-    clock.  ``occupancy`` is busy/capacity: wave barriers leave it low
+    Measures the ``worker-compile`` spans (actual busy time on
+    workers) against the capacity ``jobs x`` the longest ``build``
+    span's wall clock.  Busy time is the per-track interval *union*:
+    when retries or abandoned attempts overlap on one track they count
+    once, and ``occupancy`` is clamped to 1.0 -- a schedule can fill
+    its capacity, never exceed it.  Wave barriers leave occupancy low
     on unbalanced graphs (every wave waits for its slowest unit);
     ready-set dispatch exists to raise it.  Durations only -- no
     claims when the tracer saw no build.
     """
-    busy = 0.0
+    by_track: dict[str, list[tuple[float, float]]] = {}
     compiles = 0
     wall = 0.0
     for span in tracer.all_spans():
         if span.name == "worker-compile":
-            busy += span.duration
+            by_track.setdefault(span.track, []).append(
+                (span.start, span.end))
             compiles += 1
         elif span.name == "build":
             wall = max(wall, span.duration)
+    busy = sum(_union_length(intervals)
+               for intervals in by_track.values())
     capacity = jobs * wall
+    occupancy = min(1.0, busy / capacity) if capacity > 0 else 0.0
     return {
         "jobs": jobs,
         "compiles": compiles,
         "busy_seconds": round(busy, 6),
         "build_wall_seconds": round(wall, 6),
         "idle_seconds": round(max(0.0, capacity - busy), 6),
-        "occupancy": round(busy / capacity, 6) if capacity > 0 else 0.0,
+        "occupancy": round(occupancy, 6),
     }
 
 

@@ -1,0 +1,228 @@
+"""Sampled always-on tracing: full spans 1-in-N, cheap counters always.
+
+A fleet daemon wants to run instrumented *permanently*, but a full
+:class:`~repro.obs.tracer.Tracer` keeps every span of every build
+alive in memory.  This module gives the two-tier scheme production
+tracers use:
+
+- :class:`CounterMeter` is the always-on tier: it implements the
+  :class:`~repro.obs.meter.BuildMeter` protocol with ``enabled=True``
+  (so instrumented sites still report decisions, counters, worker
+  spans) but stores only *aggregates* -- per-span-name count and total
+  seconds, per-event-name counts, the counter totals.  Memory is O(
+  distinct names), not O(spans).
+- :class:`SamplingMeter` layers full tracing on top: every Nth
+  ``build`` span gets a fresh ``Tracer`` that records the complete
+  span tree for that build (exportable via Chrome JSON or OTLP); the
+  other N-1 builds pay only the counter tier.  Aggregates cover *all*
+  builds -- sampling never loses the totals, only per-span detail.
+
+The daemon mounts a ``SamplingMeter`` when serving with
+``--trace-sample N``; its ``stats`` request exposes the rolled-up
+request/occupancy/hit-rate numbers (see
+:meth:`repro.cm.daemon.BuildDaemon.stats`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.tracer import Tracer
+
+
+class _CountingSpan:
+    """One live span of a :class:`CounterMeter`: measures its own
+    duration, stores nothing else."""
+
+    __slots__ = ("_meter", "_name", "_start")
+
+    def __init__(self, meter: "CounterMeter", name: str):
+        self._meter = meter
+        self._name = name
+        self._start = 0.0
+
+    def set(self, **args) -> "_CountingSpan":
+        return self  # aggregates keep no args
+
+    def __enter__(self) -> "_CountingSpan":
+        self._start = self._meter._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._meter._add_span(self._name,
+                              self._meter._clock() - self._start)
+        return False
+
+
+class CounterMeter:
+    """The always-on aggregate tier (see module docstring).
+
+    Thread-safe; O(distinct names) memory however many builds flow
+    through it.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: span name -> {"count": n, "seconds": total}.
+        self.spans: dict[str, dict] = {}
+        #: event name -> count.
+        self.events: dict[str, int] = {}
+        #: the ordinary monotonic counters.
+        self.counters: dict[str, float] = {}
+
+    def _add_span(self, name: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self.spans.setdefault(
+                name, {"count": 0, "seconds": 0.0})
+            bucket["count"] += 1
+            bucket["seconds"] += max(0.0, seconds)
+
+    # -- the BuildMeter protocol ------------------------------------------
+
+    def span(self, name: str, cat: str = "build",
+             **args) -> _CountingSpan:
+        return _CountingSpan(self, name)
+
+    def event(self, name: str, cat: str = "build", **args) -> None:
+        with self._lock:
+            self.events[name] = self.events.get(name, 0) + 1
+
+    def counter(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def complete_span(self, name: str, start: float, end: float,
+                      cat: str = "build", track: str | None = None,
+                      **args) -> None:
+        self._add_span(name, end - start)
+
+    # -- the rollup -------------------------------------------------------
+
+    def rollup(self) -> dict:
+        """The aggregate snapshot: spans, events, counters (rounded,
+        key-sorted -- wire-stable for the daemon's ``stats`` reply)."""
+        with self._lock:
+            spans = {name: {"count": b["count"],
+                            "seconds": round(b["seconds"], 6)}
+                     for name, b in sorted(self.spans.items())}
+            events = dict(sorted(self.events.items()))
+            counters = {name: (int(v) if v == int(v) else round(v, 6))
+                        for name, v in sorted(self.counters.items())}
+        return {"spans": spans, "events": events, "counters": counters}
+
+
+class _FanoutSpan:
+    """A span handle fanning into the aggregate tier and (when this
+    build is sampled) the full tracer; detaches the tracer when the
+    sampled ``build`` span closes."""
+
+    __slots__ = ("_meter", "_handles", "_detach")
+
+    def __init__(self, meter: "SamplingMeter", handles, detach):
+        self._meter = meter
+        self._handles = handles
+        self._detach = detach
+
+    def set(self, **args) -> "_FanoutSpan":
+        for handle in self._handles:
+            handle.set(**args)
+        return self
+
+    def __enter__(self) -> "_FanoutSpan":
+        for handle in self._handles:
+            handle.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        for handle in reversed(self._handles):
+            handle.__exit__(*exc)
+        if self._detach is not None:
+            self._meter._finish_sample(self._detach)
+        return False
+
+
+class SamplingMeter:
+    """Full spans for 1-in-``sample`` builds, counters for the rest.
+
+    ``sample=1`` traces every build; ``sample=N`` traces builds 1,
+    N+1, 2N+1, ...  ``last_tracer`` holds the most recent completed
+    sampled build's full tracer (the daemon's ``stats`` reply reports
+    how many builds were sampled; clients wanting the spans export
+    them from here).
+    """
+
+    enabled = True
+
+    def __init__(self, sample: int = 10, clock=time.perf_counter,
+                 tracer_factory=None):
+        self.sample = max(1, sample)
+        self._clock = clock
+        self._factory = (tracer_factory if tracer_factory is not None
+                         else (lambda: Tracer(clock=clock)))
+        self.aggregate = CounterMeter(clock=clock)
+        self._lock = threading.Lock()
+        self.builds_seen = 0
+        self.sampled_builds = 0
+        #: The tracer of the sampled build currently in flight (None
+        #: between samples).
+        self.tracer: Tracer | None = None
+        #: The most recent *completed* sampled build's tracer.
+        self.last_tracer: Tracer | None = None
+
+    def _finish_sample(self, tracer: Tracer) -> None:
+        with self._lock:
+            if self.tracer is tracer:
+                self.tracer = None
+            self.last_tracer = tracer
+
+    # -- the BuildMeter protocol ------------------------------------------
+
+    def span(self, name: str, cat: str = "build", **args) -> _FanoutSpan:
+        detach = None
+        with self._lock:
+            if name == "build":
+                self.builds_seen += 1
+                if (self.builds_seen - 1) % self.sample == 0:
+                    self.tracer = detach = self._factory()
+                    self.sampled_builds += 1
+            tracer = self.tracer
+        handles = [self.aggregate.span(name, cat=cat, **args)]
+        if tracer is not None:
+            handles.append(tracer.span(name, cat=cat, **args))
+        return _FanoutSpan(self, handles, detach)
+
+    def event(self, name: str, cat: str = "build", **args) -> None:
+        self.aggregate.event(name, cat=cat, **args)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(name, cat=cat, **args)
+
+    def counter(self, name: str, value: float = 1) -> None:
+        self.aggregate.counter(name, value)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.counter(name, value)
+
+    def complete_span(self, name: str, start: float, end: float,
+                      cat: str = "build", track: str | None = None,
+                      **args) -> None:
+        self.aggregate.complete_span(name, start, end, cat=cat,
+                                     track=track, **args)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.complete_span(name, start, end, cat=cat,
+                                 track=track, **args)
+
+    # -- the rollup -------------------------------------------------------
+
+    def rollup(self) -> dict:
+        out = self.aggregate.rollup()
+        with self._lock:
+            out["sample"] = self.sample
+            out["builds_seen"] = self.builds_seen
+            out["sampled_builds"] = self.sampled_builds
+        return out

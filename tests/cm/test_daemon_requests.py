@@ -330,3 +330,119 @@ class TestWireFormat:
         assert explain["ok"] is True
         assert "u000" in explain["result"]["text"]
         assert "recompiled" in explain["result"]["text"]
+
+
+class TestTelemetryOps:
+    def test_explain_diff_trace_and_stats_over_the_wire(self, tmp_path):
+        """One daemon session: build, edit an interface on disk, build
+        again with an inline trace, then ask what changed and for the
+        rolled-up stats."""
+        srcdir = str(tmp_path / "grp")
+        workload = make_group(srcdir, chain(3))
+        daemon = BuildDaemon(jobs=2, pool="thread", policy=POLICY,
+                             trace_sample=2)
+
+        def requests():
+            yield json.dumps({"op": "build", "id": "b1"})
+            # Edit between requests: the generator runs interleaved
+            # with serving, so the second build sees the new source.
+            workload.edit_interface("u000")
+            write_tree(srcdir, workload.project)
+            yield json.dumps({"op": "build", "id": "b2", "trace": True})
+            yield json.dumps({"op": "explain-diff", "id": "d"})
+            yield json.dumps({"op": "explain-diff", "id": "d1",
+                              "unit": "u000"})
+            yield json.dumps({"op": "stats", "id": "s"})
+            yield json.dumps({"op": "shutdown", "id": "q"})
+
+        out = io.StringIO()
+        rc = serve(daemon, requests(), out, default_group=srcdir)
+        assert rc == 0
+        by_id = {r["id"]: r for r in
+                 (json.loads(line) for line in out.getvalue().splitlines())}
+        assert all(r["ok"] for r in by_id.values()), by_id
+
+        # Plain build replies carry no trace; opted-in ones do.
+        assert "trace" not in by_id["b1"]["result"]
+        trace = by_id["b2"]["result"]["trace"]
+        assert sorted(trace["ledger"]["units"]) == \
+            ["u000", "u001", "u002"]
+        assert sorted(trace["dispatch_order"]) == \
+            ["u000", "u001", "u002"]
+        assert trace["phase_totals"]["elaborate"] >= 0
+
+        # The diff compares build 2 against build 1's profile.
+        text = by_id["d"]["result"]["text"]
+        assert "explain-diff vs build #1" in text
+        assert "u000: decision changed" in text
+        assert "store-miss" in text and "source-changed" in text
+        assert "u000" in by_id["d1"]["result"]["text"]
+        assert "u001" not in by_id["d1"]["result"]["text"]
+
+        # Stats: always-on counters, hit rate, sampling bookkeeping.
+        stats = by_id["s"]["result"]
+        assert stats["groups"] == 1
+        assert stats["requests_served"] == 2
+        telemetry = stats["telemetry"]
+        assert telemetry["builds_seen"] == 2
+        assert telemetry["sampled_builds"] == 1  # 1-in-2: build 1
+        # Build 1 compiles all 3; build 2 recompiles u000 (source) and
+        # u001 (import pid), but cutoff stops the cascade at u002.
+        counters = telemetry["counters"]
+        assert counters["units.compiled"] == 5
+        reused = (counters.get("units.loaded", 0)
+                  + counters.get("units.cached", 0))
+        assert reused == 1
+        assert stats["hit_rate"] == round(1 / 6, 6)
+
+        # Both builds left durable profiles in the ring buffer.
+        profile_dir = os.path.join(srcdir, ".bin", "profiles")
+        assert sorted(os.listdir(profile_dir)) == \
+            ["BUILD_PROFILE-1.json", "BUILD_PROFILE-2.json"]
+
+    def test_explain_diff_before_any_build_is_an_error(self, tmp_path):
+        srcdir = str(tmp_path / "grp")
+        make_group(srcdir, chain(3))
+        daemon = BuildDaemon(jobs=1, policy=POLICY)
+        out = io.StringIO()
+        rc = serve(daemon, [json.dumps({"op": "explain-diff"})], out,
+                   default_group=srcdir)
+        assert rc == 0
+        response = json.loads(out.getvalue())
+        assert response["ok"] is False
+        assert response["error"]["type"] == "DaemonError"
+
+    def test_longest_first_priority_daemon_builds_identically(
+            self, tmp_path):
+        """A longest-first daemon produces the same pids as a
+        name-order one -- priority is scheduling, not semantics."""
+        a_dir = str(tmp_path / "a")
+        b_dir = str(tmp_path / "b")
+        make_group(a_dir, chain(3))
+        make_group(b_dir, chain(3))
+        named = BuildDaemon(jobs=2, pool="thread", policy=POLICY)
+        keyed = BuildDaemon(jobs=2, pool="thread", policy=POLICY,
+                            priority="longest-first")
+
+        def pids(daemon, srcdir):
+            try:
+                # Twice: the second build has a profile to draw on.
+                daemon.request(srcdir)
+                reply = daemon.request(srcdir)
+            finally:
+                daemon.shutdown()
+            state = daemon._states[os.path.abspath(srcdir)]
+            builder = state.builders["cutoff"]
+            assert sorted(reply.report.dispatch_order) == \
+                ["u000", "u001", "u002"]
+            return {n: u.export_pid for n, u in builder.units.items()}
+
+        assert pids(named, a_dir) == pids(keyed, b_dir)
+
+    def test_unknown_priority_is_rejected(self):
+        try:
+            BuildDaemon(priority="shortest-first")
+        except Exception as err:
+            assert "priority" in str(err)
+        else:
+            raise AssertionError("bad priority accepted")

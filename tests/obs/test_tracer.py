@@ -10,6 +10,7 @@ from repro.obs import (
     Tracer,
     phase_rollup,
     span_coverage,
+    worker_idle,
     worker_occupancy,
 )
 
@@ -159,6 +160,42 @@ class TestAnalytics:
         tr.complete_span("c", 101.0, 103.0, track="w1")
         tr.complete_span("c", 100.0, 100.5, track="w2")
         assert worker_occupancy(tr) == {"w1": 3.0, "w2": 0.5}
+
+    def test_worker_occupancy_unions_overlapping_attempts(self):
+        # A timed-out attempt and its retry can overlap on the same
+        # track (the supervisor records abandoned attempts too): busy
+        # time is the interval union, never more than wall clock.
+        tr = Tracer(clock=FakeClock())
+        tr.complete_span("c", 100.0, 104.0, track="sup")
+        tr.complete_span("c", 102.0, 106.0, track="sup")
+        tr.complete_span("c", 103.0, 105.0, track="sup")
+        assert worker_occupancy(tr) == {"sup": 6.0}
+
+    def test_worker_idle_occupancy_never_exceeds_one(self):
+        # Two fully-overlapping attempt spans on one track must not
+        # double-count busy time: one job busy for the whole build is
+        # occupancy 1.0, not 2.0.
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("build"):
+            clock.tick(4.0)
+        tr.complete_span("worker-compile", 100.0, 104.0, track="w1")
+        tr.complete_span("worker-compile", 100.0, 104.0, track="w1")
+        idle = worker_idle(tr, jobs=1)
+        assert idle["busy_seconds"] == 4.0
+        assert idle["occupancy"] == 1.0
+        assert idle["idle_seconds"] == 0.0
+
+    def test_worker_idle_separate_tracks_still_sum(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("build"):
+            clock.tick(4.0)
+        tr.complete_span("worker-compile", 100.0, 104.0, track="w1")
+        tr.complete_span("worker-compile", 100.0, 102.0, track="w2")
+        idle = worker_idle(tr, jobs=2)
+        assert idle["busy_seconds"] == 6.0
+        assert idle["occupancy"] == 0.75
 
     def test_span_coverage_full_and_partial(self):
         clock = FakeClock()
